@@ -1,0 +1,65 @@
+//! Ablation (§4.3): hybrid tiering's hot pages — migrate on first access
+//! (CXLfork's choice) vs prefetch synchronously during restore (the
+//! alternative the paper evaluated and rejected: it "trades off remote
+//! fork tail latency for fewer CXL faults [and] generally delivers lower
+//! performance").
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench ablation_hot_prefetch`.
+
+use cxlfork_bench::format::{ms, print_table};
+use cxlfork_bench::{run_cold_start, run_tiering, Scenario, DEFAULT_STEADY_INVOCATIONS};
+use rfork::RestoreOptions;
+use simclock::LatencyModel;
+
+fn main() {
+    let model = LatencyModel::calibrated();
+    let mut rows = Vec::new();
+    for spec in faas::suite() {
+        let on_access = run_cold_start(
+            &spec,
+            Scenario::CxlFork(RestoreOptions::hybrid()),
+            &model,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+        let sync = run_cold_start(
+            &spec,
+            Scenario::CxlFork(RestoreOptions::hybrid_sync_prefetch()),
+            &model,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+        let warm_on_access = run_tiering(
+            &spec,
+            RestoreOptions::hybrid(),
+            &model,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+        let warm_sync = run_tiering(
+            &spec,
+            RestoreOptions::hybrid_sync_prefetch(),
+            &model,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+        rows.push(vec![
+            spec.name.clone(),
+            ms(on_access.restore),
+            ms(sync.restore),
+            on_access.fault_count.to_string(),
+            sync.fault_count.to_string(),
+            ms(on_access.total),
+            ms(sync.total),
+            ms(warm_on_access.warm),
+            ms(warm_sync.warm),
+        ]);
+    }
+    print_table(
+        "Hybrid hot pages: migrate-on-access vs synchronous restore prefetch (paper §4.3: sync prefetch inflates remote-fork tail latency for little gain)",
+        &[
+            "function",
+            "restore-oa", "restore-sync",
+            "faults-oa", "faults-sync",
+            "cold-oa", "cold-sync",
+            "warm-oa", "warm-sync",
+        ],
+        &rows,
+    );
+}

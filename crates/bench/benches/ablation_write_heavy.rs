@@ -1,0 +1,69 @@
+//! §8 "CXLfork for write-heavy workloads": even write-heavy processes
+//! benefit from CXLfork's instant cloning, but the memory savings are
+//! blunted — most of the footprint is eventually copy-on-written to local
+//! memory anyway.
+//!
+//! The harness sweeps the read/write share of a synthetic 128 MiB function
+//! from the FaaS-typical 5 % up to 60 % and reports CXLfork's restore
+//! latency (stays flat: cloning is instant regardless) and the child's
+//! local memory after a few invocations (grows with the write share: the
+//! savings blunt).
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench ablation_write_heavy`.
+
+use cxlfork_bench::format::{ms, pages_mib, print_table};
+use cxlfork_bench::{run_tiering, DEFAULT_STEADY_INVOCATIONS};
+use faas::FunctionSpec;
+use rfork::RestoreOptions;
+use simclock::LatencyModel;
+
+fn spec_with_rw(rw: f64) -> FunctionSpec {
+    let ro = 0.25;
+    let init = 1.0 - ro - rw;
+    FunctionSpec {
+        name: format!("synthetic-rw{:02}", (rw * 100.0) as u32),
+        footprint_mib: 128,
+        init_fraction: init,
+        readonly_fraction: ro,
+        readwrite_fraction: rw,
+        file_fraction: (init * 0.3).min(0.25),
+        ws_pages: 4_000,
+        ws_passes: 1,
+        rw_pages_per_invocation: ((128.0 * 256.0 * rw) as u64 / 2).max(64),
+        compute_ms: 30,
+        init_compute_ms: 300,
+    }
+}
+
+fn main() {
+    let model = LatencyModel::calibrated();
+    let mut rows = Vec::new();
+    for rw in [0.05f64, 0.15, 0.30, 0.45, 0.60] {
+        let spec = spec_with_rw(rw);
+        spec.validate();
+        let r = run_tiering(
+            &spec,
+            RestoreOptions::mow(),
+            &model,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+        let footprint_mib = spec.footprint_mib as f64;
+        rows.push(vec![
+            format!("{:.0}%", rw * 100.0),
+            ms(r.cold),
+            ms(r.warm),
+            pages_mib(r.local_pages),
+            format!(
+                "{:.0}%",
+                (1.0 - (r.local_pages as f64 / 256.0) / footprint_mib) * 100.0
+            ),
+        ]);
+    }
+    print_table(
+        "Write-heavy sweep (128 MiB function): CXLfork cold/warm time and child local memory vs write share",
+        &["rw-share", "cold-ms", "warm-ms", "local-MiB", "memory-saving"],
+        &rows,
+    );
+    println!("\n§8: cloning stays instant at any write share; the memory savings blunt as the");
+    println!("footprint is copy-on-written to local memory.");
+}

@@ -1,0 +1,59 @@
+//! §7.1 "Checkpoint Performance": checkpoint latency per mechanism.
+//!
+//! Paper: CRIU is one order of magnitude slower than both (it serializes
+//! data); Mitosis checkpoints ≈1.5x faster than CXLfork (local memory vs
+//! CXL memory target) — but its checkpoint cannot be shared and pins the
+//! parent node.
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench checkpoint_performance`.
+
+use cxlfork_bench::format::{ms, print_table, ratio};
+use cxlfork_bench::{run_cold_start, Scenario, DEFAULT_STEADY_INVOCATIONS};
+use simclock::LatencyModel;
+
+fn main() {
+    let model = LatencyModel::calibrated();
+    let mut rows = Vec::new();
+    let mut sums = (0.0f64, 0.0f64);
+    let mut n = 0u32;
+    for spec in faas::suite() {
+        let criu = run_cold_start(&spec, Scenario::Criu, &model, DEFAULT_STEADY_INVOCATIONS);
+        let mitosis = run_cold_start(&spec, Scenario::Mitosis, &model, DEFAULT_STEADY_INVOCATIONS);
+        let fork = run_cold_start(
+            &spec,
+            Scenario::cxlfork_default(),
+            &model,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+        sums.0 += criu.checkpoint_cost.ratio(fork.checkpoint_cost);
+        sums.1 += fork.checkpoint_cost.ratio(mitosis.checkpoint_cost);
+        n += 1;
+        rows.push(vec![
+            spec.name.clone(),
+            ms(criu.checkpoint_cost),
+            ms(mitosis.checkpoint_cost),
+            ms(fork.checkpoint_cost),
+            ratio(criu.checkpoint_cost.ratio(fork.checkpoint_cost)),
+            ratio(fork.checkpoint_cost.ratio(mitosis.checkpoint_cost)),
+            fork.checkpoint_cxl_pages.to_string(),
+        ]);
+    }
+    print_table(
+        "Checkpoint performance (ms); CXL-pages = device pages the CXLfork checkpoint occupies",
+        &[
+            "function",
+            "CRIU",
+            "Mitosis",
+            "CXLfork",
+            "CRIU/CXLfork",
+            "CXLfork/Mitosis",
+            "CXL-pages",
+        ],
+        &rows,
+    );
+    println!(
+        "\naverages: CRIU/CXLfork {:.1}x (paper ~10x); CXLfork/Mitosis {:.2}x (paper ~1.5x)",
+        sums.0 / n as f64,
+        sums.1 / n as f64
+    );
+}

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the simulator's hot paths, plus a
+//! printout of the modelled §4.2.1 fault costs.
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench fault_costs`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_mem::CxlDevice;
+use node_os::mm::Access;
+use node_os::vma::Protection;
+use node_os::{Node, NodeConfig};
+use simclock::LatencyModel;
+
+fn bench_fault_paths(c: &mut Criterion) {
+    // Print the modelled costs once, for the record (§4.2.1).
+    let m = LatencyModel::calibrated();
+    println!("modelled fault costs (simulated time):");
+    println!("  local anonymous fault : {}", m.local_anon_fault());
+    println!("  local CoW fault       : {}", m.local_cow_fault());
+    println!(
+        "  CXL CoW fault         : {} (paper ~2.5us)",
+        m.cxl_cow_fault()
+    );
+    println!("  CXL pull fault        : {}", m.cxl_pull_fault());
+    println!(
+        "  TLB shootdown         : {}ns (paper ~500ns)",
+        m.tlb_shootdown_ns
+    );
+
+    c.bench_function("sim_anon_fault", |b| {
+        let device = Arc::new(CxlDevice::with_capacity_mib(16));
+        let mut node = Node::new(NodeConfig::default().with_local_mem_mib(2048), device);
+        let pid = node.spawn("bench").unwrap();
+        node.process_mut(pid)
+            .unwrap()
+            .mm
+            .map_anonymous(0, 1 << 18, Protection::read_write(), "heap")
+            .unwrap();
+        let mut vpn = 0u64;
+        b.iter(|| {
+            node.access(pid, vpn % (1 << 18), Access::Write).unwrap();
+            vpn += 1;
+        });
+    });
+
+    c.bench_function("sim_warm_read", |b| {
+        let device = Arc::new(CxlDevice::with_capacity_mib(16));
+        let mut node = Node::new(NodeConfig::default().with_local_mem_mib(256), device);
+        let pid = node.spawn("bench").unwrap();
+        node.process_mut(pid)
+            .unwrap()
+            .mm
+            .map_anonymous(0, 1024, Protection::read_write(), "heap")
+            .unwrap();
+        for i in 0..1024 {
+            node.access(pid, i, Access::Write).unwrap();
+        }
+        let mut vpn = 0u64;
+        b.iter(|| {
+            node.access(pid, vpn % 1024, Access::Read).unwrap();
+            vpn += 1;
+        });
+    });
+
+    c.bench_function("sim_cxlfork_checkpoint_restore_float", |b| {
+        use rfork::RemoteFork;
+        let spec = faas::by_name("Float").unwrap();
+        b.iter(|| {
+            let device = Arc::new(CxlDevice::with_capacity_mib(256));
+            let rootfs = Arc::new(node_os::fs::SharedFs::new());
+            let mut n0 = Node::with_rootfs(
+                NodeConfig::default().with_id(0).with_local_mem_mib(256),
+                Arc::clone(&device),
+                Arc::clone(&rootfs),
+            );
+            let mut n1 = Node::with_rootfs(
+                NodeConfig::default().with_id(1).with_local_mem_mib(256),
+                device,
+                rootfs,
+            );
+            let (pid, _) = faas::deploy_cold(&mut n0, &spec).unwrap();
+            let fork = cxlfork::CxlFork::new();
+            let ckpt = fork.checkpoint(&mut n0, pid).unwrap();
+            let restored = fork.restore(&ckpt, &mut n1).unwrap();
+            criterion::black_box(restored.restore_latency);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fault_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 1: breakdown of each function's memory footprint into Init,
+//! Read-only and Read/Write data, measured with the A/D-bit profiler
+//! (§2.2 invokes each function 128 times; the classification converges
+//! far earlier, so this harness uses 32 to keep runtimes reasonable).
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench fig1_footprint_breakdown`.
+
+use std::sync::Arc;
+
+use cxl_mem::CxlDevice;
+use cxlfork_bench::format::print_table;
+use node_os::{Node, NodeConfig};
+
+const INVOCATIONS: u64 = 32;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut sums = (0.0f64, 0.0f64, 0.0f64);
+    let mut n = 0u32;
+    for spec in faas::suite() {
+        let device = Arc::new(CxlDevice::with_capacity_mib(64));
+        let mut node = Node::new(NodeConfig::default().with_local_mem_mib(4096), device);
+        let (pid, _) = faas::deploy_cold(&mut node, &spec).expect("deploy fits");
+        let b = faas::profile_footprint(&mut node, pid, &spec, INVOCATIONS).expect("profile");
+        let (init, ro, rw) = b.fractions();
+        sums.0 += init;
+        sums.1 += ro;
+        sums.2 += rw;
+        n += 1;
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{:.1}%", init * 100.0),
+            format!("{:.1}%", ro * 100.0),
+            format!("{:.1}%", rw * 100.0),
+            b.total().to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 1: footprint breakdown (paper averages: Init 72.2%, Read-only 23%, Read/Write 4.8%)",
+        &["function", "Init", "Read-only", "Read/Write", "pages"],
+        &rows,
+    );
+    println!(
+        "\nmeasured averages: Init {:.1}%, Read-only {:.1}%, Read/Write {:.1}%",
+        sums.0 / n as f64 * 100.0,
+        sums.1 / n as f64 * 100.0,
+        sums.2 / n as f64 * 100.0
+    );
+}

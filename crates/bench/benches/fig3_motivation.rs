@@ -1,0 +1,45 @@
+//! Figure 3c: the motivation experiment — CRIU and Mitosis latency and
+//! local-memory overhead when remote-forking a BERT instance, against a
+//! local fork.
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench fig3_motivation`.
+
+use cxlfork_bench::format::{ms, print_table, ratio};
+use cxlfork_bench::{run_cold_start, Scenario, DEFAULT_STEADY_INVOCATIONS};
+use simclock::LatencyModel;
+
+fn main() {
+    let model = LatencyModel::calibrated();
+    let bert = faas::by_name("Bert").expect("Bert in suite");
+    let scenarios = [Scenario::LocalFork, Scenario::Criu, Scenario::Mitosis];
+    let results: Vec<_> = scenarios
+        .iter()
+        .map(|s| run_cold_start(&bert, *s, &model, DEFAULT_STEADY_INVOCATIONS))
+        .collect();
+    let local = &results[0];
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                ms(r.restore),
+                ms(r.total),
+                ratio(r.total.ratio(local.total)),
+                r.local_pages.to_string(),
+                ratio(r.local_pages as f64 / local.local_pages.max(1) as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3c: BERT remote fork vs local fork (paper: CRIU restore 2.7x the local fork+exec, 42x memory; Mitosis 2.6x total, 24x memory)",
+        &["scenario", "restore-ms", "total-ms", "vs-LocalFork", "local-pages", "mem-vs-LocalFork"],
+        &rows,
+    );
+    println!(
+        "\npaper checks: CRIU restore alone vs LocalFork total = {:.2}x (paper 2.7x); \
+         Mitosis total vs LocalFork total = {:.2}x (paper 2.6x)",
+        results[1].restore.ratio(local.total),
+        results[2].total.ratio(local.total),
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 7a: end-to-end cold-start execution time under each remote-fork
+//! scenario, broken into Restore / Page Faults / Execution, plus the Cold
+//! and LocalFork reference bars.
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench fig7a_rfork_latency`.
+
+use cxlfork_bench::format::{ms, print_table, ratio};
+use cxlfork_bench::{run_cold_start, Scenario, DEFAULT_STEADY_INVOCATIONS};
+use simclock::LatencyModel;
+
+fn main() {
+    let model = LatencyModel::calibrated();
+    let scenarios = [
+        Scenario::Cold,
+        Scenario::LocalFork,
+        Scenario::Criu,
+        Scenario::Mitosis,
+        Scenario::cxlfork_default(),
+    ];
+
+    let mut rows = Vec::new();
+    // Geometric-mean accumulators of per-function ratios vs LocalFork.
+    let mut ratio_products: Vec<f64> = vec![1.0; scenarios.len()];
+    let mut n_funcs = 0u32;
+
+    for spec in faas::suite() {
+        let mut totals = Vec::new();
+        for scenario in scenarios {
+            let row = run_cold_start(&spec, scenario, &model, DEFAULT_STEADY_INVOCATIONS);
+            totals.push(row.total);
+            rows.push(vec![
+                row.function.clone(),
+                row.scenario.clone(),
+                ms(row.restore),
+                ms(row.faults),
+                ms(row.execution),
+                ms(row.total),
+                row.fault_count.to_string(),
+            ]);
+        }
+        let local_fork = totals[1];
+        for (i, t) in totals.iter().enumerate() {
+            ratio_products[i] *= t.ratio(local_fork);
+        }
+        n_funcs += 1;
+    }
+
+    print_table(
+        "Figure 7a: cold-start execution time (ms), broken down",
+        &[
+            "function",
+            "scenario",
+            "restore",
+            "page-faults",
+            "execution",
+            "total",
+            "#faults",
+        ],
+        &rows,
+    );
+
+    let gmean: Vec<f64> = ratio_products
+        .iter()
+        .map(|p| p.powf(1.0 / n_funcs as f64))
+        .collect();
+    let summary: Vec<Vec<String>> = scenarios
+        .iter()
+        .zip(&gmean)
+        .map(|(s, g)| vec![s.label(), ratio(*g)])
+        .collect();
+    print_table(
+        "Figure 7a summary: geometric-mean slowdown vs LocalFork (paper: CRIU 2.6x, Mitosis 1.5x, CXLfork 1.14x, Cold >> all)",
+        &["scenario", "vs LocalFork"],
+        &summary,
+    );
+    println!(
+        "\npaper checks: CXLfork ≈1.14x of LocalFork → measured {:.2}x;",
+        gmean[4]
+    );
+    println!(
+        "CRIU/CXLfork {:.2}x (paper 2.26x); Mitosis/CXLfork {:.2}x (paper 1.40x); Cold/CXLfork {:.1}x (paper ≈11x)",
+        gmean[2] / gmean[4],
+        gmean[3] / gmean[4],
+        gmean[0] / gmean[4]
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 7b: local memory consumed by a child function under each
+//! remote-fork scenario, normalized to Cold.
+//!
+//! The metric is the number of node-local frames the child *added* on the
+//! target node (checkpointed state that stays in CXL is free; CoW-shared
+//! and page-cache-shared frames are free).
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench fig7b_rfork_memory`.
+
+use cxlfork_bench::format::{pages_mib, print_table};
+use cxlfork_bench::{run_cold_start, Scenario, DEFAULT_STEADY_INVOCATIONS};
+use simclock::LatencyModel;
+
+fn main() {
+    let model = LatencyModel::calibrated();
+    let scenarios = [
+        Scenario::Cold,
+        Scenario::Criu,
+        Scenario::Mitosis,
+        Scenario::cxlfork_default(),
+    ];
+
+    let mut rows = Vec::new();
+    let mut sums: Vec<f64> = vec![0.0; scenarios.len()];
+    let mut n = 0u32;
+    for spec in faas::suite() {
+        let pages: Vec<u64> = scenarios
+            .iter()
+            .map(|s| run_cold_start(&spec, *s, &model, DEFAULT_STEADY_INVOCATIONS).local_pages)
+            .collect();
+        let cold = pages[0].max(1) as f64;
+        let mut row = vec![spec.name.clone()];
+        for (i, p) in pages.iter().enumerate() {
+            row.push(pages_mib(*p));
+            row.push(format!("{:.3}", *p as f64 / cold));
+            sums[i] += *p as f64 / cold;
+        }
+        rows.push(row);
+        n += 1;
+    }
+
+    print_table(
+        "Figure 7b: child local memory (MiB, and normalized to Cold)",
+        &[
+            "function",
+            "Cold MiB",
+            "=1.0",
+            "CRIU MiB",
+            "CRIU",
+            "Mitosis MiB",
+            "Mitosis",
+            "CXLfork MiB",
+            "CXLfork",
+        ],
+        &rows,
+    );
+
+    let avg: Vec<f64> = sums.iter().map(|s| s / n as f64).collect();
+    println!(
+        "\naverages normalized to Cold: CRIU {:.2}, Mitosis {:.2}, CXLfork {:.2}",
+        avg[1], avg[2], avg[3]
+    );
+    println!(
+        "paper checks: CXLfork ≈0.13 of Cold; CXLfork saves {:.0}% vs CRIU (paper 87%) and {:.0}% vs Mitosis (paper 61%)",
+        (1.0 - avg[3] / avg[1]) * 100.0,
+        (1.0 - avg[3] / avg[2]) * 100.0
+    );
+}

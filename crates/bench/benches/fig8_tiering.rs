@@ -1,0 +1,67 @@
+//! Figure 8: the three CXLfork tiering policies — migrate-on-write (MoW),
+//! migrate-on-access (MoA) and hybrid (HT) — and their trade-offs between
+//! cold execution time (a), warm execution time (b), and local memory (c).
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench fig8_tiering`.
+
+use cxlfork_bench::format::{ms, pages_mib, print_table};
+use cxlfork_bench::{run_tiering, DEFAULT_STEADY_INVOCATIONS};
+use rfork::RestoreOptions;
+use simclock::LatencyModel;
+
+fn main() {
+    let model = LatencyModel::calibrated();
+    let policies = [
+        RestoreOptions::mow(),
+        RestoreOptions::moa(),
+        RestoreOptions::hybrid(),
+    ];
+
+    let mut rows = Vec::new();
+    let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); policies.len()];
+    let mut base = Vec::new();
+    let mut n = 0u32;
+    for spec in faas::suite() {
+        let results: Vec<_> = policies
+            .iter()
+            .map(|o| run_tiering(&spec, *o, &model, DEFAULT_STEADY_INVOCATIONS))
+            .collect();
+        let mut row = vec![spec.name.clone()];
+        for r in &results {
+            row.push(ms(r.cold));
+            row.push(ms(r.warm));
+            row.push(pages_mib(r.local_pages));
+        }
+        rows.push(row);
+        let mow = &results[0];
+        base.push((mow.cold, mow.warm, mow.local_pages));
+        for (i, r) in results.iter().enumerate() {
+            sums[i].0 += r.cold.ratio(mow.cold);
+            sums[i].1 += r.warm.ratio(mow.warm);
+            sums[i].2 += r.local_pages as f64 / mow.local_pages.max(1) as f64;
+        }
+        n += 1;
+    }
+
+    print_table(
+        "Figure 8: tiering policies (cold ms / warm ms / local MiB per policy)",
+        &[
+            "function", "MoW-cold", "MoW-warm", "MoW-MiB", "MoA-cold", "MoA-warm", "MoA-MiB",
+            "HT-cold", "HT-warm", "HT-MiB",
+        ],
+        &rows,
+    );
+    let f = n as f64;
+    println!(
+        "\naverages relative to MoW  —  MoA: cold {:+.0}%, warm {:+.0}%, memory {:+.0}%  (paper: cold +14%, warm -11%, memory +250%)",
+        (sums[1].0 / f - 1.0) * 100.0,
+        (sums[1].1 / f - 1.0) * 100.0,
+        (sums[1].2 / f - 1.0) * 100.0
+    );
+    println!(
+        "                          —  HT : cold {:+.0}%, warm {:+.0}%, memory {:+.0}%  (paper: HT between MoW and MoA, biggest wins on BFS/Bert)",
+        (sums[2].0 / f - 1.0) * 100.0,
+        (sums[2].1 / f - 1.0) * 100.0,
+        (sums[2].2 / f - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 9: sensitivity of CXLfork warm (a) and cold (b) execution to
+//! the CXL device round-trip latency, swept from 400 ns down to 100 ns,
+//! relative to a local fork in an environment without CXL memory.
+//!
+//! The paper runs this sweep on SST + QEMU; here the latency is a
+//! first-class model parameter. Representative functions only, as in the
+//! paper ("we exclude functions with identical behavior").
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench fig9_latency_sensitivity`.
+
+use cxlfork_bench::format::print_table;
+use cxlfork_bench::scenarios::local_fork_warm;
+use cxlfork_bench::{run_tiering, DEFAULT_STEADY_INVOCATIONS};
+use rfork::RestoreOptions;
+use simclock::LatencyModel;
+
+const LATENCIES_NS: [u64; 4] = [100, 200, 300, 400];
+const FUNCTIONS: [&str; 5] = ["Float", "Json", "Cnn", "BFS", "Bert"];
+
+fn main() {
+    let mut warm_rows = Vec::new();
+    let mut cold_rows = Vec::new();
+    for name in FUNCTIONS {
+        let spec = faas::by_name(name).expect("known function");
+        // Baseline: local fork without CXL.
+        let base_model = LatencyModel::calibrated();
+        let (base_cold, base_warm) =
+            local_fork_warm(&spec, &base_model, DEFAULT_STEADY_INVOCATIONS);
+
+        let mut warm_row = vec![spec.name.clone()];
+        let mut cold_row = vec![spec.name.clone()];
+        for ns in LATENCIES_NS {
+            let model = LatencyModel::builder().cxl_round_trip_ns(ns).build();
+            let r = run_tiering(
+                &spec,
+                RestoreOptions::mow(),
+                &model,
+                DEFAULT_STEADY_INVOCATIONS,
+            );
+            warm_row.push(format!("{:.3}", r.warm.ratio(base_warm)));
+            cold_row.push(format!("{:.3}", r.cold.ratio(base_cold)));
+        }
+        warm_rows.push(warm_row);
+        cold_rows.push(cold_row);
+    }
+
+    print_table(
+        "Figure 9a: warm execution vs local fork, per CXL round-trip latency (paper: only BFS/Bert sensitive; penalty persists even at 200 ns)",
+        &["function", "100ns", "200ns", "300ns", "400ns"],
+        &warm_rows,
+    );
+    print_table(
+        "Figure 9b: cold execution vs local fork, per CXL round-trip latency (paper: improves as latency drops, sometimes beating local fork)",
+        &["function", "100ns", "200ns", "300ns", "400ns"],
+        &cold_rows,
+    );
+}

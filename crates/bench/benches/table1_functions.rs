@@ -1,0 +1,32 @@
+//! Table 1: the serverless function suite and its footprints.
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench table1_functions`.
+
+use cxlfork_bench::format::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = faas::suite()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{}", s.footprint_mib),
+                format!("{}", s.footprint_pages()),
+                format!("{}", s.file_pages()),
+                format!("{}", s.init_anon_pages()),
+                format!("{}", s.ro_pages()),
+                format!("{}", s.rw_pages()),
+                format!("{}", s.ws_pages),
+                format!("{}", s.ws_passes),
+                format!("{}", s.compute_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: serverless functions (paper footprints: Float 24, Linpack 33, Json 24, Pyaes 24, Chameleon 27, HTML 256, Cnn 265, Rnn 190, BFS 125, Bert 630 MB)",
+        &[
+            "function", "MB", "pages", "file", "init-anon", "ro", "rw", "ws", "passes", "compute-ms",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,100 @@
+//! §9's preliminary comparison with TrEnv (SOSP '24): "in the absence of
+//! pre-created memory templates, CXLfork remote-forks functions 1.8x
+//! faster than TrEnv on average."
+//!
+//! Three columns per function: TrEnv restoring on a node with no template
+//! (pays metadata deserialization + template materialization), TrEnv with
+//! a warm template, and CXLfork (which needs neither and shares its
+//! checkpointed OS state across all nodes).
+//!
+//! Run with `cargo bench -p cxlfork-bench --bench trenv_comparison`.
+
+use cxlfork_bench::format::{ms, print_table, ratio};
+use cxlfork_bench::{run_cold_start, Scenario, DEFAULT_STEADY_INVOCATIONS};
+use rfork::{RemoteFork, RestoreOptions};
+use simclock::LatencyModel;
+use std::sync::Arc;
+
+fn main() {
+    let model = LatencyModel::calibrated();
+    let mut rows = Vec::new();
+    let mut ratio_sum = 0.0;
+    let mut n = 0u32;
+    for spec in faas::suite() {
+        // TrEnv: dedicated cluster so templates start cold.
+        let device = Arc::new(cxl_mem::CxlDevice::with_capacity_mib(8192));
+        let rootfs = Arc::new(node_os::fs::SharedFs::new());
+        let mut src = node_os::Node::with_rootfs(
+            node_os::NodeConfig::default()
+                .with_id(0)
+                .with_local_mem_mib(4096),
+            Arc::clone(&device),
+            Arc::clone(&rootfs),
+        );
+        let mut dst = node_os::Node::with_rootfs(
+            node_os::NodeConfig::default()
+                .with_id(1)
+                .with_local_mem_mib(4096),
+            device,
+            rootfs,
+        );
+        let (pid, _) = faas::deploy_cold(&mut src, &spec).expect("deploy fits");
+        faas::warm_for_checkpoint(&mut src, pid, &spec, DEFAULT_STEADY_INVOCATIONS).expect("warm");
+        let trenv = trenv_cxl::TrEnvCxl::new();
+        let ckpt = trenv.checkpoint(&mut src, pid).expect("checkpoint fits");
+        let frames_before = dst.frames().used();
+        let cold_restore = trenv.restore(&ckpt, &mut dst).expect("restore fits");
+        let template_pages = dst.frames().used() - frames_before;
+        let warm_restore = trenv.restore(&ckpt, &mut dst).expect("restore fits");
+
+        // CXLfork on a fresh cluster. The comparison is the pure remote-
+        // fork operation, so dirty prefetch (an execution optimization)
+        // is disabled.
+        let fork = run_cold_start(
+            &spec,
+            Scenario::CxlFork(RestoreOptions {
+                policy: rfork::TierPolicy::MigrateOnWrite,
+                prefetch_dirty: false,
+                sync_hot_prefetch: false,
+            }),
+            &model,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+
+        let speedup = cold_restore.restore_latency.ratio(fork.restore);
+        ratio_sum += speedup.ln();
+        n += 1;
+        rows.push(vec![
+            spec.name.clone(),
+            ms(cold_restore.restore_latency),
+            ms(warm_restore.restore_latency),
+            ms(fork.restore),
+            ratio(speedup),
+            template_pages.to_string(),
+        ]);
+    }
+    print_table(
+        "TrEnv-CXL vs CXLfork restore latency (ms); template-pages = idle local frames TrEnv pins per node per function",
+        &[
+            "function",
+            "TrEnv-no-template",
+            "TrEnv-warm",
+            "CXLfork",
+            "CXLfork-speedup",
+            "template-pages",
+        ],
+        &rows,
+    );
+    println!(
+        "\ngeometric-mean CXLfork restore speedup over template-less TrEnv: {:.2}x (paper reports 1.8x on average)",
+        (ratio_sum / n as f64).exp()
+    );
+    println!(
+        "our speedup overshoots the paper's for large functions because the modelled template"
+    );
+    println!(
+        "build is pure metadata decoding, while real TrEnv amortizes parts of it; the direction"
+    );
+    println!("and the per-node template memory cost are the architectural point (§9).");
+    println!("CXLfork needs no per-node pre-processing and pins no idle local structures.");
+}

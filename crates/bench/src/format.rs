@@ -1,0 +1,59 @@
+//! Fixed-width table printing for paper-style output.
+
+/// Prints a titled, fixed-width table to stdout.
+///
+/// # Example
+///
+/// ```
+/// cxlfork_bench::format::print_table(
+///     "Demo",
+///     &["function", "ms"],
+///     &[vec!["Float".into(), "14.0".into()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        s
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", line(&header_cells));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Formats a duration as fractional milliseconds with 3 digits.
+pub fn ms(d: simclock::SimDuration) -> String {
+    format!("{:.3}", d.as_millis_f64())
+}
+
+/// Formats a ratio with 2 digits and an `x` suffix.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats a page count as MiB.
+pub fn pages_mib(pages: u64) -> String {
+    format!("{:.1}", pages as f64 * 4096.0 / 1048576.0)
+}

@@ -1,0 +1,33 @@
+//! Experiment harness for the CXLfork reproduction.
+//!
+//! Each table and figure in the paper's evaluation has a dedicated bench
+//! target (`cargo bench -p cxlfork-bench --bench <name>`) that regenerates
+//! the corresponding rows/series. This library holds the shared scenario
+//! runners and table formatting; the bench binaries are thin drivers.
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `table1_functions` | Table 1 (function suite) |
+//! | `fig1_footprint_breakdown` | Fig. 1 (Init / RO / RW composition) |
+//! | `fig3_motivation` | Fig. 3c (CRIU & Mitosis vs local fork, BERT) |
+//! | `fig6_coldstart_breakdown` | Fig. 6 (state init vs container creation) |
+//! | `fig7a_rfork_latency` | Fig. 7a (cold-start latency breakdown) |
+//! | `fig7b_rfork_memory` | Fig. 7b (local memory, normalized to Cold) |
+//! | `fig8_tiering` | Fig. 8 (MoW / MoA / HT trade-offs) |
+//! | `fig9_latency_sensitivity` | Fig. 9 (CXL latency sweep) |
+//! | `fig10ab_porter_abundant` | Fig. 10a–b (CXLporter, ample memory) |
+//! | `fig10c_porter_constrained` | Fig. 10c (50 % / 25 % memory) |
+//! | `checkpoint_performance` | §7.1 checkpoint-latency comparison |
+//! | `ablation_restore` | §4.2.1 attach-vs-copy restore ablation |
+//! | `ablation_prefetch` | §4.2.1 dirty-prefetch ablation |
+//! | `fault_costs` | §4.2.1 fault microcosts (criterion) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod scenarios;
+
+pub use scenarios::{
+    run_cold_start, run_tiering, ColdStartRow, Scenario, TieringRow, DEFAULT_STEADY_INVOCATIONS,
+};

@@ -1,0 +1,298 @@
+//! Shared experiment scenarios.
+//!
+//! The evaluation's unit experiment (§6.2 "Performance of CXLfork") is:
+//! deploy a function on a source node, invoke it until steady state
+//! (checkpoint after the 16th invocation, §5), checkpoint it, then
+//! remote-fork it to a *different* node to serve an incoming request and
+//! measure the cold-start execution (restore + page faults + execution)
+//! and the local memory the child consumes. Functions run unsandboxed
+//! (no containers) in these scenarios, exactly as in §6.2.
+
+use std::sync::Arc;
+
+use criu_cxl::CriuCxl;
+use cxl_mem::{CxlDevice, CxlFs};
+use cxlfork::CxlFork;
+use faas::FunctionSpec;
+use mitosis_cxl::MitosisCxl;
+use node_os::fs::SharedFs;
+use node_os::{Node, NodeConfig};
+use rfork::{RemoteFork, RestoreOptions};
+use simclock::{LatencyModel, SimDuration};
+
+/// Steady-state invocations before checkpointing (the paper checkpoints
+/// after the 16th invocation: 1 warm-up + 15 steady).
+pub const DEFAULT_STEADY_INVOCATIONS: u64 = 15;
+
+/// A cold-start scenario from Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Vanilla cold start on the target node.
+    Cold,
+    /// Local fork from a warm parent on the target node.
+    LocalFork,
+    /// CRIU adapted to a CXL shared filesystem.
+    Criu,
+    /// Mitosis adapted to CXL page copies.
+    Mitosis,
+    /// CXLfork with the given restore options.
+    CxlFork(RestoreOptions),
+}
+
+impl Scenario {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::Cold => "Cold".into(),
+            Scenario::LocalFork => "LocalFork".into(),
+            Scenario::Criu => "CRIU-CXL".into(),
+            Scenario::Mitosis => "Mitosis-CXL".into(),
+            Scenario::CxlFork(o) => format!("CXLfork-{}", o.policy),
+        }
+    }
+
+    /// The default CXLfork scenario (MoW + dirty prefetch).
+    pub fn cxlfork_default() -> Scenario {
+        Scenario::CxlFork(RestoreOptions::mow())
+    }
+}
+
+/// One row of the Fig. 7 experiments.
+#[derive(Debug, Clone)]
+pub struct ColdStartRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Function name.
+    pub function: String,
+    /// Restore (or init/fork) phase latency.
+    pub restore: SimDuration,
+    /// Page-fault portion of the first invocation.
+    pub faults: SimDuration,
+    /// Remaining execution (memory + compute).
+    pub execution: SimDuration,
+    /// End-to-end cold-start execution time.
+    pub total: SimDuration,
+    /// Local frames the child added on the target node.
+    pub local_pages: u64,
+    /// Faults taken during the invocation.
+    pub fault_count: u64,
+    /// Checkpoint cost (zero for Cold/LocalFork).
+    pub checkpoint_cost: SimDuration,
+    /// CXL device pages the checkpoint occupies.
+    pub checkpoint_cxl_pages: u64,
+}
+
+fn two_node_cluster(model: &LatencyModel) -> (Vec<Node>, Arc<CxlDevice>, Arc<SharedFs>) {
+    let device = Arc::new(CxlDevice::with_capacity_mib(8192));
+    let rootfs = Arc::new(SharedFs::new());
+    let nodes = (0..2)
+        .map(|i| {
+            Node::with_rootfs(
+                NodeConfig::default()
+                    .with_id(i)
+                    .with_local_mem_mib(4096)
+                    .with_model(model.clone()),
+                Arc::clone(&device),
+                Arc::clone(&rootfs),
+            )
+        })
+        .collect();
+    (nodes, device, rootfs)
+}
+
+/// Deploys + warms a parent on `node`, returning its pid.
+fn warm_parent(node: &mut Node, spec: &FunctionSpec, steady: u64) -> node_os::Pid {
+    let (pid, _) = faas::deploy_cold(node, spec).expect("parent deployment fits the node");
+    faas::warm_for_checkpoint(node, pid, spec, steady).expect("warm-up fits the node");
+    pid
+}
+
+/// Runs one Fig. 7 cold-start scenario for `spec` with `steady`
+/// pre-checkpoint invocations, under `model`.
+pub fn run_cold_start(
+    spec: &FunctionSpec,
+    scenario: Scenario,
+    model: &LatencyModel,
+    steady: u64,
+) -> ColdStartRow {
+    let (mut nodes, device, _rootfs) = two_node_cluster(model);
+    let mut node1 = nodes.pop().expect("two nodes");
+    let mut node0 = nodes.pop().expect("two nodes");
+
+    match scenario {
+        Scenario::Cold => {
+            let before = node1.frames().used();
+            let (pid, init) = faas::deploy_cold(&mut node1, spec).expect("cold deploy fits");
+            let r = faas::run_invocation(&mut node1, pid, spec, 0).expect("invocation");
+            ColdStartRow {
+                scenario: scenario.label(),
+                function: spec.name.clone(),
+                restore: init.total,
+                faults: r.fault,
+                execution: r.total - r.fault,
+                total: init.total + r.total,
+                local_pages: node1.frames().used() - before,
+                fault_count: r.faults,
+                checkpoint_cost: SimDuration::ZERO,
+                checkpoint_cxl_pages: 0,
+            }
+        }
+        Scenario::LocalFork => {
+            let parent = warm_parent(&mut node1, spec, steady);
+            let before = node1.frames().used();
+            let (child, fork_cost) = node1.local_fork(parent).expect("fork");
+            let r = faas::run_invocation(&mut node1, child, spec, 0).expect("invocation");
+            ColdStartRow {
+                scenario: scenario.label(),
+                function: spec.name.clone(),
+                restore: fork_cost,
+                faults: r.fault,
+                execution: r.total - r.fault,
+                total: fork_cost + r.total,
+                local_pages: node1.frames().used() - before,
+                fault_count: r.faults,
+                checkpoint_cost: SimDuration::ZERO,
+                checkpoint_cxl_pages: 0,
+            }
+        }
+        Scenario::Criu => {
+            let parent = warm_parent(&mut node0, spec, steady);
+            let criu = CriuCxl::new(Arc::new(CxlFs::new(Arc::clone(&device))));
+            let ckpt = criu
+                .checkpoint(&mut node0, parent)
+                .expect("checkpoint fits CXL");
+            finish_rfork(
+                &criu,
+                &ckpt,
+                &mut node1,
+                spec,
+                scenario,
+                RestoreOptions::default(),
+            )
+        }
+        Scenario::Mitosis => {
+            let parent = warm_parent(&mut node0, spec, steady);
+            let mitosis = MitosisCxl::new();
+            let ckpt = mitosis.checkpoint(&mut node0, parent).expect("checkpoint");
+            finish_rfork(
+                &mitosis,
+                &ckpt,
+                &mut node1,
+                spec,
+                scenario,
+                RestoreOptions::default(),
+            )
+        }
+        Scenario::CxlFork(options) => {
+            let parent = warm_parent(&mut node0, spec, steady);
+            let fork = CxlFork::new();
+            let ckpt = fork
+                .checkpoint(&mut node0, parent)
+                .expect("checkpoint fits CXL");
+            finish_rfork(&fork, &ckpt, &mut node1, spec, scenario, options)
+        }
+    }
+}
+
+fn finish_rfork<M: RemoteFork>(
+    mech: &M,
+    ckpt: &M::Checkpoint,
+    node1: &mut Node,
+    spec: &FunctionSpec,
+    scenario: Scenario,
+    options: RestoreOptions,
+) -> ColdStartRow {
+    let before = node1.frames().used();
+    let restored = mech
+        .restore_with(ckpt, node1, options)
+        .expect("restore fits");
+    let r = faas::run_invocation(node1, restored.pid, spec, 0).expect("invocation");
+    let meta = mech.meta(ckpt);
+    ColdStartRow {
+        scenario: scenario.label(),
+        function: spec.name.clone(),
+        restore: restored.restore_latency,
+        faults: r.fault,
+        execution: r.total - r.fault,
+        total: restored.restore_latency + r.total,
+        local_pages: node1.frames().used() - before,
+        fault_count: r.faults,
+        checkpoint_cost: meta.checkpoint_cost,
+        checkpoint_cxl_pages: meta.cxl_pages,
+    }
+}
+
+/// One row of the Fig. 8 / Fig. 9 tiering experiments.
+#[derive(Debug, Clone)]
+pub struct TieringRow {
+    /// Policy label.
+    pub policy: String,
+    /// Function name.
+    pub function: String,
+    /// Cold execution time (restore + first invocation).
+    pub cold: SimDuration,
+    /// Warm execution time (steady-state invocation after cache warm-up).
+    pub warm: SimDuration,
+    /// Local frames consumed after the warm-up invocations.
+    pub local_pages: u64,
+}
+
+/// Runs the Fig. 8 tiering experiment: restore with `options`, measure
+/// cold execution, then warm execution as the 4th invocation.
+pub fn run_tiering(
+    spec: &FunctionSpec,
+    options: RestoreOptions,
+    model: &LatencyModel,
+    steady: u64,
+) -> TieringRow {
+    let (mut nodes, _device, _rootfs) = two_node_cluster(model);
+    let mut node1 = nodes.pop().expect("two nodes");
+    let mut node0 = nodes.pop().expect("two nodes");
+    let parent = warm_parent(&mut node0, spec, steady);
+    let fork = CxlFork::new();
+    let ckpt = fork
+        .checkpoint(&mut node0, parent)
+        .expect("checkpoint fits CXL");
+
+    let before = node1.frames().used();
+    let restored = fork
+        .restore_with(&ckpt, &mut node1, options)
+        .expect("restore fits");
+    let r0 = faas::run_invocation(&mut node1, restored.pid, spec, 0).expect("invocation");
+    let cold = restored.restore_latency + r0.total;
+    for i in 1..3 {
+        faas::run_invocation(&mut node1, restored.pid, spec, i).expect("invocation");
+    }
+    let warm = faas::run_invocation(&mut node1, restored.pid, spec, 3)
+        .expect("invocation")
+        .total;
+    TieringRow {
+        policy: options.policy.to_string(),
+        function: spec.name.clone(),
+        cold,
+        warm,
+        local_pages: node1.frames().used() - before,
+    }
+}
+
+/// The warm execution time of a locally forked child (the "local fork in
+/// an environment without CXL memory" baseline of Fig. 9).
+pub fn local_fork_warm(
+    spec: &FunctionSpec,
+    model: &LatencyModel,
+    steady: u64,
+) -> (SimDuration, SimDuration) {
+    let (mut nodes, _device, _rootfs) = two_node_cluster(model);
+    let mut node1 = nodes.pop().expect("two nodes");
+    let parent = warm_parent(&mut node1, spec, steady);
+    let (child, fork_cost) = node1.local_fork(parent).expect("fork");
+    let r0 = faas::run_invocation(&mut node1, child, spec, 0).expect("invocation");
+    let cold = fork_cost + r0.total;
+    for i in 1..3 {
+        faas::run_invocation(&mut node1, child, spec, i).expect("invocation");
+    }
+    let warm = faas::run_invocation(&mut node1, child, spec, 3)
+        .expect("invocation")
+        .total;
+    (cold, warm)
+}

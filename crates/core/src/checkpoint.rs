@@ -1,0 +1,344 @@
+//! CXLfork checkpoint: copy process state to CXL memory and rebase it.
+//!
+//! Following §4.1, the checkpoint distinguishes *private* state — the task
+//! structure, the memory descriptor (VMA tree + page tables), CPU
+//! registers, and the process's private pages **including clean private
+//! file mappings** — from *global* state (open files, namespaces). Private
+//! state is copied to CXL memory as-is with streaming non-temporal stores
+//! and then **rebased**: every pointer in the copied structures is
+//! rewritten to a machine-independent CXL device page number, so any OS
+//! instance in the cluster can attach and dereference it. Global state is
+//! lightly serialized (paths and permissions only).
+//!
+//! The checkpointed page-table leaves preserve the parent's Accessed and
+//! Dirty bits (harvested from the runtime A-bit bitmap), which later
+//! drive dirty-page prefetch (§4.2.1) and hybrid tiering (§4.3).
+
+use std::sync::Arc;
+
+use cxl_mem::{CxlPageId, RegionId, PAGE_SIZE};
+use node_os::addr::{PhysAddr, Pid, VirtPageNum};
+use node_os::mm::{BackingPage, BackingSource, CxlBacking};
+use node_os::page_table::PtLeaf;
+use node_os::process::{FileDescriptor, Registers};
+use node_os::pte::{Pte, PteFlags};
+use node_os::vma::VmaBlock;
+use node_os::Node;
+use rfork::wire::{ImageReader, ImageWriter};
+use rfork::{CheckpointMeta, RforkError};
+use simclock::SimDuration;
+
+/// Magic of the lightly-serialized global-state record.
+pub const GLOBAL_STATE_MAGIC: u32 = 0xCF0C_0001;
+
+/// The task's private state, checkpointed as-is (a bitwise copy in CXL
+/// memory; no serialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskImage {
+    /// Command name.
+    pub comm: String,
+    /// CPU context, restored verbatim.
+    pub regs: Registers,
+    /// Checkpointed PID namespace (§4.1: one of the two namespace kinds
+    /// CXLfork checkpoints).
+    pub pid_ns: u64,
+    /// Checkpointed mount namespace.
+    pub mount_ns: u64,
+}
+
+/// One checkpointed page-table leaf resident in CXL memory.
+#[derive(Debug, Clone)]
+pub struct CkptLeaf {
+    /// Position in the page table (`vpn >> 9`).
+    pub leaf_index: u64,
+    /// The rebased, immutable leaf. Its runtime A bits and hot-hint bits
+    /// stay writable for working-set monitoring (§4.3).
+    pub leaf: Arc<PtLeaf>,
+    /// The device page physically holding the leaf.
+    pub backing: CxlPageId,
+}
+
+/// A CXLfork checkpoint: rebased OS structures plus process pages, all
+/// resident in one CXL region.
+#[derive(Debug)]
+pub struct CxlForkCheckpoint {
+    pub(crate) meta: CheckpointMeta,
+    /// The device region holding every checkpoint page.
+    pub region: RegionId,
+    /// Private task state.
+    pub task: TaskImage,
+    /// Lightly-serialized global state (fd paths + permissions).
+    pub(crate) global_bytes: Vec<u8>,
+    /// Checkpointed VMA-tree leaf blocks, in address order.
+    pub vma_blocks: Vec<(Arc<VmaBlock>, CxlPageId)>,
+    /// Checkpointed page-table leaves, in address order.
+    pub leaves: Vec<CkptLeaf>,
+    /// Prebuilt vpn → device-page map for pull-based restores.
+    pub(crate) backing: Arc<CxlBacking>,
+    /// Checkpointed data pages.
+    pub data_pages: u64,
+    /// Pages whose checkpointed D bit is set.
+    pub dirty_pages: u64,
+    /// Pages whose checkpointed A bit is set.
+    pub accessed_pages: u64,
+}
+
+impl CxlForkCheckpoint {
+    /// Checkpoint metadata.
+    pub fn meta(&self) -> &CheckpointMeta {
+        &self.meta
+    }
+
+    /// Iterates `(vpn, pte)` over every checkpointed page entry.
+    pub fn iter_pages(&self) -> impl Iterator<Item = (VirtPageNum, Pte)> + '_ {
+        self.leaves.iter().flat_map(|l| {
+            l.leaf
+                .iter_populated()
+                .map(move |(slot, pte)| (VirtPageNum((l.leaf_index << 9) | slot as u64), pte))
+        })
+    }
+}
+
+/// Encodes the global state (open fds) for light serialization.
+pub(crate) fn encode_global_state(fds: &[FileDescriptor]) -> Vec<u8> {
+    let mut w = ImageWriter::new(GLOBAL_STATE_MAGIC);
+    w.put_u32(fds.len() as u32);
+    for fd in fds {
+        w.put_str(&fd.path);
+        w.put_u64(fd.offset);
+        w.put_bool(fd.writable);
+    }
+    w.into_bytes()
+}
+
+/// Decodes the global-state record.
+pub(crate) fn decode_global_state(bytes: &[u8]) -> Result<Vec<FileDescriptor>, RforkError> {
+    let mut r = ImageReader::new(bytes, GLOBAL_STATE_MAGIC)?;
+    let n = r.get_u32()? as usize;
+    let mut fds = Vec::with_capacity(n);
+    for _ in 0..n {
+        fds.push(FileDescriptor {
+            path: r.get_str()?.to_owned(),
+            offset: r.get_u64()?,
+            writable: r.get_bool()?,
+        });
+    }
+    Ok(fds)
+}
+
+/// Takes a CXLfork checkpoint of `pid` on `node`.
+///
+/// Returns the checkpoint and charges the modelled cost to the node's
+/// clock.
+pub(crate) fn take_checkpoint(
+    node: &mut Node,
+    pid: Pid,
+    checkpoint_seq: u64,
+) -> Result<CxlForkCheckpoint, RforkError> {
+    let node_id = node.id();
+    let model = node.model().clone();
+
+    // ---- Gather source state (read-only walk). ----
+    struct SourceLeaf {
+        leaf_index: u64,
+        harvested: PtLeaf,
+    }
+    let (task, fds, src_leaves, vma_block_images, footprint_pages) = {
+        let process = node.process(pid)?;
+        // §4.1: CXLfork does not support shared anonymous memory.
+        if let Some(vma) = process
+            .mm
+            .vmas
+            .iter()
+            .find(|v| v.kind.is_shared_anonymous())
+        {
+            return Err(RforkError::Unsupported(format!(
+                "shared anonymous mapping at vpn{:#x} (§4.1)",
+                vma.start
+            )));
+        }
+        let task = TaskImage {
+            comm: process.task.comm.clone(),
+            regs: process.task.regs,
+            pid_ns: process.task.ns.pid_ns,
+            mount_ns: process.task.ns.mount_ns,
+        };
+        let fds: Vec<FileDescriptor> = process.task.fds.iter().map(|(_, d)| d.clone()).collect();
+
+        let mut src_leaves = Vec::new();
+        let mut footprint_pages = 0u64;
+        for (leaf_index, slot) in process.mm.page_table.leaves() {
+            // Fold the runtime A bits into entry flags: the checkpoint
+            // records the parent's access pattern (§4.1).
+            let harvested = match slot {
+                node_os::page_table::LeafSlot::Local(l) => l.harvested(),
+                node_os::page_table::LeafSlot::Attached(a) => a.leaf.harvested(),
+            };
+            footprint_pages += harvested.present_count() as u64;
+            src_leaves.push(SourceLeaf {
+                leaf_index,
+                harvested,
+            });
+        }
+
+        // VMA tree leaves: copy the blocks as-is.
+        let vma_block_images: Vec<VmaBlock> = process
+            .mm
+            .vmas
+            .blocks()
+            .iter()
+            .map(|slot| match slot {
+                node_os::vma::VmaBlockSlot::Local(b) => b.clone(),
+                node_os::vma::VmaBlockSlot::Attached { block, .. } => (**block).clone(),
+            })
+            .filter(|b| !b.is_empty())
+            .collect();
+        (task, fds, src_leaves, vma_block_images, footprint_pages)
+    };
+
+    // ---- Copy pages + metadata into a fresh CXL region. ----
+    // The guard destroys the region if any allocation below fails, so a
+    // failed checkpoint never leaks device pages.
+    let device = Arc::clone(node.device());
+    let guard = device.create_region_guarded(&format!("cxlfork:{}#{}", task.comm, checkpoint_seq));
+    let region = guard.id();
+
+    let mut leaves = Vec::with_capacity(src_leaves.len());
+    let mut backing = CxlBacking::new();
+    let mut data_pages = 0u64;
+    let mut dirty_pages = 0u64;
+    let mut accessed_pages = 0u64;
+    let mut rebased_pointers = 0u64;
+
+    for src in &src_leaves {
+        let mut ckpt_leaf = PtLeaf::new();
+        for (slot, pte) in src.harvested.iter_populated() {
+            if !pte.is_present() {
+                continue; // armed entries re-arm against the new checkpoint via backing
+            }
+            let vpn = VirtPageNum((src.leaf_index << 9) | slot as u64);
+            // Copy the page content to a fresh device page.
+            let data = match pte.target().expect("present pte") {
+                PhysAddr::Local(pfn) => node.frames().data(pfn).clone(),
+                PhysAddr::Cxl(page) => device.read_page(page, node_id)?,
+            };
+            let dst = device.alloc_page(region)?;
+            device.write_page(dst, data, node_id)?;
+            data_pages += 1;
+
+            // REBASE: rewrite the entry to the machine-independent CXL
+            // page number, read-only + CoW + checkpoint-pinned, keeping
+            // the FILE / ACCESSED / DIRTY record bits.
+            let mut flags = PteFlags::PRESENT | PteFlags::COW | PteFlags::CKPT_PIN;
+            if pte.flags().contains(PteFlags::FILE) {
+                flags |= PteFlags::FILE;
+            }
+            if pte.is_accessed() {
+                flags |= PteFlags::ACCESSED;
+                accessed_pages += 1;
+            }
+            if pte.is_dirty() {
+                flags |= PteFlags::DIRTY;
+                dirty_pages += 1;
+            }
+            ckpt_leaf.set(slot, Pte::mapped(PhysAddr::Cxl(dst), flags));
+            rebased_pointers += 1;
+
+            backing.insert(
+                vpn,
+                BackingPage {
+                    source: BackingSource::Device(dst),
+                    accessed: pte.is_accessed(),
+                    dirty: pte.is_dirty(),
+                    file_backed: pte.flags().contains(PteFlags::FILE),
+                },
+            );
+        }
+        if ckpt_leaf.populated_count() == 0 {
+            continue;
+        }
+        // One device page physically stores the 512-entry leaf.
+        let leaf_backing = device.alloc_page(region)?;
+        leaves.push(CkptLeaf {
+            leaf_index: src.leaf_index,
+            leaf: Arc::new(ckpt_leaf),
+            backing: leaf_backing,
+        });
+    }
+
+    // VMA blocks: one device page each, plus a rebased pointer per VMA.
+    let mut vma_blocks = Vec::with_capacity(vma_block_images.len());
+    let mut vma_count = 0usize;
+    for block in vma_block_images {
+        let backing_page = device.alloc_page(region)?;
+        vma_count += block.len();
+        rebased_pointers += block.len() as u64;
+        vma_blocks.push((Arc::new(block), backing_page));
+    }
+
+    // Task image: one device page.
+    let task_backing = device.alloc_page(region)?;
+    let _ = task_backing;
+
+    // Global state: light serialization of fd paths + permissions.
+    let global_bytes = encode_global_state(&fds);
+
+    // ---- Cost model (§4.1, §8): streaming non-temporal copies + rebase.
+    let copied_bytes = (data_pages + leaves.len() as u64 + vma_blocks.len() as u64 + 1) * PAGE_SIZE;
+    let cost = model.cxl_write_copy(copied_bytes)
+        + SimDuration::from_nanos(model.rebase_pointer_ns) * rebased_pointers
+        + model.serialize(global_bytes.len() as u64);
+    node.clock_mut().advance(cost);
+    node.counters_note("cxlfork_checkpoint");
+
+    let region_usage = device.region_usage(region)?;
+    let region = guard.commit();
+    Ok(CxlForkCheckpoint {
+        meta: CheckpointMeta {
+            comm: task.comm.clone(),
+            footprint_pages,
+            cxl_pages: region_usage.pages,
+            created_at: node.now(),
+            checkpoint_cost: cost,
+            vma_count,
+        },
+        region,
+        task,
+        global_bytes,
+        vma_blocks,
+        leaves,
+        backing: Arc::new(backing),
+        data_pages,
+        dirty_pages,
+        accessed_pages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_state_roundtrip() {
+        let fds = vec![
+            FileDescriptor {
+                path: "/a".into(),
+                offset: 1,
+                writable: true,
+            },
+            FileDescriptor {
+                path: "/b/c".into(),
+                offset: 0,
+                writable: false,
+            },
+        ];
+        let bytes = encode_global_state(&fds);
+        assert_eq!(decode_global_state(&bytes).unwrap(), fds);
+    }
+
+    #[test]
+    fn corrupt_global_state_rejected() {
+        let bytes = encode_global_state(&[]);
+        assert!(decode_global_state(&bytes[..3]).is_err());
+    }
+}

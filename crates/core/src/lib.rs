@@ -1,0 +1,661 @@
+//! # CXLfork — fast remote fork over CXL fabrics
+//!
+//! A reproduction of *CXLfork: Fast Remote Fork over CXL Fabrics*
+//! (ASPLOS '25). CXLfork is a remote-fork interface that realizes close to
+//! **zero-serialization, zero-copy** process cloning across the nodes of a
+//! CXL-interconnected cluster:
+//!
+//! * **Checkpoint** (§4.1): process data *and* OS-maintained state (page
+//!   tables, VMA tree, task structure) are copied as-is into shared CXL
+//!   memory with streaming non-temporal stores, then **rebased** — every
+//!   internal pointer is rewritten to a machine-independent CXL device
+//!   page number so any OS instance can remap and dereference the
+//!   structures. Clean private file mappings (libraries) are checkpointed
+//!   too, trading checkpoint size for restore performance. Only genuinely
+//!   global state (open fds, namespaces) is lightly serialized.
+//! * **Restore** (§4.2): instead of copying, the target node allocates
+//!   only the *upper levels* of the page-table and VMA trees and
+//!   **attaches** the checkpointed leaves, restoring OS state in near
+//!   constant time. The process resumes immediately; reads are served
+//!   straight from CXL (and cached by the local LLC), writes take
+//!   migrate-on-write CoW faults. Checkpoint-dirty pages can be
+//!   opportunistically prefetched, since children overwhelmingly re-write
+//!   what the parent wrote (§4.2.1).
+//! * **Sharing & deduplication**: every instance cloned from the same
+//!   checkpoint — on any node — maps the same CXL pages and the same
+//!   page-table/VMA leaves, deduplicating function state cluster-wide
+//!   (Fig. 7b: ≈13 % of a cold start's local memory).
+//! * **Tiering** (§4.3): the [`rfork::TierPolicy`] knob selects
+//!   migrate-on-write (default), migrate-on-access, or hybrid A-bit-guided
+//!   placement, and [`tiering`] exposes the working-set monitoring and
+//!   user hot-hint interfaces that drive dynamic policy switching.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cxl_mem::CxlDevice;
+//! use cxlfork::CxlFork;
+//! use node_os::{Node, NodeConfig, fs::SharedFs, mm::Access, vma::Protection};
+//! use rfork::{RemoteFork, RestoreOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let device = Arc::new(CxlDevice::with_capacity_mib(64));
+//! let rootfs = Arc::new(SharedFs::new());
+//! let mut node0 = Node::with_rootfs(NodeConfig::default().with_id(0), Arc::clone(&device), Arc::clone(&rootfs));
+//! let mut node1 = Node::with_rootfs(NodeConfig::default().with_id(1), Arc::clone(&device), rootfs);
+//!
+//! // A process with some written state on node 0 ...
+//! let pid = node0.spawn("fn")?;
+//! node0.process_mut(pid)?.mm.map_anonymous(0, 32, Protection::read_write(), "heap")?;
+//! for i in 0..32 { node0.access(pid, i, Access::Write)?; }
+//!
+//! // ... checkpointed once, restored (zero-copy) on node 1.
+//! let cxlfork = CxlFork::new();
+//! let ckpt = cxlfork.checkpoint(&mut node0, pid)?;
+//! let child = cxlfork.restore_with(&ckpt, &mut node1, RestoreOptions::mow())?;
+//! assert!(child.restore_latency.as_millis() < 10, "near-constant-time restore");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod restore;
+pub mod tiering;
+
+pub use checkpoint::{CkptLeaf, CxlForkCheckpoint, TaskImage, GLOBAL_STATE_MAGIC};
+pub use tiering::WorkingSetEstimate;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use node_os::addr::Pid;
+use node_os::Node;
+use rfork::{CheckpointMeta, RemoteFork, RestoreOptions, Restored, RforkError};
+
+/// The CXLfork mechanism.
+#[derive(Debug, Default)]
+pub struct CxlFork {
+    next_seq: AtomicU64,
+}
+
+impl CxlFork {
+    /// Creates the mechanism.
+    pub fn new() -> Self {
+        CxlFork::default()
+    }
+
+    /// Deletes a checkpoint, freeing its CXL region (CXLporter's
+    /// reclamation path, §5).
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::Cxl`] if the region is already gone.
+    pub fn release(&self, checkpoint: CxlForkCheckpoint, node: &Node) -> Result<u64, RforkError> {
+        Ok(node.device().destroy_region(checkpoint.region)?)
+    }
+}
+
+impl RemoteFork for CxlFork {
+    type Checkpoint = CxlForkCheckpoint;
+
+    fn name(&self) -> &'static str {
+        "CXLfork"
+    }
+
+    fn checkpoint(&self, node: &mut Node, pid: Pid) -> Result<CxlForkCheckpoint, RforkError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        checkpoint::take_checkpoint(node, pid, seq)
+    }
+
+    fn restore_with(
+        &self,
+        checkpoint: &CxlForkCheckpoint,
+        node: &mut Node,
+        options: RestoreOptions,
+    ) -> Result<Restored, RforkError> {
+        restore::restore(checkpoint, node, options)
+    }
+
+    /// CXLfork's default restore uses migrate-on-write with dirty-page
+    /// prefetch (§4.2.1, §4.3).
+    fn restore(
+        &self,
+        checkpoint: &CxlForkCheckpoint,
+        node: &mut Node,
+    ) -> Result<Restored, RforkError> {
+        self.restore_with(checkpoint, node, RestoreOptions::mow())
+    }
+
+    fn meta<'c>(&self, checkpoint: &'c CxlForkCheckpoint) -> &'c CheckpointMeta {
+        &checkpoint.meta
+    }
+
+    /// CXLfork restores consume only what the policy migrates: the dirty
+    /// pages under MoW prefetch, the hot pages under hybrid, or the full
+    /// footprint (lazily) under MoA.
+    fn restore_memory_estimate(
+        &self,
+        checkpoint: &CxlForkCheckpoint,
+        options: RestoreOptions,
+    ) -> u64 {
+        match options.policy {
+            rfork::TierPolicy::MigrateOnWrite => {
+                if options.prefetch_dirty {
+                    checkpoint.dirty_pages
+                } else {
+                    checkpoint.dirty_pages / 2
+                }
+            }
+            rfork::TierPolicy::Hybrid => checkpoint.accessed_pages + checkpoint.dirty_pages,
+            rfork::TierPolicy::MigrateOnAccess => checkpoint.meta.footprint_pages,
+        }
+    }
+
+    /// Periodic A-bit reset for continuous working-set re-estimation
+    /// (§4.3, §5).
+    fn maintain(&self, checkpoint: &CxlForkCheckpoint) {
+        checkpoint.reset_access_bits();
+    }
+
+    fn release_checkpoint(
+        &self,
+        checkpoint: CxlForkCheckpoint,
+        node: &Node,
+    ) -> Result<u64, RforkError> {
+        self.release(checkpoint, node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_mem::{CxlDevice, PAGE_SIZE};
+    use node_os::addr::{PhysAddr, VirtPageNum};
+    use node_os::fs::SharedFs;
+    use node_os::mm::{Access, CxlTierPolicy, FaultKind};
+    use node_os::process::Registers;
+    use node_os::vma::Protection;
+    use node_os::NodeConfig;
+    use simclock::SimDuration;
+    use std::sync::Arc;
+
+    struct Cluster {
+        device: Arc<CxlDevice>,
+        nodes: Vec<Node>,
+        fork: CxlFork,
+    }
+
+    fn cluster(n: usize) -> Cluster {
+        let device = Arc::new(CxlDevice::with_capacity_mib(256));
+        let rootfs = Arc::new(SharedFs::new());
+        rootfs.create("/usr/lib/libpython.so", 64 * PAGE_SIZE, 3);
+        let nodes = (0..n)
+            .map(|i| {
+                Node::with_rootfs(
+                    NodeConfig::default()
+                        .with_id(i as u32)
+                        .with_local_mem_mib(256),
+                    Arc::clone(&device),
+                    Arc::clone(&rootfs),
+                )
+            })
+            .collect();
+        Cluster {
+            device,
+            nodes,
+            fork: CxlFork::new(),
+        }
+    }
+
+    /// 64 anon pages written, 16 file pages read, 8 anon pages re-written
+    /// (dirty at checkpoint), fds open.
+    fn build_process(node: &mut Node) -> Pid {
+        let pid = node.spawn("bert").unwrap();
+        {
+            let p = node.process_mut(pid).unwrap();
+            p.task.regs = Registers::seeded(0xC0FFEE);
+            p.task.ns.pid_ns = 11;
+            p.task.ns.mount_ns = 12;
+            p.mm.map_anonymous(0, 64, Protection::read_write(), "heap")
+                .unwrap();
+            p.mm.map_file(
+                4096,
+                16,
+                Protection::read_exec(),
+                "/usr/lib/libpython.so",
+                0,
+            )
+            .unwrap();
+            p.task.fds.open(node_os::process::FileDescriptor {
+                path: "/usr/lib/libpython.so".into(),
+                offset: 0,
+                writable: false,
+            });
+        }
+        for i in 0..64 {
+            node.access(pid, i, Access::Write).unwrap();
+        }
+        for i in 4096..4112 {
+            node.access(pid, i, Access::Read).unwrap();
+        }
+        pid
+    }
+
+    #[test]
+    fn checkpoint_copies_everything_including_clean_file_pages() {
+        let mut c = cluster(1);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        // Unlike CRIU, clean private file pages ARE checkpointed (§4.1).
+        assert_eq!(ckpt.data_pages, 80);
+        assert_eq!(ckpt.meta().footprint_pages, 80);
+        assert_eq!(ckpt.dirty_pages, 64, "writes recorded in D bits");
+        assert_eq!(ckpt.accessed_pages, 80, "all touched pages have A set");
+        // Device region: data + pt leaves + vma blocks + task page.
+        let usage = c.device.region_usage(ckpt.region).unwrap();
+        assert!(usage.pages > ckpt.data_pages);
+        assert_eq!(ckpt.meta().cxl_pages, usage.pages);
+    }
+
+    #[test]
+    fn restore_is_zero_copy_and_constant_ish_time() {
+        let mut c = cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+
+        let frames_before = c.nodes[1].frames().used();
+        let restored = c
+            .fork
+            .restore_with(
+                &ckpt,
+                &mut c.nodes[1],
+                rfork::RestoreOptions {
+                    policy: rfork::TierPolicy::MigrateOnWrite,
+                    prefetch_dirty: false,
+                    sync_hot_prefetch: false,
+                },
+            )
+            .unwrap();
+        // Zero data copies: no local frames consumed.
+        assert_eq!(c.nodes[1].frames().used(), frames_before);
+        let child = c.nodes[1].process(restored.pid).unwrap();
+        assert_eq!(child.task.regs, Registers::seeded(0xC0FFEE));
+        assert_eq!(child.task.ns.pid_ns, 11);
+        assert_eq!(child.task.fds.open_count(), 1);
+        assert_eq!(child.mm.mapped_cxl_pages(), 80);
+        assert_eq!(child.mm.private_local_pages(), 0);
+        assert_eq!(child.mm.page_table.attached_leaf_count(), ckpt.leaves.len());
+        // Restore latency in the paper's 1.2–6.1 ms band (small process →
+        // near the bottom, and well under CRIU-scale).
+        assert!(
+            restored.restore_latency < SimDuration::from_millis(7),
+            "restore took {}",
+            restored.restore_latency
+        );
+    }
+
+    #[test]
+    fn restored_child_reads_checkpointed_bytes_from_cxl() {
+        let mut c = cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        // Recognizable byte in page 5.
+        let pte = c.nodes[0]
+            .process(pid)
+            .unwrap()
+            .mm
+            .translate(VirtPageNum(5));
+        let Some(PhysAddr::Local(pfn)) = pte.target() else {
+            panic!()
+        };
+        c.nodes[0]
+            .with_process_ctx(pid, |_, ctx| ctx.frames.data_mut(pfn).write(11, &[0x5C]))
+            .unwrap();
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+
+        let restored = c.fork.restore(&ckpt, &mut c.nodes[1]).unwrap();
+        let o = c.nodes[1].access(restored.pid, 5, Access::Read).unwrap();
+        assert_eq!(o.fault, None, "reads never fault under MoW");
+        let cpte = c.nodes[1]
+            .process(restored.pid)
+            .unwrap()
+            .mm
+            .translate(VirtPageNum(5));
+        match cpte.target() {
+            Some(PhysAddr::Cxl(page)) => {
+                let data = c.device.read_page(page, c.nodes[1].id()).unwrap();
+                assert_eq!(data.byte_at(11), 0x5C);
+            }
+            Some(PhysAddr::Local(lpfn)) => {
+                // Page 5 was dirty → prefetched local by default options.
+                assert_eq!(c.nodes[1].frames().data(lpfn).byte_at(11), 0x5C);
+            }
+            None => panic!("page 5 unmapped after restore"),
+        }
+    }
+
+    #[test]
+    fn write_triggers_cxl_cow_and_checkpoint_stays_pristine() {
+        let mut c = cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        let fingerprints: Vec<u64> = ckpt
+            .iter_pages()
+            .map(|(_, pte)| {
+                let Some(PhysAddr::Cxl(p)) = pte.target() else {
+                    panic!()
+                };
+                c.device.fingerprint(p).unwrap()
+            })
+            .collect();
+
+        // Restore WITHOUT prefetch so the write must CoW.
+        let restored = c
+            .fork
+            .restore_with(
+                &ckpt,
+                &mut c.nodes[1],
+                rfork::RestoreOptions {
+                    policy: rfork::TierPolicy::MigrateOnWrite,
+                    prefetch_dirty: false,
+                    sync_hot_prefetch: false,
+                },
+            )
+            .unwrap();
+        let o = c.nodes[1].access(restored.pid, 3, Access::Write).unwrap();
+        assert_eq!(o.fault, Some(FaultKind::CxlCow));
+        assert!(o.pt_leaf_cow, "first write copies the attached leaf");
+
+        // Scribble through the new local frame.
+        let cpte = c.nodes[1]
+            .process(restored.pid)
+            .unwrap()
+            .mm
+            .translate(VirtPageNum(3));
+        let Some(PhysAddr::Local(lpfn)) = cpte.target() else {
+            panic!()
+        };
+        c.nodes[1]
+            .with_process_ctx(restored.pid, |_, ctx| {
+                ctx.frames.data_mut(lpfn).write(0, &[0xEE])
+            })
+            .unwrap();
+
+        // Every checkpoint page fingerprint is unchanged.
+        let after: Vec<u64> = ckpt
+            .iter_pages()
+            .map(|(_, pte)| {
+                let Some(PhysAddr::Cxl(p)) = pte.target() else {
+                    panic!()
+                };
+                c.device.fingerprint(p).unwrap()
+            })
+            .collect();
+        assert_eq!(fingerprints, after);
+    }
+
+    #[test]
+    fn siblings_on_different_nodes_share_cxl_state() {
+        let mut c = cluster(3);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        let device_pages_after_ckpt = c.device.used_pages();
+
+        let opts = rfork::RestoreOptions {
+            policy: rfork::TierPolicy::MigrateOnWrite,
+            prefetch_dirty: false,
+            sync_hot_prefetch: false,
+        };
+        let r1 = c.fork.restore_with(&ckpt, &mut c.nodes[1], opts).unwrap();
+        let r2 = c.fork.restore_with(&ckpt, &mut c.nodes[2], opts).unwrap();
+        // Cluster-wide dedup: restores add ZERO device pages and zero
+        // local frames.
+        assert_eq!(c.device.used_pages(), device_pages_after_ckpt);
+        for (node, pid) in [(&c.nodes[1], r1.pid), (&c.nodes[2], r2.pid)] {
+            let p = node.process(pid).unwrap();
+            assert_eq!(p.mm.private_local_pages(), 0);
+            assert_eq!(p.mm.mapped_cxl_pages(), 80);
+        }
+        // Both map the same physical CXL page for vpn 0.
+        let t1 = c.nodes[1]
+            .process(r1.pid)
+            .unwrap()
+            .mm
+            .translate(VirtPageNum(0));
+        let t2 = c.nodes[2]
+            .process(r2.pid)
+            .unwrap()
+            .mm
+            .translate(VirtPageNum(0));
+        assert_eq!(t1.target(), t2.target());
+    }
+
+    #[test]
+    fn prefetch_dirty_avoids_cow_faults() {
+        let mut c = cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        let restored = c.fork.restore(&ckpt, &mut c.nodes[1]).unwrap(); // default: prefetch on
+        assert_eq!(
+            c.nodes[1].counters().get("cxlfork_prefetched_page"),
+            ckpt.dirty_pages
+        );
+        // Writing a prefetched page is fault-free.
+        let o = c.nodes[1].access(restored.pid, 3, Access::Write).unwrap();
+        assert_eq!(o.fault, None);
+        assert_eq!(
+            c.nodes[1]
+                .process(restored.pid)
+                .unwrap()
+                .mm
+                .private_local_pages(),
+            ckpt.dirty_pages
+        );
+    }
+
+    #[test]
+    fn moa_policy_pulls_everything_on_access() {
+        let mut c = cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        let restored = c
+            .fork
+            .restore_with(&ckpt, &mut c.nodes[1], rfork::RestoreOptions::moa())
+            .unwrap();
+        let child = c.nodes[1].process(restored.pid).unwrap();
+        assert_eq!(child.mm.policy(), CxlTierPolicy::MigrateOnAccess);
+        assert_eq!(child.mm.mapped_cxl_pages(), 0, "nothing attached");
+
+        // Reads pull pages locally.
+        let o = c.nodes[1].access(restored.pid, 10, Access::Read).unwrap();
+        assert_eq!(o.fault, Some(FaultKind::CxlPull));
+        assert!(!o.cxl_tier);
+        // File pages pull too (they are checkpointed).
+        let o2 = c.nodes[1].access(restored.pid, 4100, Access::Read).unwrap();
+        assert_eq!(o2.fault, Some(FaultKind::CxlPull));
+    }
+
+    #[test]
+    fn hybrid_policy_splits_by_accessed_bit() {
+        let mut c = cluster(2);
+        // Build a process where only half the pages are accessed before
+        // checkpointing: map 32 pages, touch 16.
+        let pid = c.nodes[0].spawn("half").unwrap();
+        c.nodes[0]
+            .process_mut(pid)
+            .unwrap()
+            .mm
+            .map_anonymous(0, 32, Protection::read_write(), "heap")
+            .unwrap();
+        for i in 0..32 {
+            c.nodes[0].access(pid, i, Access::Write).unwrap();
+        }
+        // Reset A bits, then touch only the first 16 pages again.
+        c.nodes[0]
+            .with_process_ctx(pid, |p, _| {
+                for (_, slot) in p.mm.page_table.leaves() {
+                    slot.access_bits().clear_all();
+                }
+            })
+            .unwrap();
+        for i in 0..16 {
+            c.nodes[0].access(pid, i, Access::Read).unwrap();
+        }
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        assert_eq!(ckpt.accessed_pages, 16);
+
+        let restored = c
+            .fork
+            .restore_with(
+                &ckpt,
+                &mut c.nodes[1],
+                rfork::RestoreOptions {
+                    policy: rfork::TierPolicy::Hybrid,
+                    prefetch_dirty: false,
+                    sync_hot_prefetch: false,
+                },
+            )
+            .unwrap();
+        // Hot page: pulled local on first access.
+        let o_hot = c.nodes[1].access(restored.pid, 2, Access::Read).unwrap();
+        assert_eq!(o_hot.fault, Some(FaultKind::CxlPull));
+        // Cold page: stays in CXL, read directly with no fault.
+        let o_cold = c.nodes[1].access(restored.pid, 20, Access::Read).unwrap();
+        assert_eq!(o_cold.fault, None);
+        assert!(o_cold.cxl_tier);
+    }
+
+    #[test]
+    fn user_hot_hints_promote_pages_in_hybrid() {
+        let mut c = cluster(2);
+        let pid = c.nodes[0].spawn("hints").unwrap();
+        c.nodes[0]
+            .process_mut(pid)
+            .unwrap()
+            .mm
+            .map_anonymous(0, 8, Protection::read_write(), "heap")
+            .unwrap();
+        for i in 0..8 {
+            c.nodes[0].access(pid, i, Access::Write).unwrap();
+        }
+        // Clear A bits so nothing is "hot" by access.
+        c.nodes[0]
+            .with_process_ctx(pid, |p, _| {
+                for (_, slot) in p.mm.page_table.leaves() {
+                    slot.access_bits().clear_all();
+                }
+            })
+            .unwrap();
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        assert_eq!(ckpt.accessed_pages, 0);
+        assert!(ckpt.mark_hot(VirtPageNum(4)));
+        assert!(!ckpt.mark_hot(VirtPageNum(999)), "unknown page rejected");
+        assert_eq!(ckpt.hot_hint_count(), 1);
+
+        let restored = c
+            .fork
+            .restore_with(
+                &ckpt,
+                &mut c.nodes[1],
+                rfork::RestoreOptions {
+                    policy: rfork::TierPolicy::Hybrid,
+                    prefetch_dirty: false,
+                    sync_hot_prefetch: false,
+                },
+            )
+            .unwrap();
+        let o_hint = c.nodes[1].access(restored.pid, 4, Access::Read).unwrap();
+        assert_eq!(
+            o_hint.fault,
+            Some(FaultKind::CxlPull),
+            "hinted page migrates"
+        );
+        let o_other = c.nodes[1].access(restored.pid, 5, Access::Read).unwrap();
+        assert_eq!(o_other.fault, None, "unhinted page stays in CXL");
+    }
+
+    #[test]
+    fn working_set_monitoring_via_shared_a_bits() {
+        let mut c = cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        ckpt.reset_access_bits();
+        assert_eq!(ckpt.working_set().hot_pages, 0);
+
+        let restored = c
+            .fork
+            .restore_with(
+                &ckpt,
+                &mut c.nodes[1],
+                rfork::RestoreOptions {
+                    policy: rfork::TierPolicy::MigrateOnWrite,
+                    prefetch_dirty: false,
+                    sync_hot_prefetch: false,
+                },
+            )
+            .unwrap();
+        for i in 0..10 {
+            c.nodes[1].access(restored.pid, i, Access::Read).unwrap();
+        }
+        // The restored instance's walks updated the A bits on the SHARED
+        // checkpoint leaves (§4.3).
+        let ws = ckpt.working_set();
+        assert_eq!(ws.hot_pages, 10);
+        assert_eq!(ws.total_pages, 80);
+        assert!((ws.hot_fraction() - 0.125).abs() < 1e-9);
+        // And user space can reset them again.
+        ckpt.reset_access_bits();
+        assert_eq!(ckpt.working_set().hot_pages, 0);
+    }
+
+    #[test]
+    fn release_frees_the_whole_region() {
+        let mut c = cluster(1);
+        let pid = build_process(&mut c.nodes[0]);
+        let before = c.device.used_pages();
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        assert!(c.device.used_pages() > before);
+        let freed = c.fork.release(ckpt, &c.nodes[0]).unwrap();
+        assert!(freed > 0);
+        assert_eq!(c.device.used_pages(), before);
+    }
+
+    #[test]
+    fn restore_latency_nearly_independent_of_footprint() {
+        let mut c = cluster(2);
+        let small = build_process(&mut c.nodes[0]);
+        let big = c.nodes[0].spawn("big").unwrap();
+        c.nodes[0]
+            .process_mut(big)
+            .unwrap()
+            .mm
+            .map_anonymous(1 << 20, 4096, Protection::read_write(), "heap")
+            .unwrap();
+        for i in 0..4096u64 {
+            c.nodes[0]
+                .access(big, (1 << 20) + i, Access::Write)
+                .unwrap();
+        }
+        let ck_small = c.fork.checkpoint(&mut c.nodes[0], small).unwrap();
+        let ck_big = c.fork.checkpoint(&mut c.nodes[0], big).unwrap();
+        let opts = rfork::RestoreOptions {
+            policy: rfork::TierPolicy::MigrateOnWrite,
+            prefetch_dirty: false,
+            sync_hot_prefetch: false,
+        };
+        let r_small = c
+            .fork
+            .restore_with(&ck_small, &mut c.nodes[1], opts)
+            .unwrap();
+        let r_big = c.fork.restore_with(&ck_big, &mut c.nodes[1], opts).unwrap();
+        // 51x the footprint, but restore grows only with leaf count.
+        assert!(
+            r_big.restore_latency < r_small.restore_latency * 4,
+            "attach-based restore: {} vs {}",
+            r_big.restore_latency,
+            r_small.restore_latency
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! CXLfork restore: attach checkpointed state in (almost) constant time.
+//!
+//! The restore path implements §4.2:
+//!
+//! * a new process is created on the target node (in practice inside a
+//!   ghost container, §5) and its *reconfigurable* state — network
+//!   namespace, cgroup — is inherited from the restore-side caller;
+//! * **global state is redone**: fds are reopened from their checkpointed
+//!   paths, the mount and PID namespaces are restored from the checkpoint;
+//! * **private state is attached, not copied**: only the upper levels of
+//!   the page-table and VMA trees are allocated locally; the checkpointed
+//!   leaves are linked in by CXL page number (§4.2.1). No data page is
+//!   copied — the process resumes instantly and loads hit CXL directly,
+//!   while stores take migrate-on-write CoW faults.
+//!
+//! The three tiering policies (§4.3) shape what "attach" means:
+//!
+//! * **MoW** attaches every leaf and (optionally) prefetches the
+//!   checkpoint-dirty pages into local memory, since >95 % of pages the
+//!   parent wrote are written again by children (§4.2.1);
+//! * **MoA** attaches nothing: the page table starts empty and every first
+//!   touch pulls the page from CXL;
+//! * **Hybrid** materializes per-policy local leaf copies in which A-set
+//!   (or user-hinted hot) pages are *armed* to migrate on first access and
+//!   the rest stay mapped read-only in CXL.
+
+use node_os::addr::{PhysAddr, VirtPageNum};
+use node_os::mm::CxlTierPolicy;
+use node_os::page_table::{AttachedLeaf, PtLeaf};
+use node_os::process::FdTable;
+use node_os::pte::{Pte, PteFlags};
+use node_os::Node;
+use rfork::{RestoreOptions, Restored, RforkError, TierPolicy};
+use simclock::SimDuration;
+
+use crate::checkpoint::{decode_global_state, CxlForkCheckpoint};
+
+/// Restores a process from `checkpoint` onto `node` with `options`,
+/// charging the cost to the node's clock.
+pub(crate) fn restore(
+    checkpoint: &CxlForkCheckpoint,
+    node: &mut Node,
+    options: RestoreOptions,
+) -> Result<Restored, RforkError> {
+    let node_id = node.id();
+    let model = node.model().clone();
+    let device = std::sync::Arc::clone(node.device());
+
+    let mut cost = SimDuration::from_nanos(model.process_create_ns);
+
+    // ---- Global state: redo operations from the light serialization. ----
+    let fds = decode_global_state(&checkpoint.global_bytes)?;
+    cost += model.deserialize(checkpoint.global_bytes.len() as u64);
+    cost += SimDuration::from_nanos(model.file_reopen_ns) * fds.len() as u64;
+
+    let pid = node.spawn(&checkpoint.task.comm)?;
+    {
+        let process = node.process_mut(pid)?;
+        process.task.regs = checkpoint.task.regs;
+        process.task.ns.pid_ns = checkpoint.task.pid_ns;
+        process.task.ns.mount_ns = checkpoint.task.mount_ns;
+        // net_ns / cgroup / sched stay inherited from the caller (§4.2).
+        let mut table = FdTable::new();
+        for fd in &fds {
+            table.open(fd.clone());
+        }
+        process.task.fds = table;
+    }
+
+    // ---- VMA tree: attach the checkpointed leaf blocks. ----
+    cost += SimDuration::from_nanos(model.vma_leaf_attach_ns) * checkpoint.vma_blocks.len() as u64;
+    node.with_process_ctx(pid, |p, _| {
+        for (block, backing) in &checkpoint.vma_blocks {
+            p.mm.vmas
+                .attach_block(std::sync::Arc::clone(block), *backing);
+        }
+    })?;
+
+    // ---- Page table: policy-dependent attach. ----
+    match options.policy {
+        TierPolicy::MigrateOnWrite => {
+            let mut dirs_created = 0u64;
+            node.with_process_ctx(pid, |p, _| {
+                for leaf in &checkpoint.leaves {
+                    dirs_created += p.mm.page_table.attach_leaf(
+                        leaf.leaf_index,
+                        AttachedLeaf {
+                            leaf: std::sync::Arc::clone(&leaf.leaf),
+                            backing: leaf.backing,
+                        },
+                    );
+                }
+                p.mm.set_policy(CxlTierPolicy::MigrateOnWrite);
+            })?;
+            cost +=
+                SimDuration::from_nanos(model.pt_leaf_attach_ns) * checkpoint.leaves.len() as u64;
+            cost += SimDuration::from_nanos(model.pt_upper_alloc_ns) * dirs_created;
+        }
+        TierPolicy::MigrateOnAccess => {
+            // No leaves attached, no entries populated: every first access
+            // takes a CXL pull fault (§4.3).
+            node.with_process_ctx(pid, |p, _| {
+                p.mm.set_policy(CxlTierPolicy::MigrateOnAccess);
+                p.mm.set_backing(std::sync::Arc::clone(&checkpoint.backing));
+            })?;
+        }
+        TierPolicy::Hybrid => {
+            // Materialize local leaves: A-set (or user-hinted) entries are
+            // armed fetch-on-access — or, under the §4.3 alternative the
+            // paper evaluated and rejected, copied to local memory right
+            // now — and the rest stay mapped in CXL.
+            let mut dirs_created = 0u64;
+            let mut sync_prefetched = 0u64;
+            let mut install: Vec<(u64, PtLeaf)> = Vec::with_capacity(checkpoint.leaves.len());
+            for ckpt_leaf in &checkpoint.leaves {
+                let mut local = PtLeaf::new();
+                for (slot, pte) in ckpt_leaf.leaf.iter_populated() {
+                    let hot = pte.is_accessed() || ckpt_leaf.leaf.hot_bits().get(slot);
+                    let target = pte.target().expect("checkpoint entries are mapped");
+                    let new = if hot && options.sync_hot_prefetch {
+                        // Copy the hot page to local memory during the
+                        // restore itself (inflates restore latency).
+                        let PhysAddr::Cxl(page) = target else {
+                            unreachable!("checkpoint targets are CXL pages")
+                        };
+                        let data = device.read_page(page, node_id)?;
+                        let pfn = node
+                            .with_process_ctx(pid, |p, ctx| {
+                                let pfn = ctx.frames.alloc(data)?;
+                                p.mm.note_private_page();
+                                Ok::<_, node_os::OsError>(pfn)
+                            })
+                            .map_err(RforkError::from)?
+                            .map_err(RforkError::from)?;
+                        sync_prefetched += 1;
+                        cost += model.prefetch_page();
+                        pte.without_flags(PteFlags::CKPT_PIN)
+                            .retarget(PhysAddr::Local(pfn))
+                    } else if hot {
+                        Pte::armed(
+                            target,
+                            pte.flags()
+                                .without(PteFlags::PRESENT | PteFlags::CKPT_PIN)
+                                .union(PteFlags::FETCH_ON_ACCESS),
+                        )
+                    } else {
+                        pte.without_flags(PteFlags::CKPT_PIN)
+                    };
+                    local.set(slot, new);
+                }
+                install.push((ckpt_leaf.leaf_index, local));
+            }
+            node.with_process_ctx(pid, |p, _| {
+                for (leaf_index, local) in install {
+                    dirs_created += p.mm.page_table.install_local_leaf(leaf_index, local);
+                }
+                p.mm.set_policy(CxlTierPolicy::Hybrid);
+            })?;
+            let _ = sync_prefetched;
+            // Each materialized leaf costs one CXL leaf read.
+            cost += model.cxl_copy(checkpoint.leaves.len() as u64 * cxl_mem::PAGE_SIZE);
+            cost += SimDuration::from_nanos(model.pt_upper_alloc_ns) * dirs_created;
+        }
+    }
+
+    // ---- Optional dirty-page prefetch (§4.2.1). ----
+    let mut prefetched = 0u64;
+    if options.prefetch_dirty && options.policy != TierPolicy::MigrateOnAccess {
+        let dirty: Vec<(VirtPageNum, PhysAddr)> = checkpoint
+            .iter_pages()
+            .filter(|(_, pte)| pte.is_dirty())
+            .map(|(vpn, pte)| (vpn, pte.target().expect("checkpoint entries are mapped")))
+            .collect();
+        for (vpn, target) in dirty {
+            let PhysAddr::Cxl(page) = target else {
+                unreachable!("checkpoint targets are CXL pages")
+            };
+            let data = device.read_page(page, node_id)?;
+            let leaf_cows_before = node.process(pid)?.mm.page_table.leaf_cow_events();
+            let installed = node.with_process_ctx(pid, |p, ctx| -> Result<(), RforkError> {
+                let pfn = ctx.frames.alloc(data).map_err(RforkError::from)?;
+                p.mm.install_mapping(
+                    vpn,
+                    PhysAddr::Local(pfn),
+                    PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::DIRTY,
+                    true,
+                );
+                Ok(())
+            })?;
+            if let Err(e) = installed {
+                // Roll back the half-restored process (memory-constrained
+                // nodes can run out of frames mid-prefetch).
+                let _ = node.kill(pid);
+                return Err(e);
+            }
+            prefetched += 1;
+            cost += model.prefetch_page();
+            // Installing the mapping may have leaf-CoW'd an attached leaf.
+            let leaf_cows_after = node.process(pid)?.mm.page_table.leaf_cow_events();
+            if leaf_cows_after > leaf_cows_before {
+                cost += model.cxl_copy(cxl_mem::PAGE_SIZE);
+            }
+        }
+    }
+
+    node.clock_mut().advance(cost);
+    node.counters_note("cxlfork_restore");
+    if prefetched > 0 {
+        for _ in 0..prefetched {
+            node.counters_note("cxlfork_prefetched_page");
+        }
+    }
+    Ok(Restored {
+        pid,
+        restore_latency: cost,
+    })
+}

@@ -1,0 +1,94 @@
+//! Working-set monitoring and hot-page interfaces (§4.3).
+//!
+//! Hybrid tiering is only effective if the checkpointed page tables'
+//! Accessed bits capture the workload's hot pages. CXLfork supports
+//! *continuous* refinement: restored processes that attached the
+//! checkpointed leaves keep setting the (atomic, side-band) A bits as they
+//! run, and user space can reset those bits through a dedicated interface
+//! to re-estimate the working set over time — the same idle-page-tracking
+//! idiom as DAMON-style profilers. User-space profilers can additionally
+//! pin pages hot explicitly through the hot-hint bit.
+
+use node_os::addr::VirtPageNum;
+
+use crate::checkpoint::CxlForkCheckpoint;
+
+/// Working-set statistics of a checkpoint's shared leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkingSetEstimate {
+    /// Pages whose runtime A bit is currently set (touched since the last
+    /// reset by *any* restored instance, cluster-wide).
+    pub hot_pages: u64,
+    /// Total checkpointed pages.
+    pub total_pages: u64,
+}
+
+impl WorkingSetEstimate {
+    /// Hot fraction in `[0, 1]`; zero when the checkpoint is empty.
+    pub fn hot_fraction(&self) -> f64 {
+        if self.total_pages == 0 {
+            0.0
+        } else {
+            self.hot_pages as f64 / self.total_pages as f64
+        }
+    }
+}
+
+impl CxlForkCheckpoint {
+    /// Clears the runtime A bits on every checkpointed leaf — the
+    /// user-space reset interface (§4.3). CXLporter calls this
+    /// periodically to re-estimate hot pages.
+    pub fn reset_access_bits(&self) {
+        for leaf in &self.leaves {
+            leaf.leaf.access_bits().clear_all();
+        }
+    }
+
+    /// Current working-set estimate from the runtime A bits.
+    pub fn working_set(&self) -> WorkingSetEstimate {
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for leaf in &self.leaves {
+            for (slot, _) in leaf.leaf.iter_populated() {
+                total += 1;
+                if leaf.leaf.access_bits().get(slot) {
+                    hot += 1;
+                }
+            }
+        }
+        WorkingSetEstimate {
+            hot_pages: hot,
+            total_pages: total,
+        }
+    }
+
+    /// Marks `vpn` as user-identified hot (§4.3): future hybrid-tiering
+    /// restores will migrate it to local memory on first access. Returns
+    /// `false` if the page is not part of the checkpoint.
+    pub fn mark_hot(&self, vpn: VirtPageNum) -> bool {
+        let leaf_index = vpn.leaf_index();
+        let slot = vpn.leaf_slot();
+        match self
+            .leaves
+            .binary_search_by_key(&leaf_index, |l| l.leaf_index)
+        {
+            Ok(i) => {
+                if self.leaves[i].leaf.get(slot).is_present() {
+                    self.leaves[i].leaf.hot_bits().set(slot);
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Number of user-hinted hot pages.
+    pub fn hot_hint_count(&self) -> u64 {
+        self.leaves
+            .iter()
+            .map(|l| u64::from(l.leaf.hot_bits().count()))
+            .sum()
+    }
+}

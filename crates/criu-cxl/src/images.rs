@@ -1,0 +1,305 @@
+//! Typed CRIU images: task core, VMA list, pagemap.
+
+use node_os::process::{FdTable, FileDescriptor, Registers, Task};
+use node_os::vma::{Protection, Vma, VmaKind};
+use rfork::RforkError;
+
+use crate::imgfmt::{ImageReader, ImageWriter, CORE_MAGIC, MM_MAGIC, PAGEMAP_MAGIC};
+
+/// The serialized task state (`core.img`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreImage {
+    /// Command name.
+    pub comm: String,
+    /// CPU context.
+    pub regs: Registers,
+    /// Open file descriptors (paths + offsets).
+    pub fds: Vec<FileDescriptor>,
+    /// Checkpointed PID namespace.
+    pub pid_ns: u64,
+    /// Checkpointed mount namespace.
+    pub mount_ns: u64,
+}
+
+impl CoreImage {
+    /// Captures a task.
+    pub fn capture(task: &Task) -> Self {
+        CoreImage {
+            comm: task.comm.clone(),
+            regs: task.regs,
+            fds: task.fds.iter().map(|(_, d)| d.clone()).collect(),
+            pid_ns: task.ns.pid_ns,
+            mount_ns: task.ns.mount_ns,
+        }
+    }
+
+    /// Encodes to image bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ImageWriter::new(CORE_MAGIC);
+        w.put_str(&self.comm);
+        for r in self.regs.gpr {
+            w.put_u64(r);
+        }
+        w.put_u64(self.regs.rip);
+        w.put_u64(self.regs.rsp);
+        w.put_u64(self.pid_ns);
+        w.put_u64(self.mount_ns);
+        w.put_u32(self.fds.len() as u32);
+        for fd in &self.fds {
+            w.put_str(&fd.path);
+            w.put_u64(fd.offset);
+            w.put_bool(fd.writable);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes from image bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] on magic mismatch or truncation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, RforkError> {
+        let mut r = ImageReader::new(bytes, CORE_MAGIC)?;
+        let comm = r.get_str()?.to_owned();
+        let mut gpr = [0u64; 16];
+        for g in &mut gpr {
+            *g = r.get_u64()?;
+        }
+        let rip = r.get_u64()?;
+        let rsp = r.get_u64()?;
+        let pid_ns = r.get_u64()?;
+        let mount_ns = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        let mut fds = Vec::with_capacity(n);
+        for _ in 0..n {
+            fds.push(FileDescriptor {
+                path: r.get_str()?.to_owned(),
+                offset: r.get_u64()?,
+                writable: r.get_bool()?,
+            });
+        }
+        Ok(CoreImage {
+            comm,
+            regs: Registers { gpr, rip, rsp },
+            fds,
+            pid_ns,
+            mount_ns,
+        })
+    }
+
+    /// Rebuilds an fd table from the image.
+    pub fn restore_fds(&self) -> FdTable {
+        let mut fds = FdTable::new();
+        for d in &self.fds {
+            fds.open(d.clone());
+        }
+        fds
+    }
+}
+
+/// The serialized VMA list (`mm.img`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MmImage {
+    /// All VMAs in address order.
+    pub vmas: Vec<Vma>,
+}
+
+impl MmImage {
+    /// Encodes to image bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ImageWriter::new(MM_MAGIC);
+        w.put_u32(self.vmas.len() as u32);
+        for v in &self.vmas {
+            w.put_u64(v.start);
+            w.put_u64(v.end);
+            w.put_bool(v.prot.read);
+            w.put_bool(v.prot.write);
+            w.put_bool(v.prot.exec);
+            w.put_str(&v.label);
+            match &v.kind {
+                VmaKind::Anonymous => w.put_u16(0),
+                VmaKind::SharedAnonymous => w.put_u16(2),
+                VmaKind::File {
+                    path,
+                    file_start_page,
+                } => {
+                    w.put_u16(1);
+                    w.put_str(path);
+                    w.put_u64(*file_start_page);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes from image bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] on magic mismatch, truncation or an
+    /// unknown VMA kind tag.
+    pub fn decode(bytes: &[u8]) -> Result<Self, RforkError> {
+        let mut r = ImageReader::new(bytes, MM_MAGIC)?;
+        let n = r.get_u32()? as usize;
+        let mut vmas = Vec::with_capacity(n);
+        for _ in 0..n {
+            let start = r.get_u64()?;
+            let end = r.get_u64()?;
+            let prot = Protection {
+                read: r.get_bool()?,
+                write: r.get_bool()?,
+                exec: r.get_bool()?,
+            };
+            let label = r.get_str()?.to_owned();
+            let kind = match r.get_u16()? {
+                0 => VmaKind::Anonymous,
+                2 => VmaKind::SharedAnonymous,
+                1 => VmaKind::File {
+                    path: r.get_str()?.to_owned(),
+                    file_start_page: r.get_u64()?,
+                },
+                t => return Err(RforkError::BadImage(format!("unknown vma kind tag {t}"))),
+            };
+            let mut vma = Vma::anonymous(start, end, prot, &label);
+            vma.kind = kind;
+            vmas.push(vma);
+        }
+        Ok(MmImage { vmas })
+    }
+}
+
+/// One pagemap record: a virtual page, its properties, and the CXL device
+/// page its serialized contents occupy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagemapEntry {
+    /// Virtual page number.
+    pub vpn: u64,
+    /// `true` if the page was dirty at checkpoint time.
+    pub dirty: bool,
+    /// Index into the checkpoint's device-page array.
+    pub page_index: u64,
+}
+
+/// The serialized pagemap (`pagemap.img`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PagemapImage {
+    /// All captured pages.
+    pub entries: Vec<PagemapEntry>,
+}
+
+impl PagemapImage {
+    /// Encodes to image bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ImageWriter::new(PAGEMAP_MAGIC);
+        w.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            w.put_u64(e.vpn);
+            w.put_bool(e.dirty);
+            w.put_u64(e.page_index);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes from image bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] on magic mismatch or truncation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, RforkError> {
+        let mut r = ImageReader::new(bytes, PAGEMAP_MAGIC)?;
+        let n = r.get_u64()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(PagemapEntry {
+                vpn: r.get_u64()?,
+                dirty: r.get_bool()?,
+                page_index: r.get_u64()?,
+            });
+        }
+        Ok(PagemapImage { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use node_os::addr::Pid;
+
+    #[test]
+    fn core_image_roundtrip() {
+        let mut task = Task::new(Pid(3), "bert");
+        task.regs = Registers::seeded(9);
+        task.ns.pid_ns = 4;
+        task.ns.mount_ns = 5;
+        task.fds.open(FileDescriptor {
+            path: "/tmp/x".into(),
+            offset: 12,
+            writable: true,
+        });
+        let img = CoreImage::capture(&task);
+        let decoded = CoreImage::decode(&img.encode()).unwrap();
+        assert_eq!(decoded, img);
+        assert_eq!(decoded.regs, Registers::seeded(9));
+        assert_eq!(decoded.restore_fds().open_count(), 1);
+    }
+
+    #[test]
+    fn mm_image_roundtrip_mixed_kinds() {
+        let img = MmImage {
+            vmas: vec![
+                Vma::anonymous(0, 10, Protection::read_write(), "heap"),
+                Vma::file(100, 120, Protection::read_exec(), "/lib/a.so", 3),
+            ],
+        };
+        let decoded = MmImage::decode(&img.encode()).unwrap();
+        assert_eq!(decoded, img);
+    }
+
+    #[test]
+    fn pagemap_roundtrip() {
+        let img = PagemapImage {
+            entries: vec![
+                PagemapEntry {
+                    vpn: 1,
+                    dirty: true,
+                    page_index: 0,
+                },
+                PagemapEntry {
+                    vpn: 9,
+                    dirty: false,
+                    page_index: 1,
+                },
+            ],
+        };
+        assert_eq!(PagemapImage::decode(&img.encode()).unwrap(), img);
+    }
+
+    #[test]
+    fn unknown_vma_tag_rejected() {
+        let mut w = ImageWriter::new(MM_MAGIC);
+        w.put_u32(1);
+        w.put_u64(0);
+        w.put_u64(1);
+        w.put_bool(true);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_str("x");
+        w.put_u16(9); // bogus kind
+        assert!(matches!(
+            MmImage::decode(&w.into_bytes()),
+            Err(RforkError::BadImage(_))
+        ));
+    }
+
+    #[test]
+    fn cross_image_decode_fails() {
+        let core = CoreImage {
+            comm: "x".into(),
+            regs: Registers::default(),
+            fds: vec![],
+            pid_ns: 0,
+            mount_ns: 0,
+        };
+        assert!(MmImage::decode(&core.encode()).is_err());
+    }
+}

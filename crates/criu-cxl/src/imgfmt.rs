@@ -1,0 +1,36 @@
+//! The binary image format of the CRIU baseline.
+//!
+//! Real CRIU serializes each category of process state into a dedicated
+//! image file using Protocol Buffers (§2.3.1). The reproduction's
+//! equivalent encoder/decoder lives in [`rfork::wire`] (it is shared with
+//! the Mitosis baseline's OS-state descriptor); this module pins down the
+//! CRIU-specific image type magics.
+
+pub use rfork::wire::{ImageReader, ImageWriter};
+
+/// Magic of a `core.img` (task state) image.
+pub const CORE_MAGIC: u32 = 0xC1A0_0001;
+/// Magic of an `mm.img` (VMA list) image.
+pub const MM_MAGIC: u32 = 0xC1A0_0002;
+/// Magic of a `pagemap.img` (page index) image.
+pub const PAGEMAP_MAGIC: u32 = 0xC1A0_0003;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfork::RforkError;
+
+    #[test]
+    fn image_types_are_distinguished_by_magic() {
+        let core = ImageWriter::new(CORE_MAGIC).into_bytes();
+        assert!(ImageReader::new(&core, CORE_MAGIC).is_ok());
+        assert!(matches!(
+            ImageReader::new(&core, MM_MAGIC),
+            Err(RforkError::BadImage(_))
+        ));
+        assert!(matches!(
+            ImageReader::new(&core, PAGEMAP_MAGIC),
+            Err(RforkError::BadImage(_))
+        ));
+    }
+}

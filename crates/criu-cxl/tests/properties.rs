@@ -1,0 +1,139 @@
+//! Property-based tests for the CRIU image formats: arbitrary process
+//! state must round-trip byte-exactly, and corrupted images must never
+//! decode into something valid.
+
+use proptest::prelude::*;
+
+use criu_cxl::images::{CoreImage, MmImage, PagemapEntry, PagemapImage};
+use node_os::process::{FileDescriptor, Registers};
+use node_os::vma::{Protection, Vma, VmaKind};
+
+fn arb_registers() -> impl Strategy<Value = Registers> {
+    (any::<[u64; 16]>(), any::<u64>(), any::<u64>()).prop_map(|(gpr, rip, rsp)| Registers {
+        gpr,
+        rip,
+        rsp,
+    })
+}
+
+fn arb_fd() -> impl Strategy<Value = FileDescriptor> {
+    ("[a-z/._-]{1,40}", any::<u64>(), any::<bool>()).prop_map(|(path, offset, writable)| {
+        FileDescriptor {
+            path,
+            offset,
+            writable,
+        }
+    })
+}
+
+fn arb_vma() -> impl Strategy<Value = Vma> {
+    (
+        0u64..(1 << 30),
+        1u64..4096,
+        any::<(bool, bool)>(),
+        prop::option::of(("[a-z/.]{1,30}", any::<u64>())),
+    )
+        .prop_map(|(start, len, (write, exec), file)| {
+            let prot = Protection {
+                read: true,
+                write,
+                exec,
+            };
+            let mut vma = Vma::anonymous(start, start + len, prot, "prop");
+            if let Some((path, fsp)) = file {
+                vma.kind = VmaKind::File {
+                    path,
+                    file_start_page: fsp,
+                };
+            }
+            vma
+        })
+}
+
+proptest! {
+    #[test]
+    fn core_image_roundtrips(
+        comm in "[a-zA-Z0-9_-]{1,32}",
+        regs in arb_registers(),
+        fds in prop::collection::vec(arb_fd(), 0..12),
+        pid_ns in any::<u64>(),
+        mount_ns in any::<u64>(),
+    ) {
+        let img = CoreImage {
+            comm,
+            regs,
+            fds,
+            pid_ns,
+            mount_ns,
+        };
+        prop_assert_eq!(CoreImage::decode(&img.encode()).unwrap(), img);
+    }
+
+    #[test]
+    fn mm_image_roundtrips(vmas in prop::collection::vec(arb_vma(), 0..24)) {
+        // Disjointness is the tree's invariant, not the image's — the
+        // codec must round-trip anything.
+        let img = MmImage { vmas };
+        prop_assert_eq!(MmImage::decode(&img.encode()).unwrap(), img);
+    }
+
+    #[test]
+    fn pagemap_roundtrips(
+        entries in prop::collection::vec(
+            (any::<u64>(), any::<bool>(), any::<u64>()),
+            0..200
+        )
+    ) {
+        let img = PagemapImage {
+            entries: entries
+                .into_iter()
+                .map(|(vpn, dirty, page_index)| PagemapEntry {
+                    vpn,
+                    dirty,
+                    page_index,
+                })
+                .collect(),
+        };
+        prop_assert_eq!(PagemapImage::decode(&img.encode()).unwrap(), img);
+    }
+
+    /// Truncating an image anywhere must produce an error, never a
+    /// silently wrong decode.
+    #[test]
+    fn truncated_core_images_never_decode(
+        comm in "[a-z]{1,16}",
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let img = CoreImage {
+            comm,
+            regs: Registers::default(),
+            fds: vec![FileDescriptor {
+                path: "/x".into(),
+                offset: 0,
+                writable: false,
+            }],
+            pid_ns: 1,
+            mount_ns: 2,
+        };
+        let bytes = img.encode();
+        let cut = cut.index(bytes.len().max(2) - 1);
+        if cut < bytes.len() {
+            if let Ok(decoded) = CoreImage::decode(&bytes[..cut]) { prop_assert!(
+                false,
+                "decoded a truncated image ({} of {} bytes) into {:?}",
+                cut,
+                bytes.len(),
+                decoded
+            ) }
+        }
+    }
+
+    /// Flipping the magic always fails decoding.
+    #[test]
+    fn magic_flips_are_rejected(byte in 0usize..4, xor in 1u8..=255) {
+        let img = MmImage { vmas: vec![] };
+        let mut bytes = img.encode();
+        bytes[byte] ^= xor;
+        prop_assert!(MmImage::decode(&bytes).is_err());
+    }
+}

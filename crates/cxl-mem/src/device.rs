@@ -1,0 +1,623 @@
+//! The shared CXL memory device.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::{CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
+
+/// The fabric-attached CXL memory device, shared by all nodes.
+///
+/// Thread-safe: all methods take `&self`; wrap the device in an
+/// [`std::sync::Arc`] and hand one handle to each simulated node. Every
+/// access records per-node counters so experiments can report locality and
+/// traffic; latency is charged by callers via
+/// [`simclock::LatencyModel`].
+///
+/// # Example
+///
+/// ```
+/// use cxl_mem::{CxlDevice, NodeId, PageData};
+///
+/// # fn main() -> Result<(), cxl_mem::CxlError> {
+/// let dev = CxlDevice::with_capacity_mib(16);
+/// let region = dev.create_region("ckpt");
+/// let pages = dev.alloc_pages(region, 4)?;
+/// dev.write_page(pages[0], PageData::pattern(1), NodeId(0))?;
+/// assert_eq!(dev.read_page(pages[0], NodeId(1))?, PageData::pattern(1));
+/// assert_eq!(dev.used_pages(), 4);
+/// dev.destroy_region(region)?;
+/// assert_eq!(dev.used_pages(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CxlDevice {
+    capacity_pages: u64,
+    state: RwLock<DeviceState>,
+}
+
+#[derive(Debug, Default)]
+struct DeviceState {
+    /// Slab of page slots; `None` marks a freed slot awaiting reuse.
+    pages: Vec<Option<PageSlot>>,
+    /// Recycled slot indexes.
+    free: Vec<u64>,
+    used_pages: u64,
+    regions: BTreeMap<RegionId, Region>,
+    next_region: u64,
+    stats: CxlDeviceStats,
+}
+
+#[derive(Debug)]
+struct PageSlot {
+    data: PageData,
+    region: RegionId,
+}
+
+#[derive(Debug)]
+struct Region {
+    name: String,
+    pages: u64,
+}
+
+/// Per-node traffic counters for the device.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CxlDeviceStats {
+    /// Read operations per node.
+    pub reads: BTreeMap<NodeId, u64>,
+    /// Written bytes per node.
+    pub bytes_written: BTreeMap<NodeId, u64>,
+    /// Read bytes per node.
+    pub bytes_read: BTreeMap<NodeId, u64>,
+    /// Write operations per node.
+    pub writes: BTreeMap<NodeId, u64>,
+}
+
+impl CxlDeviceStats {
+    /// Total read operations across all nodes.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.values().sum()
+    }
+
+    /// Total write operations across all nodes.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.values().sum()
+    }
+}
+
+/// Usage summary for one region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionUsage {
+    /// Region name supplied at creation.
+    pub name: String,
+    /// Live pages in the region.
+    pub pages: u64,
+    /// Live bytes (pages × 4 KiB).
+    pub bytes: u64,
+}
+
+impl CxlDevice {
+    /// Creates a device with a capacity given in pages.
+    pub fn new(capacity_pages: u64) -> Self {
+        CxlDevice {
+            capacity_pages,
+            state: RwLock::new(DeviceState::default()),
+        }
+    }
+
+    /// Creates a device with a capacity given in MiB (the evaluation
+    /// platform has a 16 GiB DIMM; tests use much smaller devices).
+    pub fn with_capacity_mib(mib: u64) -> Self {
+        CxlDevice::new(mib * 1024 * 1024 / PAGE_SIZE)
+    }
+
+    /// Total device capacity, in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Currently allocated pages.
+    pub fn used_pages(&self) -> u64 {
+        self.state.read().used_pages
+    }
+
+    /// Currently free pages.
+    pub fn free_pages(&self) -> u64 {
+        self.capacity_pages - self.used_pages()
+    }
+
+    /// Fraction of the device in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_pages == 0 {
+            return 1.0;
+        }
+        self.used_pages() as f64 / self.capacity_pages as f64
+    }
+
+    /// Creates a new (empty) region.
+    pub fn create_region(&self, name: &str) -> RegionId {
+        let mut st = self.state.write();
+        let id = RegionId(st.next_region);
+        st.next_region += 1;
+        st.regions.insert(
+            id,
+            Region {
+                name: name.to_owned(),
+                pages: 0,
+            },
+        );
+        id
+    }
+
+    /// Allocates one zeroed page into `region`.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::OutOfDeviceMemory`] if the device is full;
+    /// [`CxlError::BadRegion`] if the region does not exist.
+    pub fn alloc_page(&self, region: RegionId) -> Result<CxlPageId, CxlError> {
+        Ok(self.alloc_pages(region, 1)?[0])
+    }
+
+    /// Allocates `n` zeroed pages into `region`.
+    ///
+    /// All-or-nothing: on failure no pages are allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::OutOfDeviceMemory`] if fewer than `n` pages are free;
+    /// [`CxlError::BadRegion`] if the region does not exist.
+    pub fn alloc_pages(&self, region: RegionId, n: u64) -> Result<Vec<CxlPageId>, CxlError> {
+        let mut st = self.state.write();
+        if !st.regions.contains_key(&region) {
+            return Err(CxlError::BadRegion(region));
+        }
+        let available = self.capacity_pages - st.used_pages;
+        if n > available {
+            return Err(CxlError::OutOfDeviceMemory {
+                requested: n,
+                available,
+            });
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let idx = match st.free.pop() {
+                Some(idx) => {
+                    st.pages[idx as usize] = Some(PageSlot {
+                        data: PageData::zeroed(),
+                        region,
+                    });
+                    idx
+                }
+                None => {
+                    st.pages.push(Some(PageSlot {
+                        data: PageData::zeroed(),
+                        region,
+                    }));
+                    (st.pages.len() - 1) as u64
+                }
+            };
+            out.push(CxlPageId(idx));
+        }
+        st.used_pages += n;
+        if let Some(r) = st.regions.get_mut(&region) {
+            r.pages += n;
+        }
+        Ok(out)
+    }
+
+    /// Allocates enough pages in `region` to back `bytes` of checkpointed
+    /// metadata, returning the pages. Zero bytes allocates zero pages.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CxlDevice::alloc_pages`].
+    pub fn alloc_bytes(&self, region: RegionId, bytes: u64) -> Result<Vec<CxlPageId>, CxlError> {
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        self.alloc_pages(region, pages)
+    }
+
+    /// Frees one page.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if the page is not live.
+    pub fn free_page(&self, page: CxlPageId) -> Result<(), CxlError> {
+        let mut st = self.state.write();
+        let slot = st
+            .pages
+            .get_mut(page.0 as usize)
+            .and_then(Option::take)
+            .ok_or(CxlError::BadPage(page))?;
+        st.free.push(page.0);
+        st.used_pages -= 1;
+        if let Some(r) = st.regions.get_mut(&slot.region) {
+            r.pages -= 1;
+        }
+        Ok(())
+    }
+
+    /// Destroys a region, freeing all its pages. Returns the number of pages
+    /// freed. This is CXLporter's checkpoint-reclamation primitive (§5).
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadRegion`] if the region does not exist.
+    pub fn destroy_region(&self, region: RegionId) -> Result<u64, CxlError> {
+        let mut st = self.state.write();
+        let info = st
+            .regions
+            .remove(&region)
+            .ok_or(CxlError::BadRegion(region))?;
+        let mut freed = 0;
+        for idx in 0..st.pages.len() {
+            let belongs = matches!(&st.pages[idx], Some(slot) if slot.region == region);
+            if belongs {
+                st.pages[idx] = None;
+                st.free.push(idx as u64);
+                freed += 1;
+            }
+        }
+        debug_assert_eq!(freed, info.pages, "region page accounting drifted");
+        st.used_pages -= freed;
+        Ok(freed)
+    }
+
+    /// Usage summary of one region.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadRegion`] if the region does not exist.
+    pub fn region_usage(&self, region: RegionId) -> Result<RegionUsage, CxlError> {
+        let st = self.state.read();
+        let r = st.regions.get(&region).ok_or(CxlError::BadRegion(region))?;
+        Ok(RegionUsage {
+            name: r.name.clone(),
+            pages: r.pages,
+            bytes: r.pages * PAGE_SIZE,
+        })
+    }
+
+    /// Lists all live regions with their usage.
+    pub fn regions(&self) -> Vec<(RegionId, RegionUsage)> {
+        let st = self.state.read();
+        st.regions
+            .iter()
+            .map(|(id, r)| {
+                (
+                    *id,
+                    RegionUsage {
+                        name: r.name.clone(),
+                        pages: r.pages,
+                        bytes: r.pages * PAGE_SIZE,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Reads `buf.len()` bytes at `offset` within `page`, on behalf of
+    /// `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if the page is not live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte range leaves the page.
+    pub fn read(
+        &self,
+        page: CxlPageId,
+        offset: u64,
+        buf: &mut [u8],
+        node: NodeId,
+    ) -> Result<(), CxlError> {
+        let mut st = self.state.write();
+        let len = buf.len() as u64;
+        let slot = st
+            .pages
+            .get(page.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(CxlError::BadPage(page))?;
+        slot.data.read(offset, buf);
+        *st.stats.reads.entry(node).or_insert(0) += 1;
+        *st.stats.bytes_read.entry(node).or_insert(0) += len;
+        Ok(())
+    }
+
+    /// Writes `data` at `offset` within `page`, on behalf of `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if the page is not live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte range leaves the page.
+    pub fn write(
+        &self,
+        page: CxlPageId,
+        offset: u64,
+        data: &[u8],
+        node: NodeId,
+    ) -> Result<(), CxlError> {
+        let mut st = self.state.write();
+        let slot = st
+            .pages
+            .get_mut(page.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(CxlError::BadPage(page))?;
+        slot.data.write(offset, data);
+        *st.stats.writes.entry(node).or_insert(0) += 1;
+        *st.stats.bytes_written.entry(node).or_insert(0) += data.len() as u64;
+        Ok(())
+    }
+
+    /// Replaces the full contents of `page` (the checkpoint bulk-copy path,
+    /// modelling non-temporal stores, §8).
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if the page is not live.
+    pub fn write_page(
+        &self,
+        page: CxlPageId,
+        data: PageData,
+        node: NodeId,
+    ) -> Result<(), CxlError> {
+        let mut st = self.state.write();
+        let slot = st
+            .pages
+            .get_mut(page.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(CxlError::BadPage(page))?;
+        slot.data = data;
+        *st.stats.writes.entry(node).or_insert(0) += 1;
+        *st.stats.bytes_written.entry(node).or_insert(0) += PAGE_SIZE;
+        Ok(())
+    }
+
+    /// Returns a copy of the full contents of `page` (the CoW-fault /
+    /// migrate-on-access pull path).
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if the page is not live.
+    pub fn read_page(&self, page: CxlPageId, node: NodeId) -> Result<PageData, CxlError> {
+        let mut st = self.state.write();
+        let slot = st
+            .pages
+            .get(page.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(CxlError::BadPage(page))?;
+        let data = slot.data.clone();
+        *st.stats.reads.entry(node).or_insert(0) += 1;
+        *st.stats.bytes_read.entry(node).or_insert(0) += PAGE_SIZE;
+        Ok(data)
+    }
+
+    /// Content fingerprint of a page, for immutability assertions in tests.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if the page is not live.
+    pub fn fingerprint(&self, page: CxlPageId) -> Result<u64, CxlError> {
+        let st = self.state.read();
+        let slot = st
+            .pages
+            .get(page.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(CxlError::BadPage(page))?;
+        Ok(slot.data.fingerprint())
+    }
+
+    /// Creates a region wrapped in a [`RegionGuard`] that destroys it on
+    /// drop unless [`RegionGuard::commit`]ed — the pattern checkpoint
+    /// builders use so a failed (e.g. out-of-device-memory) checkpoint
+    /// never leaks a partial region.
+    pub fn create_region_guarded<'d>(&'d self, name: &str) -> RegionGuard<'d> {
+        RegionGuard {
+            device: self,
+            region: self.create_region(name),
+            armed: true,
+        }
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> CxlDeviceStats {
+        self.state.read().stats.clone()
+    }
+
+    /// Resets all traffic counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.state.write().stats = CxlDeviceStats::default();
+    }
+}
+
+/// A region that is destroyed (with all its pages) when dropped, unless
+/// committed.
+///
+/// # Example
+///
+/// ```
+/// use cxl_mem::CxlDevice;
+///
+/// let dev = CxlDevice::new(8);
+/// {
+///     let guard = dev.create_region_guarded("ckpt");
+///     dev.alloc_page(guard.id()).unwrap();
+///     // guard dropped without commit: pages freed
+/// }
+/// assert_eq!(dev.used_pages(), 0);
+/// let guard = dev.create_region_guarded("ckpt2");
+/// dev.alloc_page(guard.id()).unwrap();
+/// let region = guard.commit(); // keep it
+/// assert_eq!(dev.used_pages(), 1);
+/// # let _ = region;
+/// ```
+#[derive(Debug)]
+pub struct RegionGuard<'d> {
+    device: &'d CxlDevice,
+    region: RegionId,
+    armed: bool,
+}
+
+impl RegionGuard<'_> {
+    /// The guarded region's id.
+    pub fn id(&self) -> RegionId {
+        self.region
+    }
+
+    /// Disarms the guard and returns the region, which now lives until
+    /// explicitly destroyed.
+    pub fn commit(mut self) -> RegionId {
+        self.armed = false;
+        self.region
+    }
+}
+
+impl Drop for RegionGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.device.destroy_region(self.region);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> CxlDevice {
+        CxlDevice::new(64)
+    }
+
+    #[test]
+    fn region_guard_cleans_up_on_drop_and_commits() {
+        let d = dev();
+        {
+            let g = d.create_region_guarded("tmp");
+            d.alloc_pages(g.id(), 3).unwrap();
+            assert_eq!(d.used_pages(), 3);
+        }
+        assert_eq!(d.used_pages(), 0, "dropped guard frees pages");
+        let g = d.create_region_guarded("kept");
+        d.alloc_pages(g.id(), 2).unwrap();
+        let region = g.commit();
+        assert_eq!(d.used_pages(), 2);
+        assert!(d.region_usage(region).is_ok());
+    }
+
+    #[test]
+    fn alloc_and_free_track_usage() {
+        let d = dev();
+        let r = d.create_region("r");
+        let pages = d.alloc_pages(r, 10).unwrap();
+        assert_eq!(d.used_pages(), 10);
+        assert_eq!(d.free_pages(), 54);
+        d.free_page(pages[3]).unwrap();
+        assert_eq!(d.used_pages(), 9);
+        // Freed slot is recycled.
+        let p = d.alloc_page(r).unwrap();
+        assert_eq!(p, pages[3]);
+    }
+
+    #[test]
+    fn alloc_is_all_or_nothing() {
+        let d = dev();
+        let r = d.create_region("r");
+        let err = d.alloc_pages(r, 65).unwrap_err();
+        assert_eq!(
+            err,
+            CxlError::OutOfDeviceMemory {
+                requested: 65,
+                available: 64
+            }
+        );
+        assert_eq!(d.used_pages(), 0);
+    }
+
+    #[test]
+    fn alloc_into_missing_region_fails() {
+        let d = dev();
+        let bogus = RegionId(99);
+        assert_eq!(d.alloc_page(bogus).unwrap_err(), CxlError::BadRegion(bogus));
+    }
+
+    #[test]
+    fn fresh_pages_are_zeroed_even_after_reuse() {
+        let d = dev();
+        let r = d.create_region("r");
+        let p = d.alloc_page(r).unwrap();
+        d.write(p, 0, &[0xFF; 8], NodeId(0)).unwrap();
+        d.free_page(p).unwrap();
+        let p2 = d.alloc_page(r).unwrap();
+        assert_eq!(p2, p);
+        let mut buf = [0xAAu8; 8];
+        d.read(p2, 0, &mut buf, NodeId(0)).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn cross_node_visibility() {
+        let d = dev();
+        let r = d.create_region("r");
+        let p = d.alloc_page(r).unwrap();
+        d.write_page(p, PageData::pattern(5), NodeId(0)).unwrap();
+        assert_eq!(d.read_page(p, NodeId(1)).unwrap(), PageData::pattern(5));
+    }
+
+    #[test]
+    fn destroy_region_frees_all_its_pages_only() {
+        let d = dev();
+        let ra = d.create_region("a");
+        let rb = d.create_region("b");
+        let pa = d.alloc_pages(ra, 5).unwrap();
+        let pb = d.alloc_pages(rb, 3).unwrap();
+        assert_eq!(d.destroy_region(ra).unwrap(), 5);
+        assert_eq!(d.used_pages(), 3);
+        assert_eq!(d.fingerprint(pa[0]).unwrap_err(), CxlError::BadPage(pa[0]));
+        assert!(d.fingerprint(pb[0]).is_ok());
+        // Region gone.
+        assert!(d.region_usage(ra).is_err());
+        assert_eq!(d.region_usage(rb).unwrap().pages, 3);
+    }
+
+    #[test]
+    fn stats_count_per_node_traffic() {
+        let d = dev();
+        let r = d.create_region("r");
+        let p = d.alloc_page(r).unwrap();
+        d.write(p, 0, &[1, 2, 3], NodeId(0)).unwrap();
+        let mut buf = [0u8; 2];
+        d.read(p, 0, &mut buf, NodeId(1)).unwrap();
+        d.read(p, 0, &mut buf, NodeId(1)).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes[&NodeId(0)], 1);
+        assert_eq!(s.bytes_written[&NodeId(0)], 3);
+        assert_eq!(s.reads[&NodeId(1)], 2);
+        assert_eq!(s.bytes_read[&NodeId(1)], 4);
+        assert_eq!(s.total_reads(), 2);
+        d.reset_stats();
+        assert_eq!(d.stats().total_reads(), 0);
+    }
+
+    #[test]
+    fn utilization_and_alloc_bytes() {
+        let d = dev();
+        let r = d.create_region("r");
+        let pages = d.alloc_bytes(r, PAGE_SIZE * 3 + 1).unwrap();
+        assert_eq!(pages.len(), 4);
+        assert!((d.utilization() - 4.0 / 64.0).abs() < 1e-12);
+        assert!(d.alloc_bytes(r, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn device_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CxlDevice>();
+    }
+}

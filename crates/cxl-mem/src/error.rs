@@ -1,0 +1,75 @@
+//! Error type for CXL device operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CxlPageId, RegionId};
+
+/// Errors returned by [`CxlDevice`](crate::CxlDevice) and
+/// [`CxlFs`](crate::CxlFs) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CxlError {
+    /// The device has no free pages left for the requested allocation.
+    OutOfDeviceMemory {
+        /// Pages the caller asked for.
+        requested: u64,
+        /// Pages currently free on the device.
+        available: u64,
+    },
+    /// The page id does not name a live page (never allocated, or freed).
+    BadPage(CxlPageId),
+    /// The region id does not name a live region.
+    BadRegion(RegionId),
+    /// A filesystem path was not found.
+    FileNotFound(String),
+    /// A filesystem path already exists and overwrite was not requested.
+    FileExists(String),
+}
+
+impl fmt::Display for CxlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CxlError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of CXL device memory: requested {requested} pages, {available} free"
+            ),
+            CxlError::BadPage(p) => write!(f, "no such CXL page: {p}"),
+            CxlError::BadRegion(r) => write!(f, "no such CXL region: {r}"),
+            CxlError::FileNotFound(p) => write!(f, "no such file on CXL fs: {p}"),
+            CxlError::FileExists(p) => write!(f, "file already exists on CXL fs: {p}"),
+        }
+    }
+}
+
+impl Error for CxlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CxlError::OutOfDeviceMemory {
+            requested: 8,
+            available: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "out of CXL device memory: requested 8 pages, 2 free"
+        );
+        assert!(CxlError::BadPage(CxlPageId(3)).to_string().contains("pfn"));
+        assert!(CxlError::FileNotFound("a/b".into())
+            .to_string()
+            .contains("a/b"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CxlError>();
+    }
+}

@@ -1,0 +1,104 @@
+//! Identifier newtypes for the CXL device address space.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::PAGE_SIZE;
+
+/// A compute node attached to the CXL fabric.
+///
+/// The evaluation platform models a two-node cluster (one VM per socket,
+/// §6.1), but nothing in the simulation limits the node count.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A device-stable page number on the CXL device.
+///
+/// Page numbers are the machine-independent currency of CXLfork checkpoints:
+/// the rebase pass (§4.1) rewrites node-local frame numbers into
+/// `CxlPageId`s so that any OS instance can dereference checkpointed
+/// metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CxlPageId(pub u64);
+
+impl CxlPageId {
+    /// The byte offset of the start of this page on the device.
+    #[inline]
+    pub const fn offset(self) -> CxlOffset {
+        CxlOffset(self.0 * PAGE_SIZE)
+    }
+}
+
+impl fmt::Display for CxlPageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cxl:pfn{:#x}", self.0)
+    }
+}
+
+/// A byte offset into the CXL device's physical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CxlOffset(pub u64);
+
+impl CxlOffset {
+    /// The page containing this offset.
+    #[inline]
+    pub const fn page(self) -> CxlPageId {
+        CxlPageId(self.0 / PAGE_SIZE)
+    }
+
+    /// The offset within its page.
+    #[inline]
+    pub const fn in_page(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+}
+
+impl fmt::Display for CxlOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cxl+{:#x}", self.0)
+    }
+}
+
+/// A named group of device pages, used for checkpoint-granularity
+/// accounting and reclamation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u64);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_offset_roundtrip() {
+        let p = CxlPageId(5);
+        assert_eq!(p.offset(), CxlOffset(5 * PAGE_SIZE));
+        assert_eq!(p.offset().page(), p);
+        assert_eq!(p.offset().in_page(), 0);
+        let o = CxlOffset(5 * PAGE_SIZE + 17);
+        assert_eq!(o.page(), p);
+        assert_eq!(o.in_page(), 17);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(CxlPageId(16).to_string(), "cxl:pfn0x10");
+        assert_eq!(CxlOffset(32).to_string(), "cxl+0x20");
+        assert_eq!(RegionId(2).to_string(), "region#2");
+    }
+}

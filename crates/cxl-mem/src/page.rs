@@ -1,0 +1,331 @@
+//! Compact page contents.
+//!
+//! Simulated address spaces reach hundreds of megabytes per function
+//! instance and the CXLporter experiments keep hundreds of instances alive,
+//! so storing every 4 KiB page verbatim would cost the host real gigabytes.
+//! [`PageData`] instead stores a page as one of:
+//!
+//! * `Zero` — an untouched, zero-filled page;
+//! * `Pattern` — a page procedurally filled from a 64-bit seed (what the
+//!   workload generators write);
+//! * `Bytes` — a verbatim 4 KiB buffer, used as soon as a caller writes
+//!   arbitrary data.
+//!
+//! All three compare by *content*, so tests can verify copy-on-write
+//! isolation and checkpoint immutability by byte equality regardless of
+//! representation.
+
+use std::fmt;
+
+use crate::PAGE_SIZE;
+
+/// The contents of one 4 KiB page.
+///
+/// # Example
+///
+/// ```
+/// use cxl_mem::PageData;
+///
+/// let mut page = PageData::pattern(42);
+/// let before = page.byte_at(100);
+/// page.write(100, &[before ^ 0xFF]);
+/// assert_ne!(page, PageData::pattern(42));
+/// let mut copy = page.clone();
+/// copy.write(0, &[1, 2, 3]);
+/// assert_ne!(copy, page); // copies are independent
+/// ```
+#[derive(Clone, Default)]
+pub enum PageData {
+    /// A zero-filled page.
+    #[default]
+    Zero,
+    /// A page deterministically filled from a seed.
+    Pattern {
+        /// The fill seed; byte `i` is `mix(seed, i)`.
+        seed: u64,
+    },
+    /// A verbatim page.
+    Bytes(Box<[u8]>),
+}
+
+impl PageData {
+    /// A fresh zero page.
+    pub const fn zeroed() -> Self {
+        PageData::Zero
+    }
+
+    /// A page filled from `seed`.
+    pub const fn pattern(seed: u64) -> Self {
+        PageData::Pattern { seed }
+    }
+
+    /// A page initialized from up to [`PAGE_SIZE`] literal bytes
+    /// (zero-padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than a page.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(
+            bytes.len() as u64 <= PAGE_SIZE,
+            "page literal of {} bytes exceeds page size",
+            bytes.len()
+        );
+        let mut buf = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
+        buf[..bytes.len()].copy_from_slice(bytes);
+        PageData::Bytes(buf)
+    }
+
+    #[inline]
+    fn pattern_byte(seed: u64, index: u64) -> u8 {
+        // SplitMix64-style mix of (seed, index); cheap and well distributed.
+        let mut z = seed ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u8
+    }
+
+    /// The byte at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= PAGE_SIZE`.
+    #[inline]
+    pub fn byte_at(&self, index: u64) -> u8 {
+        assert!(index < PAGE_SIZE, "byte index {index} out of page");
+        match self {
+            PageData::Zero => 0,
+            PageData::Pattern { seed } => Self::pattern_byte(*seed, index),
+            PageData::Bytes(b) => b[index as usize],
+        }
+    }
+
+    /// Copies `buf.len()` bytes starting at `offset` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range `offset..offset + buf.len()` leaves the page.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        let end = offset + buf.len() as u64;
+        assert!(end <= PAGE_SIZE, "read range {offset}..{end} out of page");
+        match self {
+            PageData::Zero => buf.fill(0),
+            PageData::Pattern { seed } => {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = Self::pattern_byte(*seed, offset + i as u64);
+                }
+            }
+            PageData::Bytes(bytes) => {
+                buf.copy_from_slice(&bytes[offset as usize..end as usize]);
+            }
+        }
+    }
+
+    /// Writes `data` starting at `offset`, upgrading the representation to
+    /// `Bytes` if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range `offset..offset + data.len()` leaves the page.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        let end = offset + data.len() as u64;
+        assert!(end <= PAGE_SIZE, "write range {offset}..{end} out of page");
+        if data.is_empty() {
+            return;
+        }
+        // Whole-page writes and pattern-preserving fast paths.
+        let bytes = match self {
+            PageData::Bytes(b) => b,
+            other => {
+                let mut buf = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
+                other.read(0, &mut buf);
+                *other = PageData::Bytes(buf);
+                match other {
+                    PageData::Bytes(b) => b,
+                    _ => unreachable!("just upgraded to Bytes"),
+                }
+            }
+        };
+        bytes[offset as usize..end as usize].copy_from_slice(data);
+    }
+
+    /// Replaces the entire page content with a pattern fill, keeping the
+    /// compact representation. This is what workload generators use to
+    /// "dirty" a page cheaply.
+    pub fn fill_pattern(&mut self, seed: u64) {
+        *self = PageData::Pattern { seed };
+    }
+
+    /// Approximate host-memory footprint of this representation, in bytes.
+    /// Used only for simulator self-diagnostics, never for experiment
+    /// accounting (experiments always account full pages).
+    pub fn host_footprint(&self) -> usize {
+        match self {
+            PageData::Zero | PageData::Pattern { .. } => std::mem::size_of::<PageData>(),
+            PageData::Bytes(_) => std::mem::size_of::<PageData>() + PAGE_SIZE as usize,
+        }
+    }
+
+    /// A 64-bit content fingerprint: FNV-1a over all 4096 logical bytes,
+    /// independent of the storage representation (two content-equal pages
+    /// always fingerprint identically).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        match self {
+            PageData::Bytes(b) => {
+                for &byte in b.iter() {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+            other => {
+                for i in 0..PAGE_SIZE {
+                    h ^= u64::from(other.byte_at(i));
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+}
+
+impl PartialEq for PageData {
+    /// Content equality: two pages are equal iff all 4096 bytes are equal,
+    /// regardless of representation.
+    fn eq(&self, other: &Self) -> bool {
+        use PageData::*;
+        match (self, other) {
+            (Zero, Zero) => true,
+            (Pattern { seed: a }, Pattern { seed: b }) if a == b => true,
+            _ => (0..PAGE_SIZE).all(|i| self.byte_at(i) == other.byte_at(i)),
+        }
+    }
+}
+
+impl Eq for PageData {}
+
+impl fmt::Debug for PageData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageData::Zero => write!(f, "PageData::Zero"),
+            PageData::Pattern { seed } => write!(f, "PageData::Pattern({seed:#x})"),
+            PageData::Bytes(b) => write!(
+                f,
+                "PageData::Bytes[{:02x}{:02x}{:02x}{:02x}..]",
+                b[0], b[1], b[2], b[3]
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_page_reads_zero() {
+        let p = PageData::zeroed();
+        let mut buf = [0xFFu8; 8];
+        p.read(100, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+        assert_eq!(p.byte_at(PAGE_SIZE - 1), 0);
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_nontrivial() {
+        let p = PageData::pattern(7);
+        let q = PageData::pattern(7);
+        assert_eq!(p, q);
+        // Different seeds should (overwhelmingly) produce different bytes
+        // somewhere early in the page.
+        let r = PageData::pattern(8);
+        assert_ne!(p, r);
+        // Not all bytes identical.
+        let first = p.byte_at(0);
+        assert!((1..64).any(|i| p.byte_at(i) != first));
+    }
+
+    #[test]
+    fn write_upgrades_and_preserves_other_bytes() {
+        let mut p = PageData::pattern(3);
+        let keep = p.byte_at(0);
+        let sentinel = p.byte_at(512);
+        p.write(256, &[9, 9, 9]);
+        assert_eq!(p.byte_at(0), keep);
+        assert_eq!(p.byte_at(512), sentinel);
+        assert_eq!(p.byte_at(257), 9);
+        assert!(matches!(p, PageData::Bytes(_)));
+    }
+
+    #[test]
+    fn empty_write_does_not_upgrade() {
+        let mut p = PageData::pattern(3);
+        p.write(0, &[]);
+        assert!(matches!(p, PageData::Pattern { .. }));
+    }
+
+    #[test]
+    fn content_equality_crosses_representations() {
+        let zero_bytes = PageData::from_bytes(&[]);
+        assert_eq!(zero_bytes, PageData::Zero);
+        let mut pat_as_bytes = PageData::pattern(11);
+        pat_as_bytes.write(0, &[pat_as_bytes.byte_at(0)]); // force upgrade, same content
+        assert_eq!(pat_as_bytes, PageData::pattern(11));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = PageData::from_bytes(&[1, 2, 3]);
+        let b = a.clone();
+        a.write(0, &[9]);
+        assert_eq!(b.byte_at(0), 1);
+        assert_eq!(a.byte_at(0), 9);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut p = PageData::zeroed();
+        let data: Vec<u8> = (0..64).map(|i| i as u8 ^ 0x5A).collect();
+        p.write(1000, &data);
+        let mut out = vec![0u8; 64];
+        p.read(1000, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page")]
+    fn write_past_end_panics() {
+        let mut p = PageData::zeroed();
+        p.write(PAGE_SIZE - 2, &[0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page")]
+    fn read_past_end_panics() {
+        let p = PageData::zeroed();
+        let mut buf = [0u8; 4];
+        p.read(PAGE_SIZE - 1, &mut buf);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        assert_ne!(
+            PageData::pattern(1).fingerprint(),
+            PageData::pattern(2).fingerprint()
+        );
+        assert_ne!(
+            PageData::Zero.fingerprint(),
+            PageData::from_bytes(&[1]).fingerprint()
+        );
+        assert_eq!(
+            PageData::from_bytes(&[1, 2]).fingerprint(),
+            PageData::from_bytes(&[1, 2]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn host_footprint_reflects_representation() {
+        assert!(PageData::Zero.host_footprint() < 64);
+        assert!(PageData::from_bytes(&[1]).host_footprint() >= PAGE_SIZE as usize);
+    }
+}

@@ -1,0 +1,99 @@
+//! The simulated CXL-interconnected cluster.
+
+use std::sync::Arc;
+
+use cxl_mem::CxlDevice;
+use node_os::fs::SharedFs;
+use node_os::{Node, NodeConfig};
+use simclock::LatencyModel;
+
+/// A cluster of nodes sharing one CXL device and one root filesystem.
+///
+/// The evaluation platform is a two-node cluster (one VM per socket) with
+/// a 16 GiB CXL device (§6.1); the builder accepts any geometry.
+#[derive(Debug)]
+pub struct Cluster {
+    /// The compute nodes.
+    pub nodes: Vec<Node>,
+    /// The shared CXL memory device.
+    pub device: Arc<CxlDevice>,
+    /// The shared root filesystem.
+    pub rootfs: Arc<SharedFs>,
+}
+
+impl Cluster {
+    /// Builds a cluster of `node_count` nodes with `node_mem_mib` of local
+    /// DRAM each and a `cxl_mib` CXL device.
+    pub fn new(node_count: usize, node_mem_mib: u64, cxl_mib: u64, model: LatencyModel) -> Self {
+        let device = Arc::new(CxlDevice::with_capacity_mib(cxl_mib));
+        let rootfs = Arc::new(SharedFs::new());
+        let nodes = (0..node_count)
+            .map(|i| {
+                Node::with_rootfs(
+                    NodeConfig::default()
+                        .with_id(i as u32)
+                        .with_local_mem_mib(node_mem_mib)
+                        .with_model(model.clone()),
+                    Arc::clone(&device),
+                    Arc::clone(&rootfs),
+                )
+            })
+            .collect();
+        Cluster {
+            nodes,
+            device,
+            rootfs,
+        }
+    }
+
+    /// The paper's platform: two nodes, 16 GiB CXL device.
+    pub fn paper_platform(node_mem_mib: u64) -> Self {
+        Cluster::new(2, node_mem_mib, 16 * 1024, LatencyModel::calibrated())
+    }
+
+    /// Index of the node with the most free local memory.
+    pub fn least_loaded(&self) -> usize {
+        self.nodes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| {
+                // Sort by utilization scaled to integers.
+                (n.frames().utilization() * 1e9) as u64
+            })
+            .map(|(i, _)| i)
+            .expect("cluster has at least one node")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_shares_device_and_rootfs() {
+        let c = Cluster::new(3, 64, 128, LatencyModel::calibrated());
+        assert_eq!(c.nodes.len(), 3);
+        c.rootfs.create("/shared", 10, 1);
+        for n in &c.nodes {
+            assert!(n.rootfs().exists("/shared"));
+            assert!(Arc::ptr_eq(n.device(), &c.device));
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_free_node() {
+        let mut c = Cluster::new(2, 64, 16, LatencyModel::calibrated());
+        // Load node 0.
+        for _ in 0..1000 {
+            c.nodes[0].frames_mut().alloc_zeroed().unwrap();
+        }
+        assert_eq!(c.least_loaded(), 1);
+    }
+
+    #[test]
+    fn paper_platform_geometry() {
+        let c = Cluster::paper_platform(1024);
+        assert_eq!(c.nodes.len(), 2);
+        assert_eq!(c.device.capacity_pages(), 16 * 1024 * 256);
+    }
+}

@@ -1,0 +1,788 @@
+//! The CXLporter autoscaler (§5).
+//!
+//! CXLporter scales function instances up and down across a
+//! CXL-interconnected cluster using a pluggable remote-fork mechanism. It
+//! performs the five operations §5 lists:
+//!
+//! 1. **appropriately-timed checkpoints** — a function is checkpointed
+//!    after its 16th invocation (JIT warm-up), and its A/D bits are
+//!    cleared after the first invocation so the checkpoint records the
+//!    steady-state access pattern;
+//! 2. **an object store of checkpoints** keyed by function;
+//! 3. **a pool of ghost containers** — pre-provisioned empty containers
+//!    (512 KiB each) that absorb the ≈130 ms container-creation cost;
+//! 4. **tiering-policy control** — by default migrate-on-write; functions
+//!    whose latency approaches their SLO are promoted to hybrid tiering,
+//!    unless node memory exceeds the HighMem threshold (90 %);
+//! 5. **dynamic keep-alive windows** — shrunk to 10 s under memory
+//!    pressure so idle instances are reclaimed faster.
+
+use std::collections::BTreeMap;
+
+use node_os::addr::Pid;
+use node_os::OsError;
+use rfork::{RemoteFork, RestoreOptions, TierPolicy};
+use simclock::stats::LatencyHistogram;
+use simclock::{SimDuration, SimTime};
+use trace_gen::Invocation;
+
+use faas::{Container, FunctionSpec};
+
+use crate::cluster::Cluster;
+use crate::store::ObjectStore;
+
+/// Autoscaler configuration.
+#[derive(Debug, Clone)]
+pub struct PorterConfig {
+    /// Checkpoint a function after this many invocations (§5: 16).
+    pub checkpoint_after: u64,
+    /// Keep-alive window with ample memory (minutes in production; the
+    /// paper cites multi-minute windows).
+    pub keep_alive: SimDuration,
+    /// Keep-alive window under memory pressure (§5: 10 s).
+    pub pressure_keep_alive: SimDuration,
+    /// Local-memory utilization above which a node counts as pressured
+    /// (§5/§6.2: HighMem = 90 %).
+    pub high_mem_threshold: f64,
+    /// Ghost containers pre-provisioned per node.
+    pub ghost_pool_per_node: usize,
+    /// Whether the mechanism restores into ghost containers (CXLfork and
+    /// Mitosis do; CRIU "is not compatible with ghost containers", §6.2).
+    pub use_ghost_containers: bool,
+    /// Dynamically switch tiering policies based on SLO + memory
+    /// pressure. When `false`, `static_policy` is always used.
+    pub dynamic_tiering: bool,
+    /// Policy used when `dynamic_tiering` is off.
+    pub static_policy: TierPolicy,
+    /// SLO multiplier over the observed warm latency.
+    pub slo_factor: f64,
+    /// Interval between A-bit maintenance resets.
+    pub maintenance_interval: SimDuration,
+    /// CXL device utilization above which stored checkpoints are
+    /// reclaimed, coldest first (§5: CXLporter "is also responsible for
+    /// reclaiming checkpoints under CXL memory pressure").
+    pub cxl_reclaim_threshold: f64,
+    /// Per-function keep-alive overrides (the paper leaves "different
+    /// window sizes for different functions" as future work, §5; CXLfork's
+    /// cheap restores make short windows safe for functions with fast
+    /// cold paths).
+    pub per_function_keep_alive: BTreeMap<String, SimDuration>,
+}
+
+impl Default for PorterConfig {
+    fn default() -> Self {
+        PorterConfig {
+            checkpoint_after: 16,
+            keep_alive: SimDuration::from_secs(600),
+            pressure_keep_alive: SimDuration::from_secs(10),
+            high_mem_threshold: 0.9,
+            ghost_pool_per_node: 10,
+            use_ghost_containers: true,
+            dynamic_tiering: true,
+            static_policy: TierPolicy::MigrateOnWrite,
+            slo_factor: 1.3,
+            maintenance_interval: SimDuration::from_secs(10),
+            cxl_reclaim_threshold: 0.9,
+            per_function_keep_alive: BTreeMap::new(),
+        }
+    }
+}
+
+impl PorterConfig {
+    /// The full CXLporter configuration (dynamic tiering, ghosts).
+    pub fn cxlfork_dynamic() -> Self {
+        PorterConfig::default()
+    }
+
+    /// CXLfork with migrate-on-write pinned statically (the
+    /// `CXLfork-MoW` variant of Fig. 10).
+    pub fn cxlfork_static_mow() -> Self {
+        PorterConfig {
+            dynamic_tiering: false,
+            static_policy: TierPolicy::MigrateOnWrite,
+            ..PorterConfig::default()
+        }
+    }
+
+    /// Mitosis-CXL: ghost containers, no tiering choice (the mechanism is
+    /// inherently migrate-on-access).
+    pub fn mitosis() -> Self {
+        PorterConfig {
+            dynamic_tiering: false,
+            static_policy: TierPolicy::MigrateOnAccess,
+            ..PorterConfig::default()
+        }
+    }
+
+    /// CRIU-CXL: no ghost containers (checkpoints restore from the
+    /// filesystem into freshly created containers, §6.2).
+    pub fn criu() -> Self {
+        PorterConfig {
+            use_ghost_containers: false,
+            dynamic_tiering: false,
+            static_policy: TierPolicy::MigrateOnWrite,
+            ..PorterConfig::default()
+        }
+    }
+}
+
+/// One live function instance.
+#[derive(Debug)]
+struct Instance {
+    /// Stable identifier (vector positions shift under reclamation).
+    id: u64,
+    node: usize,
+    container: Container,
+    pid: Pid,
+    function: String,
+    busy_until: SimTime,
+    last_used: SimTime,
+    invocations: u64,
+    /// `true` if this instance was cold-deployed (checkpoint candidate).
+    cold_started: bool,
+}
+
+/// Per-function latency tracking for SLO-driven tiering (§5: CXLporter
+/// "monitors the tail and average latency of function instances").
+#[derive(Debug, Default, Clone)]
+struct FnStats {
+    /// EWMA over all request latencies.
+    ewma_ns: f64,
+    /// EWMA over warm-instance latencies only — the signal that
+    /// CXL-resident read-only data is slowing steady-state execution.
+    ewma_warm_ns: f64,
+    /// Best warm latency ever seen (the function's local-memory speed).
+    min_warm_ns: u64,
+    /// Warm invocations that individually exceeded the SLO.
+    slo_breaches: u32,
+}
+
+impl FnStats {
+    fn observe(&mut self, latency: SimDuration, warm: bool) {
+        let ns = latency.as_nanos() as f64;
+        self.ewma_ns = if self.ewma_ns == 0.0 {
+            ns
+        } else {
+            0.8 * self.ewma_ns + 0.2 * ns
+        };
+        if warm {
+            self.ewma_warm_ns = if self.ewma_warm_ns == 0.0 {
+                ns
+            } else {
+                0.8 * self.ewma_warm_ns + 0.2 * ns
+            };
+            let ns = latency.as_nanos();
+            if self.min_warm_ns == 0 || ns < self.min_warm_ns {
+                self.min_warm_ns = ns;
+            }
+        }
+    }
+
+    /// Records SLO breaches after the minimum is known. Called with the
+    /// same warm samples as [`FnStats::observe`].
+    fn note_breach(&mut self, latency: SimDuration, slo_factor: f64) {
+        if self.min_warm_ns > 0 && latency.as_nanos() as f64 > self.min_warm_ns as f64 * slo_factor
+        {
+            self.slo_breaches += 1;
+        }
+    }
+
+    /// `true` once warm executions have repeatedly exceeded the SLO
+    /// relative to the best observed warm latency (tail-sensitive, as §5's
+    /// "monitors the tail and average latency").
+    fn over_slo(&self, slo_factor: f64) -> bool {
+        self.slo_breaches >= 3
+            || (self.min_warm_ns > 0 && self.ewma_warm_ns > self.min_warm_ns as f64 * slo_factor)
+    }
+}
+
+/// Aggregated results of a trace run.
+#[derive(Debug, Default)]
+pub struct PorterReport {
+    /// End-to-end latency per function.
+    pub per_function: BTreeMap<String, LatencyHistogram>,
+    /// End-to-end latency across all requests.
+    pub overall: LatencyHistogram,
+    /// Requests served by an idle warm instance.
+    pub warm_hits: u64,
+    /// Requests served by restoring from a checkpoint.
+    pub restores: u64,
+    /// Requests served by a full cold deployment.
+    pub full_cold: u64,
+    /// Requests dropped because memory could not be reclaimed.
+    pub dropped: u64,
+    /// Idle instances recycled for memory.
+    pub recycles: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Checkpoints reclaimed under CXL memory pressure.
+    pub checkpoint_reclaims: u64,
+    /// Restores that ran under hybrid tiering.
+    pub hybrid_restores: u64,
+    /// Peak local-memory pages per node.
+    pub peak_local_pages: Vec<u64>,
+    /// CXL device pages in use at the end of the run.
+    pub final_cxl_pages: u64,
+}
+
+impl PorterReport {
+    /// Fraction of requests that hit a warm instance.
+    pub fn warm_ratio(&self) -> f64 {
+        let total = self.warm_hits + self.restores + self.full_cold + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The autoscaler, generic over the remote-fork mechanism.
+///
+/// # Example
+///
+/// ```
+/// use cxlporter::{Cluster, CxlPorter, PorterConfig};
+/// use cxlfork::CxlFork;
+/// use trace_gen::{generate, TraceConfig};
+///
+/// let cluster = Cluster::new(2, 4096, 8192, simclock::LatencyModel::calibrated());
+/// let mut porter = CxlPorter::new(cluster, CxlFork::new(), PorterConfig::cxlfork_dynamic());
+/// let trace = generate(&TraceConfig {
+///     duration_secs: 2.0,
+///     total_rps: 4.0,
+///     ..TraceConfig::paper_default(vec!["Float".into(), "Json".into()], 7)
+/// });
+/// let report = porter.run_trace(&trace);
+/// assert!(report.overall.len() as usize <= trace.len());
+/// ```
+#[derive(Debug)]
+pub struct CxlPorter<M: RemoteFork> {
+    mech: M,
+    config: PorterConfig,
+    /// The cluster (public for post-run inspection).
+    pub cluster: Cluster,
+    store: ObjectStore<M::Checkpoint>,
+    instances: Vec<Instance>,
+    ghost_pools: Vec<Vec<Container>>,
+    fn_stats: BTreeMap<String, FnStats>,
+    report: PorterReport,
+    next_container_id: u64,
+    next_instance_id: u64,
+    last_maintenance: SimTime,
+    measure_from: SimTime,
+}
+
+impl<M: RemoteFork> CxlPorter<M> {
+    /// Builds the autoscaler and pre-provisions the ghost pools (charged
+    /// to the node clocks at t = 0, off every request's critical path).
+    pub fn new(mut cluster: Cluster, mech: M, config: PorterConfig) -> Self {
+        let mut next_container_id = 1;
+        let mut ghost_pools = Vec::with_capacity(cluster.nodes.len());
+        for node in &mut cluster.nodes {
+            let mut pool = Vec::new();
+            if config.use_ghost_containers {
+                for _ in 0..config.ghost_pool_per_node {
+                    if let Ok((c, _)) = Container::create(node, next_container_id) {
+                        next_container_id += 1;
+                        pool.push(c);
+                    }
+                }
+            }
+            ghost_pools.push(pool);
+        }
+        CxlPorter {
+            mech,
+            config,
+            cluster,
+            store: ObjectStore::new(),
+            instances: Vec::new(),
+            ghost_pools,
+            fn_stats: BTreeMap::new(),
+            report: PorterReport::default(),
+            next_container_id,
+            next_instance_id: 1,
+            last_maintenance: SimTime::ZERO,
+            measure_from: SimTime::ZERO,
+        }
+    }
+
+    /// Excludes requests arriving before `t` from the latency histograms
+    /// and counters (they still execute and warm the system). The
+    /// evaluation warms every function past its checkpoint before
+    /// measuring, so the steady-state tail is not polluted by first-ever
+    /// deployments.
+    pub fn set_measure_from(&mut self, t: SimTime) {
+        self.measure_from = t;
+    }
+
+    /// The underlying mechanism.
+    pub fn mechanism(&self) -> &M {
+        &self.mech
+    }
+
+    /// Runs a trace to completion and returns the report.
+    pub fn run_trace(&mut self, trace: &[Invocation]) -> PorterReport {
+        for inv in trace {
+            self.maintenance_tick(inv.time);
+            self.handle(inv);
+        }
+        let mut report = std::mem::take(&mut self.report);
+        report.peak_local_pages = self
+            .cluster
+            .nodes
+            .iter()
+            .map(|n| n.frames().peak_used())
+            .collect();
+        report.final_cxl_pages = self.cluster.device.used_pages();
+        report
+    }
+
+    fn maintenance_tick(&mut self, now: SimTime) {
+        if now - self.last_maintenance >= self.config.maintenance_interval {
+            self.last_maintenance = now;
+            for (_, entry) in self.store.iter() {
+                self.mech.maintain(&entry.checkpoint);
+            }
+        }
+    }
+
+    fn handle(&mut self, inv: &Invocation) {
+        let Some(spec) = faas::by_name(&inv.function) else {
+            return;
+        };
+        let now = inv.time;
+        self.evict_expired(now);
+
+        // Warm path: an idle instance of this function.
+        if let Some(id) = self.find_idle(&inv.function, now) {
+            let (node, pid, inv_idx) = {
+                let i = self.instance(id).expect("just found");
+                (i.node, i.pid, i.invocations)
+            };
+            self.cluster.nodes[node].clock_mut().advance_to(now);
+            match self.invoke_with_reclaim(node, pid, &spec, inv_idx, now) {
+                Some(result) => {
+                    self.report.warm_hits += 1;
+                    self.finish(id, now, SimDuration::ZERO, result, &spec, true);
+                }
+                None => {
+                    self.drop_instance_by_id(id);
+                    self.report.dropped += 1;
+                }
+            }
+            return;
+        }
+
+        // Cold path.
+        match self.cold_start(&spec, now) {
+            Some((id, startup)) => {
+                let (node, pid) = {
+                    let i = self.instance(id).expect("just created");
+                    (i.node, i.pid)
+                };
+                match self.invoke_with_reclaim(node, pid, &spec, 0, now) {
+                    Some(result) => {
+                        self.finish(id, now, startup, result, &spec, false);
+                    }
+                    None => {
+                        self.drop_instance_by_id(id);
+                        self.report.dropped += 1;
+                    }
+                }
+            }
+            None => {
+                self.report.dropped += 1;
+            }
+        }
+    }
+
+    fn instance(&self, id: u64) -> Option<&Instance> {
+        self.instances.iter().find(|i| i.id == id)
+    }
+
+    fn instance_pos(&self, id: u64) -> Option<usize> {
+        self.instances.iter().position(|i| i.id == id)
+    }
+
+    /// Completes a request: records latency, schedules the instance,
+    /// clears A/D bits after the first invocation, and checkpoints after
+    /// the sixteenth (§5).
+    fn finish(
+        &mut self,
+        id: u64,
+        now: SimTime,
+        startup: SimDuration,
+        result: faas::InvocationResult,
+        spec: &FunctionSpec,
+        warm: bool,
+    ) {
+        let latency = startup + result.total;
+        let idx = self
+            .instance_pos(id)
+            .expect("instance survives its own invocation (reclaim excludes it)");
+        let inst = &mut self.instances[idx];
+        inst.invocations += 1;
+        inst.busy_until = now + latency;
+        inst.last_used = inst.busy_until;
+        let node = inst.node;
+        let pid = inst.pid;
+        let invocations = inst.invocations;
+        let cold_started = inst.cold_started;
+
+        if now >= self.measure_from {
+            self.report
+                .per_function
+                .entry(spec.name.clone())
+                .or_default()
+                .record(latency);
+            self.report.overall.record(latency);
+        }
+        let slo_factor = self.config.slo_factor;
+        let stats = self.fn_stats.entry(spec.name.clone()).or_default();
+        stats.observe(latency, warm);
+        if warm {
+            stats.note_breach(latency, slo_factor);
+        }
+
+        if cold_started {
+            if invocations == 1 {
+                // §5: clear A/D after the first invocation so the bits
+                // capture the steady state.
+                let _ = faas::engine::clear_ad_bits(&mut self.cluster.nodes[node], pid);
+            }
+            if invocations == self.config.checkpoint_after && !self.store.contains(&spec.name) {
+                // Make room first if the device is short (a checkpoint
+                // needs roughly the footprint plus metadata).
+                self.reclaim_cxl_for(spec.footprint_pages() + spec.footprint_pages() / 16, "");
+                let ckpt = match self.mech.checkpoint(&mut self.cluster.nodes[node], pid) {
+                    Ok(c) => Some(c),
+                    Err(_) => {
+                        // Device full: evict everything evictable and retry
+                        // once.
+                        self.reclaim_cxl_for(u64::MAX, "");
+                        self.mech
+                            .checkpoint(&mut self.cluster.nodes[node], pid)
+                            .ok()
+                    }
+                };
+                if let Some(ckpt) = ckpt {
+                    self.store.put(&spec.name, ckpt, now);
+                    self.report.checkpoints += 1;
+                    self.reclaim_cxl_pressure(&spec.name);
+                }
+            }
+        }
+    }
+
+    fn find_idle(&self, function: &str, now: SimTime) -> Option<u64> {
+        self.instances
+            .iter()
+            .filter(|i| i.function == function && i.busy_until <= now)
+            .max_by_key(|i| i.last_used)
+            .map(|i| i.id)
+    }
+
+    /// Runs an invocation, reclaiming idle instances on OOM (the
+    /// memory-constrained runtime "has to recycle containers to serve
+    /// requests", §7.2).
+    fn invoke_with_reclaim(
+        &mut self,
+        node: usize,
+        pid: Pid,
+        spec: &FunctionSpec,
+        inv_idx: u64,
+        now: SimTime,
+    ) -> Option<faas::InvocationResult> {
+        for _attempt in 0..3 {
+            match faas::run_invocation(&mut self.cluster.nodes[node], pid, spec, inv_idx) {
+                Ok(r) => return Some(r),
+                Err(OsError::OutOfMemory { .. }) => {
+                    if !self.reclaim_one(node, now, Some(pid)) {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+
+    /// Cold start: restore from checkpoint if one exists, else full cold
+    /// deployment. Returns the instance index and the startup latency.
+    fn cold_start(&mut self, spec: &FunctionSpec, now: SimTime) -> Option<(u64, SimDuration)> {
+        let node = self.cluster.least_loaded();
+        self.cluster.nodes[node].clock_mut().advance_to(now);
+
+        if self.store.contains(&spec.name) {
+            let options = self.choose_options(spec, node);
+            if options.policy == TierPolicy::Hybrid {
+                self.report.hybrid_restores += 1;
+            }
+            // Memory pre-check against the policy's expected consumption.
+            let estimate = {
+                let entry = self.store.get(&spec.name).expect("checked above");
+                self.mech
+                    .restore_memory_estimate(&entry.checkpoint, options)
+            };
+            self.ensure_free(node, estimate + faas::BARE_CONTAINER_PAGES, now);
+
+            let (container, container_cost) = self.claim_container(node, now)?;
+            let restored = {
+                let entry = self
+                    .store
+                    .get_for_restore(&spec.name)
+                    .expect("checked above");
+                self.mech
+                    .restore_with(&entry.checkpoint, &mut self.cluster.nodes[node], options)
+            };
+            match restored {
+                Ok(r) => {
+                    let mut container = container;
+                    container.attach_process(&spec.name, r.pid);
+                    let id = self.next_instance_id;
+                    self.next_instance_id += 1;
+                    self.instances.push(Instance {
+                        id,
+                        node,
+                        container,
+                        pid: r.pid,
+                        function: spec.name.clone(),
+                        busy_until: now,
+                        last_used: now,
+                        invocations: 0,
+                        cold_started: false,
+                    });
+                    self.report.restores += 1;
+                    Some((id, container_cost + r.restore_latency))
+                }
+                Err(_) => {
+                    // Give the container back and drop the request.
+                    self.return_container(node, container);
+                    None
+                }
+            }
+        } else {
+            // First-ever deployment: full container + state init.
+            self.ensure_free(
+                node,
+                spec.footprint_pages() + faas::BARE_CONTAINER_PAGES,
+                now,
+            );
+            let (container, container_cost) = self.create_container(node)?;
+            match faas::deploy_cold(&mut self.cluster.nodes[node], spec) {
+                Ok((pid, init)) => {
+                    let mut container = container;
+                    container.attach_process(&spec.name, pid);
+                    let id = self.next_instance_id;
+                    self.next_instance_id += 1;
+                    self.instances.push(Instance {
+                        id,
+                        node,
+                        container,
+                        pid,
+                        function: spec.name.clone(),
+                        busy_until: now,
+                        last_used: now,
+                        invocations: 0,
+                        cold_started: true,
+                    });
+                    self.report.full_cold += 1;
+                    Some((id, container_cost + init.total))
+                }
+                Err(_) => {
+                    self.return_container(node, container);
+                    None
+                }
+            }
+        }
+    }
+
+    /// SLO- and memory-driven tiering choice (§5).
+    fn choose_options(&self, spec: &FunctionSpec, node: usize) -> RestoreOptions {
+        if !self.config.dynamic_tiering {
+            return match self.config.static_policy {
+                TierPolicy::MigrateOnWrite => RestoreOptions::mow(),
+                TierPolicy::MigrateOnAccess => RestoreOptions::moa(),
+                TierPolicy::Hybrid => RestoreOptions::hybrid(),
+            };
+        }
+        let util = self.cluster.nodes[node].frames().utilization();
+        if util >= self.config.high_mem_threshold {
+            // HighMem: no more hybrid promotions (§5).
+            return RestoreOptions::mow();
+        }
+        if let Some(s) = self.fn_stats.get(&spec.name) {
+            if s.over_slo(self.config.slo_factor) {
+                return RestoreOptions::hybrid();
+            }
+        }
+        RestoreOptions::mow()
+    }
+
+    /// Reclaims the coldest stored checkpoints while the CXL device is
+    /// over the pressure threshold (§5). Never evicts `keep` (the
+    /// checkpoint that was just stored).
+    fn reclaim_cxl_pressure(&mut self, keep: &str) {
+        while self.cluster.device.utilization() > self.config.cxl_reclaim_threshold {
+            if !self.evict_coldest(keep) {
+                break;
+            }
+        }
+    }
+
+    /// Reclaims coldest checkpoints until at least `pages` device pages
+    /// are free (best effort).
+    fn reclaim_cxl_for(&mut self, pages: u64, keep: &str) {
+        while self.cluster.device.free_pages() < pages {
+            if !self.evict_coldest(keep) {
+                break;
+            }
+        }
+    }
+
+    fn evict_coldest(&mut self, keep: &str) -> bool {
+        let victim = self
+            .store
+            .iter()
+            .filter(|(f, _)| *f != keep)
+            .min_by_key(|(_, s)| s.restores)
+            .map(|(f, _)| f.to_owned());
+        let Some(victim) = victim else { return false };
+        match self.store.remove(&victim) {
+            Some(ckpt) => {
+                let _ = self.mech.release_checkpoint(ckpt, &self.cluster.nodes[0]);
+                self.report.checkpoint_reclaims += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn claim_container(&mut self, node: usize, now: SimTime) -> Option<(Container, SimDuration)> {
+        if self.config.use_ghost_containers {
+            if let Some(c) = self.ghost_pools[node].pop() {
+                let cost = c.trigger(&mut self.cluster.nodes[node]);
+                // Background workers replenish the pool off the critical
+                // path (§5: CXLporter "provisions and caches" the ghosts);
+                // the ~130 ms creation cost is charged to the node's clock
+                // but never to a request.
+                let id = self.next_container_id;
+                self.next_container_id += 1;
+                if let Ok((fresh, _)) = Container::create(&mut self.cluster.nodes[node], id) {
+                    self.ghost_pools[node].push(fresh);
+                }
+                return Some((c, cost));
+            }
+        }
+        let created = self.create_container(node);
+        if created.is_none() {
+            // Last resort: reclaim and retry once.
+            if self.reclaim_one(node, now, None) {
+                return self.create_container(node);
+            }
+        }
+        created
+    }
+
+    fn create_container(&mut self, node: usize) -> Option<(Container, SimDuration)> {
+        let id = self.next_container_id;
+        self.next_container_id += 1;
+        Container::create(&mut self.cluster.nodes[node], id).ok()
+    }
+
+    fn return_container(&mut self, node: usize, container: Container) {
+        if self.config.use_ghost_containers
+            && self.ghost_pools[node].len() < self.config.ghost_pool_per_node
+        {
+            self.ghost_pools[node].push(container);
+        } else {
+            let _ = container.destroy(&mut self.cluster.nodes[node]);
+        }
+    }
+
+    /// Reclaims idle instances on `node` until at least `pages` frames
+    /// are free (best effort).
+    fn ensure_free(&mut self, node: usize, pages: u64, now: SimTime) {
+        while self.cluster.nodes[node].frames().available() < pages {
+            if !self.reclaim_one(node, now, None) {
+                break;
+            }
+        }
+    }
+
+    /// Kills the least-recently-used idle instance on `node`. Returns
+    /// `false` if none exists.
+    fn reclaim_one(&mut self, node: usize, now: SimTime, exclude_pid: Option<Pid>) -> bool {
+        let victim = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.node == node && i.busy_until <= now && Some(i.pid) != exclude_pid)
+            .min_by_key(|(_, i)| i.last_used)
+            .map(|(idx, _)| idx);
+        match victim {
+            Some(idx) => {
+                self.drop_instance(idx);
+                self.report.recycles += 1;
+                true
+            }
+            None => {
+                // No idle instance: drop the node's clean page cache (the
+                // OS reclamation path for file pages).
+                self.cluster.nodes[node].drop_page_cache() > 0
+            }
+        }
+    }
+
+    /// Evicts idle instances past their keep-alive window; the window
+    /// shrinks to 10 s on pressured nodes (§5).
+    fn evict_expired(&mut self, now: SimTime) {
+        let mut idx = 0;
+        while idx < self.instances.len() {
+            let i = &self.instances[idx];
+            let pressured =
+                self.cluster.nodes[i.node].frames().utilization() >= self.config.high_mem_threshold;
+            let window = if pressured {
+                self.config.pressure_keep_alive
+            } else {
+                self.config
+                    .per_function_keep_alive
+                    .get(&i.function)
+                    .copied()
+                    .unwrap_or(self.config.keep_alive)
+            };
+            if i.busy_until <= now && now - i.last_used > window {
+                self.drop_instance(idx);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    /// Kills an instance (looked up by stable id) and recycles its
+    /// container.
+    fn drop_instance_by_id(&mut self, id: u64) {
+        if let Some(idx) = self.instance_pos(id) {
+            self.drop_instance(idx);
+        }
+    }
+
+    /// Kills an instance and recycles its container.
+    fn drop_instance(&mut self, idx: usize) {
+        let mut inst = self.instances.swap_remove(idx);
+        let node = inst.node;
+        let _ = inst.container.recycle(&mut self.cluster.nodes[node]);
+        self.return_container(node, inst.container);
+    }
+
+    /// Live instance count (for tests and reports).
+    pub fn live_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of checkpoints stored.
+    pub fn stored_checkpoints(&self) -> usize {
+        self.store.len()
+    }
+}

@@ -1,0 +1,130 @@
+//! Deterministic autoscaler scenarios: ghost-pool accounting, dynamic
+//! hybrid promotion, measurement-window boundaries, and cross-node
+//! balancing.
+
+use cxlfork::CxlFork;
+use cxlporter::{Cluster, CxlPorter, PorterConfig};
+use simclock::{LatencyModel, SimDuration, SimTime};
+use trace_gen::Invocation;
+
+fn at(ns: u64, function: &str) -> Invocation {
+    Invocation {
+        time: SimTime::from_nanos(ns),
+        function: function.to_owned(),
+    }
+}
+
+const SEC: u64 = 1_000_000_000;
+
+fn porter(config: PorterConfig, mem_mib: u64) -> CxlPorter<CxlFork> {
+    let cluster = Cluster::new(2, mem_mib, 8192, LatencyModel::calibrated());
+    CxlPorter::new(cluster, CxlFork::new(), config)
+}
+
+/// Sequential warm phase reaching `n` invocations of `f`.
+fn warm_phase(f: &str, n: u64) -> Vec<Invocation> {
+    (0..n).map(|i| at(i * SEC, f)).collect()
+}
+
+#[test]
+fn burst_concurrency_equals_instance_count() {
+    // After a checkpoint exists, a k-wide simultaneous burst is served by
+    // exactly 1 warm instance + (k-1) restores, and afterwards k
+    // instances are live.
+    let mut p = porter(
+        PorterConfig {
+            checkpoint_after: 3,
+            ..PorterConfig::cxlfork_dynamic()
+        },
+        4096,
+    );
+    let mut trace = warm_phase("Json", 4);
+    for i in 0..6 {
+        trace.push(at(6 * SEC + i, "Json"));
+    }
+    let report = p.run_trace(&trace);
+    assert_eq!(report.full_cold, 1);
+    assert_eq!(report.restores, 5);
+    assert_eq!(p.live_instances(), 6);
+}
+
+#[test]
+fn dynamic_tiering_promotes_thrashing_functions_to_hybrid() {
+    // BFS restored under MoW runs warm invocations far above its local
+    // speed; after enough SLO breaches, new restores switch to hybrid.
+    let mut p = porter(
+        PorterConfig {
+            checkpoint_after: 2,
+            keep_alive: SimDuration::from_secs(3),
+            ..PorterConfig::cxlfork_dynamic()
+        },
+        8192,
+    );
+    let mut trace = warm_phase("BFS", 3);
+    // Alternate: bursts (forcing restores) then warm hits on the restored
+    // (slow) instances, repeatedly, so breaches accumulate.
+    let mut t = 5 * SEC;
+    for _ in 0..6 {
+        trace.push(at(t, "BFS"));
+        trace.push(at(t + 1, "BFS"));
+        t += SEC; // warm re-use of the restored instances
+        trace.push(at(t, "BFS"));
+        trace.push(at(t + 1, "BFS"));
+        t += 4 * SEC; // beyond keep-alive: instances evicted
+    }
+    let report = p.run_trace(&trace);
+    assert!(report.restores >= 4, "{report:?}");
+    assert!(
+        report.hybrid_restores > 0,
+        "SLO breaches must promote BFS to hybrid: {report:?}"
+    );
+}
+
+#[test]
+fn measurement_window_is_half_open() {
+    let mut p = porter(PorterConfig::cxlfork_dynamic(), 4096);
+    p.set_measure_from(SimTime::from_nanos(2 * SEC));
+    // One request exactly at the boundary (measured), one before (not).
+    let trace = vec![at(SEC, "Float"), at(2 * SEC, "Float")];
+    let report = p.run_trace(&trace);
+    assert_eq!(report.overall.len(), 1);
+}
+
+#[test]
+fn cold_starts_balance_across_nodes() {
+    // Simultaneous cold deployments of two functions land on different
+    // nodes (least-loaded placement).
+    let mut p = porter(PorterConfig::cxlfork_dynamic(), 4096);
+    let trace = vec![at(0, "Float"), at(1, "Json")];
+    let report = p.run_trace(&trace);
+    assert_eq!(report.full_cold, 2);
+    let peaks = &report.peak_local_pages;
+    assert!(
+        peaks.iter().all(|p| *p > 0),
+        "both nodes used: {peaks:?}"
+    );
+}
+
+#[test]
+fn report_accounting_is_conserved() {
+    let mut p = porter(
+        PorterConfig {
+            checkpoint_after: 2,
+            ..PorterConfig::cxlfork_dynamic()
+        },
+        4096,
+    );
+    let mut trace = warm_phase("Pyaes", 3);
+    for i in 0..4 {
+        trace.push(at(5 * SEC + i, "Pyaes"));
+    }
+    trace.push(at(8 * SEC, "Pyaes"));
+    let report = p.run_trace(&trace);
+    assert_eq!(
+        report.warm_hits + report.restores + report.full_cold + report.dropped,
+        trace.len() as u64
+    );
+    assert_eq!(report.overall.len() as u64, trace.len() as u64 - report.dropped);
+    assert_eq!(report.checkpoints, 1);
+    assert!(report.final_cxl_pages > 0);
+}

@@ -1,0 +1,54 @@
+//! Property-based tests for the checkpoint object store: CID uniqueness,
+//! replace semantics, and coldest-victim selection.
+
+use cxlporter::ObjectStore;
+use proptest::prelude::*;
+use simclock::SimTime;
+
+proptest! {
+    #[test]
+    fn cids_are_unique_and_monotonic(
+        ops in prop::collection::vec(("[a-f]", any::<u32>()), 1..100)
+    ) {
+        let mut store: ObjectStore<u32> = ObjectStore::new();
+        let mut last_cid = 0u64;
+        for (name, value) in ops {
+            let (cid, _) = store.put(&name, value, SimTime::ZERO);
+            prop_assert!(cid.0 > last_cid, "cid {cid} not monotonic");
+            last_cid = cid.0;
+            prop_assert_eq!(store.get(&name).unwrap().checkpoint, value);
+        }
+        prop_assert!(store.len() <= 6, "at most one entry per function name");
+    }
+
+    #[test]
+    fn replace_returns_the_old_checkpoint(values in prop::collection::vec(any::<u32>(), 2..20)) {
+        let mut store: ObjectStore<u32> = ObjectStore::new();
+        let mut previous: Option<u32> = None;
+        for v in values {
+            let (_, old) = store.put("f", v, SimTime::ZERO);
+            prop_assert_eq!(old, previous);
+            previous = Some(v);
+        }
+        prop_assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn coldest_is_the_least_restored(
+        restores in prop::collection::vec(0usize..5, 2..6)
+    ) {
+        let mut store: ObjectStore<usize> = ObjectStore::new();
+        for (i, _) in restores.iter().enumerate() {
+            store.put(&format!("f{i}"), i, SimTime::ZERO);
+        }
+        for (i, n) in restores.iter().enumerate() {
+            for _ in 0..*n {
+                store.get_for_restore(&format!("f{i}"));
+            }
+        }
+        let min = restores.iter().min().copied().unwrap();
+        let coldest = store.coldest().unwrap().to_owned();
+        let idx: usize = coldest[1..].parse().unwrap();
+        prop_assert_eq!(restores[idx], min, "victim {} has {} restores", coldest, restores[idx]);
+    }
+}

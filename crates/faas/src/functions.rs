@@ -1,0 +1,273 @@
+//! The serverless function suite (Table 1) and its access-pattern
+//! calibration.
+//!
+//! The paper evaluates the CPU and memory functions from FunctionBench
+//! plus three real-world functions (HTML, BFS, Bert). The fork mechanisms
+//! never execute Python: what they observe is an address space with a
+//! footprint, a segment structure and an access pattern. Each
+//! [`FunctionSpec`] therefore captures:
+//!
+//! * the **footprint** from Table 1 (24–630 MB);
+//! * the **composition** measured in Fig. 1 — on average 72.2 % *Init*
+//!   data (touched during initialization, rarely afterwards), 23 %
+//!   *Read-only* and 4.8 % *Read/Write*;
+//! * the **per-invocation working set**, which determines whether warm
+//!   runs fit the 64 MB LLC (BFS and Bert deliberately exceed it — the
+//!   property behind Fig. 8b and Fig. 9a);
+//! * initialization compute time (Fig. 6 measures 250–500 ms) and
+//!   per-invocation compute time.
+
+use serde::{Deserialize, Serialize};
+
+/// Pages per MiB (4 KiB pages).
+const PAGES_PER_MIB: u64 = 256;
+
+/// A synthetic serverless function calibrated to the paper's suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// Function name (Table 1).
+    pub name: String,
+    /// Total memory footprint in MiB (Table 1).
+    pub footprint_mib: u64,
+    /// Fraction of the footprint that is initialization data (Fig. 1).
+    pub init_fraction: f64,
+    /// Fraction that is read-only during execution (Fig. 1).
+    pub readonly_fraction: f64,
+    /// Fraction that is read/written during execution (Fig. 1).
+    pub readwrite_fraction: f64,
+    /// Fraction of the footprint backed by private file mappings
+    /// (libraries, runtime modules) — a subset of the Init share.
+    pub file_fraction: f64,
+    /// Pages read per working-set pass during one invocation.
+    pub ws_pages: u64,
+    /// Number of passes over the working set per invocation (BFS-style
+    /// algorithms sweep their data repeatedly).
+    pub ws_passes: u32,
+    /// Pages written per invocation (cycled through the R/W region).
+    pub rw_pages_per_invocation: u64,
+    /// Pure compute time per invocation, in milliseconds.
+    pub compute_ms: u64,
+    /// Pure compute portion of state initialization, in milliseconds
+    /// (faults add the rest; Fig. 6 measures 250–500 ms totals).
+    pub init_compute_ms: u64,
+}
+
+impl FunctionSpec {
+    /// Total footprint in pages.
+    pub fn footprint_pages(&self) -> u64 {
+        self.footprint_mib * PAGES_PER_MIB
+    }
+
+    /// Pages of private file mappings (libraries).
+    pub fn file_pages(&self) -> u64 {
+        (self.footprint_pages() as f64 * self.file_fraction) as u64
+    }
+
+    /// Anonymous initialization pages (init share minus file mappings).
+    pub fn init_anon_pages(&self) -> u64 {
+        let init = (self.footprint_pages() as f64 * self.init_fraction) as u64;
+        init.saturating_sub(self.file_pages())
+    }
+
+    /// Read-only data pages.
+    pub fn ro_pages(&self) -> u64 {
+        (self.footprint_pages() as f64 * self.readonly_fraction) as u64
+    }
+
+    /// Read/write data pages.
+    pub fn rw_pages(&self) -> u64 {
+        (self.footprint_pages() as f64 * self.readwrite_fraction) as u64
+    }
+
+    /// Validates the composition invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions do not sum to ≈1, the file share exceeds
+    /// the init share, or the working set exceeds the readable footprint.
+    pub fn validate(&self) {
+        let sum = self.init_fraction + self.readonly_fraction + self.readwrite_fraction;
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "{}: composition sums to {sum}",
+            self.name
+        );
+        assert!(
+            self.file_fraction <= self.init_fraction + 1e-9,
+            "{}: file share exceeds init share",
+            self.name
+        );
+        assert!(
+            self.ws_pages <= self.ro_pages() + self.init_anon_pages(),
+            "{}: working set larger than readable data",
+            self.name
+        );
+        assert!(
+            self.rw_pages_per_invocation <= self.rw_pages().max(1),
+            "{}: writes more pages than the R/W region holds",
+            self.name
+        );
+    }
+}
+
+/// Builds the paper's ten-function suite (Table 1).
+///
+/// Footprints are Table 1's; compositions follow Fig. 1 (72.2 / 23 /
+/// 4.8 % on average, per-function varied); BFS and Bert get working sets
+/// that exceed the 64 MB LLC, reproducing their sensitivity to CXL
+/// latency (Fig. 8b, Fig. 9a).
+pub fn suite() -> Vec<FunctionSpec> {
+    let f = |name: &str,
+             footprint_mib: u64,
+             init: f64,
+             ro: f64,
+             rw: f64,
+             file: f64,
+             ws_pages: u64,
+             ws_passes: u32,
+             rw_inv: u64,
+             compute_ms: u64,
+             init_compute_ms: u64| FunctionSpec {
+        name: name.to_owned(),
+        footprint_mib,
+        init_fraction: init,
+        readonly_fraction: ro,
+        readwrite_fraction: rw,
+        file_fraction: file,
+        ws_pages,
+        ws_passes,
+        rw_pages_per_invocation: rw_inv,
+        compute_ms,
+        init_compute_ms,
+    };
+    let suite = vec![
+        // name      MB   init   ro    rw    file  ws     p  rw/inv cms  initms
+        f("Float", 24, 0.74, 0.20, 0.06, 0.40, 1_100, 1, 90, 14, 240),
+        f(
+            "Linpack", 33, 0.70, 0.22, 0.08, 0.32, 1_800, 2, 420, 26, 250,
+        ),
+        f("Json", 24, 0.72, 0.21, 0.07, 0.40, 1_200, 1, 260, 9, 230),
+        f("Pyaes", 24, 0.75, 0.20, 0.05, 0.42, 900, 1, 120, 13, 235),
+        f(
+            "Chameleon",
+            27,
+            0.73,
+            0.21,
+            0.06,
+            0.38,
+            1_400,
+            1,
+            280,
+            16,
+            245,
+        ),
+        f("HTML", 256, 0.82, 0.15, 0.03, 0.18, 3_000, 1, 450, 24, 320),
+        f("Cnn", 265, 0.76, 0.21, 0.03, 0.16, 9_000, 2, 550, 70, 380),
+        f("Rnn", 190, 0.86, 0.11, 0.03, 0.20, 2_400, 1, 380, 95, 430),
+        f(
+            "BFS", 125, 0.46, 0.44, 0.10, 0.12, 21_000, 8, 1_400, 22, 290,
+        ),
+        f(
+            "Bert", 630, 0.73, 0.245, 0.025, 0.10, 33_000, 6, 1_900, 130, 480,
+        ),
+    ];
+    for s in &suite {
+        s.validate();
+    }
+    suite
+}
+
+/// Looks up a function by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<FunctionSpec> {
+    suite()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table1_footprints() {
+        let expected = [
+            ("Float", 24),
+            ("Linpack", 33),
+            ("Json", 24),
+            ("Pyaes", 24),
+            ("Chameleon", 27),
+            ("HTML", 256),
+            ("Cnn", 265),
+            ("Rnn", 190),
+            ("BFS", 125),
+            ("Bert", 630),
+        ];
+        let suite = suite();
+        assert_eq!(suite.len(), 10);
+        for (name, mib) in expected {
+            let s = suite.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(s.footprint_mib, mib, "{name}");
+        }
+    }
+
+    #[test]
+    fn composition_averages_match_fig1() {
+        let suite = suite();
+        let n = suite.len() as f64;
+        let init: f64 = suite.iter().map(|s| s.init_fraction).sum::<f64>() / n;
+        let ro: f64 = suite.iter().map(|s| s.readonly_fraction).sum::<f64>() / n;
+        let rw: f64 = suite.iter().map(|s| s.readwrite_fraction).sum::<f64>() / n;
+        // Fig. 1: 72.2 / 23 / 4.8 % on average.
+        assert!((init - 0.722).abs() < 0.03, "init avg {init}");
+        assert!((ro - 0.23).abs() < 0.03, "ro avg {ro}");
+        assert!((rw - 0.048) < 0.03, "rw avg {rw}");
+    }
+
+    #[test]
+    fn page_partitions_cover_the_footprint() {
+        for s in suite() {
+            let total = s.file_pages() + s.init_anon_pages() + s.ro_pages() + s.rw_pages();
+            let footprint = s.footprint_pages();
+            // Rounding can lose a few pages, never gain.
+            assert!(total <= footprint, "{}: {total} > {footprint}", s.name);
+            assert!(
+                footprint - total < 8,
+                "{}: partition loses {} pages",
+                s.name,
+                footprint - total
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_and_bert_exceed_the_llc_others_fit() {
+        let llc_pages = 64 * 1024 * 1024 / 4096;
+        for s in suite() {
+            let exceeds = s.ws_pages > llc_pages;
+            if s.name == "BFS" || s.name == "Bert" {
+                assert!(exceeds, "{} must thrash the LLC", s.name);
+            } else {
+                assert!(!exceeds, "{} must fit the LLC", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn init_times_land_in_fig6_band() {
+        for s in suite() {
+            assert!(
+                (200..=500).contains(&s.init_compute_ms),
+                "{}: init compute {} ms",
+                s.name,
+                s.init_compute_ms
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_name("bert").is_some());
+        assert!(by_name("BERT").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! Address-space layout of a deployed function.
+//!
+//! Serverless address spaces contain hundreds of VMAs, mostly private
+//! library mappings (§4.2.1). The layout generator reproduces that
+//! structure: the file share of the footprint is split into per-library
+//! VMAs of up to 512 pages, and the anonymous init / read-only /
+//! read-write shares into heap-segment VMAs of up to 2048 pages, placed in
+//! disjoint, well-known address bands.
+
+use node_os::addr::{Pid, VirtPageNum};
+use node_os::fs::SharedFs;
+use node_os::vma::Protection;
+use node_os::{Node, OsError};
+
+use crate::functions::FunctionSpec;
+
+/// First page of the library band.
+const FILE_BASE: u64 = 0x0001_0000;
+/// First page of the anonymous-init band.
+const INIT_BASE: u64 = 0x0010_0000;
+/// First page of the read-only band.
+const RO_BASE: u64 = 0x0020_0000;
+/// First page of the read-write band.
+const RW_BASE: u64 = 0x0030_0000;
+
+/// Pages per library VMA.
+const LIB_VMA_PAGES: u64 = 512;
+/// Pages per anonymous segment VMA.
+const ANON_VMA_PAGES: u64 = 2048;
+
+/// The page-range layout of a deployed function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionLayout {
+    /// Library pages `[FILE_BASE, file_end)`.
+    pub file_start: u64,
+    /// One past the last library page.
+    pub file_end: u64,
+    /// Anonymous init pages.
+    pub init_start: u64,
+    /// One past the last init page.
+    pub init_end: u64,
+    /// Read-only data pages.
+    pub ro_start: u64,
+    /// One past the last read-only page.
+    pub ro_end: u64,
+    /// Read/write data pages.
+    pub rw_start: u64,
+    /// One past the last read/write page.
+    pub rw_end: u64,
+}
+
+impl FunctionLayout {
+    /// Derives the layout for a spec (deterministic).
+    pub fn for_spec(spec: &FunctionSpec) -> Self {
+        FunctionLayout {
+            file_start: FILE_BASE,
+            file_end: FILE_BASE + spec.file_pages(),
+            init_start: INIT_BASE,
+            init_end: INIT_BASE + spec.init_anon_pages(),
+            ro_start: RO_BASE,
+            ro_end: RO_BASE + spec.ro_pages(),
+            rw_start: RW_BASE,
+            rw_end: RW_BASE + spec.rw_pages(),
+        }
+    }
+
+    /// Total pages across all bands.
+    pub fn total_pages(&self) -> u64 {
+        (self.file_end - self.file_start)
+            + (self.init_end - self.init_start)
+            + (self.ro_end - self.ro_start)
+            + (self.rw_end - self.rw_start)
+    }
+
+    /// The library file paths this layout maps, with their page counts.
+    pub fn library_files(&self, spec: &FunctionSpec) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        let mut remaining = self.file_end - self.file_start;
+        let mut idx = 0;
+        while remaining > 0 {
+            let pages = remaining.min(LIB_VMA_PAGES);
+            out.push((
+                format!("/opt/faas/{}/lib{idx}.so", spec.name.to_lowercase()),
+                pages,
+            ));
+            remaining -= pages;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Registers the function's library files on the shared root
+    /// filesystem (idempotent; all nodes see the same paths, §4.1).
+    pub fn install_files(&self, spec: &FunctionSpec, rootfs: &SharedFs) {
+        for (i, (path, pages)) in self.library_files(spec).iter().enumerate() {
+            rootfs.create(
+                path,
+                pages * node_os::PAGE_SIZE,
+                spec_seed(spec) ^ (i as u64) << 32,
+            );
+        }
+    }
+
+    /// Maps the function's VMAs into process `pid` on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors (overlap should be impossible for a
+    /// fresh process).
+    pub fn map_into(&self, spec: &FunctionSpec, node: &mut Node, pid: Pid) -> Result<(), OsError> {
+        let libs = self.library_files(spec);
+        let process = node.process_mut(pid)?;
+        // Library VMAs: r-x private file mappings.
+        let mut base = self.file_start;
+        for (path, pages) in &libs {
+            process
+                .mm
+                .map_file(base, *pages, Protection::read_exec(), path, 0)?;
+            base += pages;
+        }
+        // Anonymous segments.
+        for (start, end, prot, label) in [
+            (
+                self.init_start,
+                self.init_end,
+                Protection::read_write(),
+                "init",
+            ),
+            (
+                self.ro_start,
+                self.ro_end,
+                Protection::read_write(),
+                "rodata",
+            ),
+            (
+                self.rw_start,
+                self.rw_end,
+                Protection::read_write(),
+                "rwdata",
+            ),
+        ] {
+            let mut seg = start;
+            while seg < end {
+                let pages = (end - seg).min(ANON_VMA_PAGES);
+                process.mm.map_anonymous(seg, pages, prot, label)?;
+                seg += pages;
+            }
+        }
+        Ok(())
+    }
+
+    /// Library pages executed on every invocation (the code working set):
+    /// a fixed prefix of the library band. These are the pages a CRIU
+    /// restore must re-fault from the filesystem on the target node, since
+    /// CRIU does not checkpoint clean file pages, whereas CXLfork attaches
+    /// them straight from the checkpoint (§4.1, §7.1).
+    pub fn code_working_set(&self) -> u64 {
+        ((self.file_end - self.file_start) * 15 / 100).min(2048)
+    }
+
+    /// Enumerates the working-set pages for one invocation: the code
+    /// working set first, then read-only data pages, spilling into the
+    /// init band for functions (like BFS) whose sweeps cover
+    /// initialization data too.
+    pub fn working_set(&self, spec: &FunctionSpec) -> Vec<VirtPageNum> {
+        let mut out = Vec::with_capacity((spec.ws_pages + self.code_working_set()) as usize);
+        for i in 0..self.code_working_set() {
+            out.push(VirtPageNum(self.file_start + i));
+        }
+        let ro_len = self.ro_end - self.ro_start;
+        for i in 0..spec.ws_pages.min(ro_len) {
+            out.push(VirtPageNum(self.ro_start + i));
+        }
+        let spill = spec.ws_pages.saturating_sub(ro_len);
+        for i in 0..spill.min(self.init_end - self.init_start) {
+            out.push(VirtPageNum(self.init_start + i));
+        }
+        out
+    }
+
+    /// The input-dependent read tail of one invocation: a small,
+    /// per-request slice of the initialization data ("data that are used
+    /// for function initialization and are **rarely** accessed during
+    /// function execution", §2.2 — rarely, not never). Which slice a
+    /// request touches depends on its input, modelled by hashing
+    /// `(salt, invocation_idx)`; different instances (different salts)
+    /// touch different slices. This varying tail is what separates hybrid
+    /// tiering from migrate-on-access: pages whose checkpointed A bit is
+    /// clear are *mapped* from CXL and read directly under HT, while MoA
+    /// pulls a local copy of every one it touches (§4.3).
+    pub fn init_tail(&self, salt: u64, invocation_idx: u64) -> Vec<VirtPageNum> {
+        const SLICES: u64 = 64;
+        let init_len = self.init_end - self.init_start;
+        if init_len == 0 {
+            return Vec::new();
+        }
+        let tail_len = (init_len / SLICES).clamp(8, 2048).min(init_len);
+        let mut h = salt ^ invocation_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let slice = h % SLICES;
+        (0..tail_len)
+            .map(|i| VirtPageNum(self.init_start + (slice * tail_len + i) % init_len))
+            .collect()
+    }
+
+    /// The pages written by invocation `invocation_idx` (cycling through
+    /// the R/W band).
+    pub fn write_set(&self, spec: &FunctionSpec, invocation_idx: u64) -> Vec<VirtPageNum> {
+        let rw_len = self.rw_end - self.rw_start;
+        if rw_len == 0 {
+            return Vec::new();
+        }
+        let n = spec.rw_pages_per_invocation.min(rw_len);
+        let offset = (invocation_idx * n) % rw_len;
+        (0..n)
+            .map(|i| VirtPageNum(self.rw_start + (offset + i) % rw_len))
+            .collect()
+    }
+}
+
+fn spec_seed(spec: &FunctionSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in spec.name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::suite;
+
+    #[test]
+    fn layouts_cover_footprints_without_overlap() {
+        for spec in suite() {
+            let l = FunctionLayout::for_spec(&spec);
+            assert!(l.file_end <= INIT_BASE, "{}", spec.name);
+            assert!(l.init_end <= RO_BASE, "{}", spec.name);
+            assert!(l.ro_end <= RW_BASE, "{}", spec.name);
+            let expected =
+                spec.file_pages() + spec.init_anon_pages() + spec.ro_pages() + spec.rw_pages();
+            assert_eq!(l.total_pages(), expected, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn serverless_address_spaces_have_many_vmas() {
+        // §4.2.1: VMA counts in the order of hundreds for big functions.
+        let bert = crate::functions::by_name("Bert").unwrap();
+        let l = FunctionLayout::for_spec(&bert);
+        let vma_count = l.library_files(&bert).len()
+            + ((l.init_end - l.init_start).div_ceil(ANON_VMA_PAGES)
+                + (l.ro_end - l.ro_start).div_ceil(ANON_VMA_PAGES)
+                + (l.rw_end - l.rw_start).div_ceil(ANON_VMA_PAGES)) as usize;
+        assert!(vma_count > 100, "Bert VMA count {vma_count}");
+    }
+
+    #[test]
+    fn working_set_spills_into_init_for_bfs() {
+        let bfs = crate::functions::by_name("BFS").unwrap();
+        let l = FunctionLayout::for_spec(&bfs);
+        let ws = l.working_set(&bfs);
+        assert_eq!(ws.len() as u64, bfs.ws_pages + l.code_working_set());
+        assert!(ws.iter().any(|v| v.0 >= l.init_start && v.0 < l.init_end));
+        assert!(
+            ws.iter().any(|v| v.0 >= l.file_start && v.0 < l.file_end),
+            "code working set included"
+        );
+    }
+
+    #[test]
+    fn write_set_cycles_through_rw_band() {
+        let spec = crate::functions::by_name("Json").unwrap();
+        let l = FunctionLayout::for_spec(&spec);
+        let w0 = l.write_set(&spec, 0);
+        let w1 = l.write_set(&spec, 1);
+        assert_eq!(w0.len() as u64, spec.rw_pages_per_invocation);
+        assert_ne!(w0, w1, "consecutive invocations touch different pages");
+        for v in w0.iter().chain(&w1) {
+            assert!(v.0 >= l.rw_start && v.0 < l.rw_end);
+        }
+    }
+
+    #[test]
+    fn map_into_creates_the_full_address_space() {
+        let device = std::sync::Arc::new(cxl_mem::CxlDevice::with_capacity_mib(16));
+        let mut node = Node::new(node_os::NodeConfig::default(), device);
+        let spec = crate::functions::by_name("Float").unwrap();
+        let layout = FunctionLayout::for_spec(&spec);
+        layout.install_files(&spec, node.rootfs());
+        let pid = node.spawn("float").unwrap();
+        layout.map_into(&spec, &mut node, pid).unwrap();
+        let mm = &node.process(pid).unwrap().mm;
+        assert_eq!(mm.vmas.total_pages(), layout.total_pages());
+        assert!(mm.vmas.vma_count() >= 7);
+        // Every library path exists on the root fs.
+        for (path, _) in layout.library_files(&spec) {
+            assert!(node.rootfs().exists(&path), "{path}");
+        }
+    }
+
+    #[test]
+    fn install_files_is_idempotent() {
+        let fs = SharedFs::new();
+        let spec = crate::functions::by_name("Pyaes").unwrap();
+        let l = FunctionLayout::for_spec(&spec);
+        l.install_files(&spec, &fs);
+        let count = fs.file_count();
+        l.install_files(&spec, &fs);
+        assert_eq!(fs.file_count(), count);
+    }
+}

@@ -1,0 +1,33 @@
+//! Serverless substrate for the CXLfork evaluation.
+//!
+//! The paper's workloads are Function-as-a-Service functions (Table 1,
+//! FunctionBench + three real-world functions) deployed in Docker
+//! containers under an OpenWhisk-based runtime (§5, §6). This crate
+//! provides the pieces of that stack the evaluation depends on:
+//!
+//! * [`functions`] — the ten-function suite with Table 1 footprints and
+//!   Fig. 1 compositions;
+//! * [`layout`] — realistic address-space layouts (hundreds of VMAs,
+//!   per-library file mappings);
+//! * [`engine`] — cold deployment (state initialization) and the
+//!   per-invocation memory/compute behaviour all fork mechanisms are
+//!   measured under;
+//! * [`container`] — the container model: ≈130 ms creation, 512 KiB bare
+//!   footprint, and CXLporter's *ghost containers*;
+//! * [`profile`] — the Fig. 1 footprint profiler, built on the simulated
+//!   A/D bits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod engine;
+pub mod functions;
+pub mod layout;
+pub mod profile;
+
+pub use container::{Container, BARE_CONTAINER_PAGES};
+pub use engine::{deploy_cold, run_invocation, warm_for_checkpoint, InitReport, InvocationResult};
+pub use functions::{by_name, suite, FunctionSpec};
+pub use layout::FunctionLayout;
+pub use profile::{profile_footprint, FootprintBreakdown};

@@ -1,0 +1,126 @@
+//! Property-based tests for workload-layout invariants over arbitrary
+//! (valid) function specs: every generated access must land inside a
+//! mapped VMA of the right band, and the partitions must never overlap.
+
+use faas::{FunctionLayout, FunctionSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = FunctionSpec> {
+    (
+        8u64..512,          // footprint MiB
+        0.40f64..0.85,      // init fraction
+        0.05f64..0.40,      // ro fraction (clamped below)
+        0.0f64..0.45,       // file share of footprint (clamped below)
+        1u64..20_000,       // ws pages (clamped below)
+        1u32..4,            // passes
+        10u64..200,         // compute ms
+        200u64..500,        // init compute ms
+    )
+        .prop_map(
+            |(mib, init, ro_raw, file_raw, ws_raw, passes, compute, init_ms)| {
+                let ro = ro_raw.min(0.95 - init);
+                let rw = 1.0 - init - ro;
+                let file = file_raw.min(init * 0.9);
+                let spec = FunctionSpec {
+                    name: "prop".into(),
+                    footprint_mib: mib,
+                    init_fraction: init,
+                    readonly_fraction: ro,
+                    readwrite_fraction: rw,
+                    file_fraction: file,
+                    ws_pages: 1,
+                    ws_passes: passes,
+                    rw_pages_per_invocation: 1,
+                    compute_ms: compute,
+                    init_compute_ms: init_ms,
+                };
+                // Clamp derived quantities into their valid ranges.
+                let max_ws = spec.ro_pages() + spec.init_anon_pages();
+                let max_rw = spec.rw_pages().max(1);
+                FunctionSpec {
+                    ws_pages: ws_raw.clamp(1, max_ws.max(1)),
+                    rw_pages_per_invocation: (ws_raw % max_rw).max(1),
+                    ..spec
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partitions_never_overlap_and_cover_the_footprint(spec in arb_spec()) {
+        spec.validate();
+        let l = FunctionLayout::for_spec(&spec);
+        // Bands are ordered and disjoint.
+        prop_assert!(l.file_start <= l.file_end);
+        prop_assert!(l.file_end <= l.init_start);
+        prop_assert!(l.init_end <= l.ro_start);
+        prop_assert!(l.ro_end <= l.rw_start);
+        // Total never exceeds the footprint, loses at most rounding.
+        let total = l.total_pages();
+        prop_assert!(total <= spec.footprint_pages());
+        prop_assert!(spec.footprint_pages() - total < 8);
+    }
+
+    #[test]
+    fn working_set_pages_stay_in_readable_bands(spec in arb_spec()) {
+        let l = FunctionLayout::for_spec(&spec);
+        for vpn in l.working_set(&spec) {
+            let in_file = vpn.0 >= l.file_start && vpn.0 < l.file_end;
+            let in_init = vpn.0 >= l.init_start && vpn.0 < l.init_end;
+            let in_ro = vpn.0 >= l.ro_start && vpn.0 < l.ro_end;
+            prop_assert!(in_file || in_init || in_ro, "ws page {vpn} out of band");
+        }
+    }
+
+    #[test]
+    fn write_sets_stay_in_rw_band_for_any_invocation(
+        spec in arb_spec(),
+        idx in 0u64..1000,
+    ) {
+        let l = FunctionLayout::for_spec(&spec);
+        let ws = l.write_set(&spec, idx);
+        prop_assert_eq!(ws.len() as u64, spec.rw_pages_per_invocation.min(spec.rw_pages()));
+        for vpn in ws {
+            prop_assert!(vpn.0 >= l.rw_start && vpn.0 < l.rw_end, "write {vpn} out of band");
+        }
+    }
+
+    #[test]
+    fn init_tails_stay_in_init_band_and_vary_by_salt(
+        spec in arb_spec(),
+        salt_a in any::<u64>(),
+        salt_b in any::<u64>(),
+        idx in 0u64..64,
+    ) {
+        let l = FunctionLayout::for_spec(&spec);
+        let a = l.init_tail(salt_a, idx);
+        for vpn in &a {
+            prop_assert!(
+                vpn.0 >= l.init_start && vpn.0 < l.init_end,
+                "tail {vpn} out of band"
+            );
+        }
+        // Same inputs ⇒ same tail (determinism).
+        prop_assert_eq!(&a, &l.init_tail(salt_a, idx));
+        // The tail length never exceeds the band.
+        prop_assert!(a.len() as u64 <= (l.init_end - l.init_start).max(1));
+        let _ = salt_b;
+    }
+
+    #[test]
+    fn library_files_tile_the_file_band_exactly(spec in arb_spec()) {
+        let l = FunctionLayout::for_spec(&spec);
+        let total: u64 = l.library_files(&spec).iter().map(|(_, p)| p).sum();
+        prop_assert_eq!(total, l.file_end - l.file_start);
+        // Paths are unique.
+        let mut paths: Vec<&String> = Vec::new();
+        let files = l.library_files(&spec);
+        for (p, _) in &files {
+            prop_assert!(!paths.contains(&p), "duplicate lib path {p}");
+            paths.push(p);
+        }
+    }
+}

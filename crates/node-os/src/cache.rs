@@ -1,0 +1,288 @@
+//! A set-associative last-level cache model.
+//!
+//! The paper's warm-execution results (Fig. 8b, Fig. 9a) hinge on whether a
+//! function's working set fits in the node's 64 MB L3: "the local hardware
+//! caches of the compute nodes may be able to intercept most of the
+//! requests to such data, amortizing the increased latency of CXL
+//! accesses" (§2.2). The model tracks physical lines at a configurable
+//! granularity with per-set LRU replacement.
+//!
+//! Accesses are tagged by [`PhysAddr::cache_key`](crate::PhysAddr), so a
+//! page that migrates from CXL to local memory naturally re-misses once and
+//! then hits at the new location.
+
+use crate::addr::PhysAddr;
+
+/// Configuration of the LLC model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (evaluation platform: 64 MB per socket).
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+    /// Tracking granularity in bytes. The simulation models page-granular
+    /// residency by default: one tag covers one 4 KiB page.
+    pub line_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 * 1024 * 1024,
+            associativity: 16,
+            line_bytes: crate::PAGE_SIZE,
+        }
+    }
+}
+
+/// A set-associative cache with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use node_os::cache::{CacheConfig, LlcCache};
+/// use node_os::{PhysAddr, Pfn};
+///
+/// let mut llc = LlcCache::new(CacheConfig::default());
+/// let line = PhysAddr::Local(Pfn(42));
+/// assert!(!llc.access(line)); // compulsory miss
+/// assert!(llc.access(line));  // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct LlcCache {
+    /// `sets[s]` holds up to `assoc` tags, most recently used first.
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LlcCache {
+    /// Builds a cache from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets or zero ways.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.associativity > 0, "associativity must be positive");
+        assert!(config.line_bytes > 0, "line size must be positive");
+        let lines = (config.capacity_bytes / config.line_bytes).max(1);
+        let sets = ((lines as usize) / config.associativity).max(1);
+        LlcCache {
+            sets: vec![Vec::new(); sets],
+            assoc: config.associativity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A cache with the default (64 MB / 16-way) geometry.
+    pub fn default_llc() -> Self {
+        LlcCache::new(CacheConfig::default())
+    }
+
+    #[inline]
+    fn set_index(&self, key: u64) -> usize {
+        // Multiplicative hash spreads both local pfns and CXL page ids.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.sets.len()
+    }
+
+    /// Performs one access to the line holding `addr`. Returns `true` on a
+    /// hit. Misses insert the line, evicting the LRU way if the set is
+    /// full.
+    pub fn access(&mut self, addr: PhysAddr) -> bool {
+        let key = addr.cache_key();
+        let assoc = self.assoc;
+        let idx = self.set_index(key);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&t| t == key) {
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() >= assoc {
+                set.pop();
+            }
+            set.insert(0, key);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Probes for residency without updating LRU state or counters.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let key = addr.cache_key();
+        self.sets[self.set_index(key)].contains(&key)
+    }
+
+    /// Drops the line holding `addr` if resident (page freed or migrated
+    /// away).
+    pub fn invalidate(&mut self, addr: PhysAddr) {
+        let key = addr.cache_key();
+        let idx = self.set_index(key);
+        self.sets[idx].retain(|&t| t != key);
+    }
+
+    /// Empties the cache (e.g. between experiment phases).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Total hits since construction or [`LlcCache::reset_stats`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses since construction or [`LlcCache::reset_stats`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; `1.0` when no accesses happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Zeroes the hit/miss counters (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Pfn;
+    use cxl_mem::CxlPageId;
+
+    fn tiny() -> LlcCache {
+        // 4 sets x 2 ways = 8 lines of one page each.
+        LlcCache::new(CacheConfig {
+            capacity_bytes: 8 * crate::PAGE_SIZE,
+            associativity: 2,
+            line_bytes: crate::PAGE_SIZE,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        let a = PhysAddr::Local(Pfn(1));
+        assert!(!c.access(a));
+        assert!(c.access(a));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LlcCache::new(CacheConfig {
+            capacity_bytes: 2 * crate::PAGE_SIZE,
+            associativity: 2,
+            line_bytes: crate::PAGE_SIZE,
+        });
+        // Single set, two ways.
+        assert_eq!(c.sets.len(), 1);
+        let a = PhysAddr::Local(Pfn(1));
+        let b = PhysAddr::Local(Pfn(2));
+        let d = PhysAddr::Local(Pfn(3));
+        c.access(a);
+        c.access(b);
+        c.access(a); // a now MRU
+        c.access(d); // evicts b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn local_and_cxl_tags_are_distinct() {
+        let mut c = tiny();
+        c.access(PhysAddr::Local(Pfn(7)));
+        assert!(!c.contains(PhysAddr::Cxl(CxlPageId(7))));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = tiny();
+        let a = PhysAddr::Cxl(CxlPageId(5));
+        c.access(a);
+        assert!(c.contains(a));
+        c.invalidate(a);
+        assert!(!c.contains(a));
+        c.access(a);
+        c.flush();
+        assert!(!c.contains(a));
+        // Stats survive flush, reset clears them.
+        assert!(c.misses() > 0);
+        c.reset_stats();
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let mut c = LlcCache::new(CacheConfig {
+            capacity_bytes: 1024 * crate::PAGE_SIZE,
+            associativity: 8,
+            line_bytes: crate::PAGE_SIZE,
+        });
+        let pages: Vec<PhysAddr> = (0..256).map(|i| PhysAddr::Local(Pfn(i))).collect();
+        for p in &pages {
+            c.access(*p);
+        }
+        c.reset_stats();
+        for _ in 0..4 {
+            for p in &pages {
+                c.access(*p);
+            }
+        }
+        // A 256-page working set in a 1024-line cache should hit nearly
+        // always after warm-up (hash skew may cause a handful of conflicts).
+        assert!(c.hit_ratio() > 0.95, "hit ratio {}", c.hit_ratio());
+    }
+
+    #[test]
+    fn working_set_exceeding_capacity_thrashes() {
+        let mut c = tiny(); // 8 lines
+        for round in 0..4 {
+            for i in 0..64 {
+                c.access(PhysAddr::Local(Pfn(i)));
+            }
+            let _ = round;
+        }
+        assert!(c.hit_ratio() < 0.2, "hit ratio {}", c.hit_ratio());
+    }
+
+    #[test]
+    fn capacity_lines_reflects_geometry() {
+        assert_eq!(tiny().capacity_lines(), 8);
+        assert_eq!(LlcCache::default_llc().capacity_lines(), 16384);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn zero_associativity_rejected() {
+        let _ = LlcCache::new(CacheConfig {
+            capacity_bytes: 1024,
+            associativity: 0,
+            line_bytes: 64,
+        });
+    }
+}

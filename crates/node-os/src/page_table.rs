@@ -1,0 +1,792 @@
+//! A 4-level page-table radix tree with attachable, shareable leaves.
+//!
+//! This is the structure CXLfork's headline optimization manipulates
+//! (§4.2.1): a restore allocates and initializes **only the upper levels**
+//! of the tree in node-local memory and *attaches* the checkpointed leaf
+//! tables, which live in CXL memory and are shared — immutably — by every
+//! process cloned from the same checkpoint, across nodes.
+//!
+//! Two kinds of mutation are possible on an attached leaf:
+//!
+//! * **Entry updates** (mapping changes, CoW resolution) first copy the
+//!   whole 512-entry leaf to local memory — a *leaf CoW*, signalled to the
+//!   caller through [`SetOutcome`] so the fault path can charge its cost.
+//!   This models the paper's "unused bit in the PTE structure to track any
+//!   OS attempt to update them … it lazily copies the entire leaf to local
+//!   memory" (§4.2.1).
+//! * **Accessed-bit updates**, which the paper explicitly allows on shared
+//!   CXL PTEs ("its page-table walks will update the A bits on the CXL
+//!   PTEs", §4.3). These go to an atomic side bitmap ([`AccessBits`])
+//!   attached to every leaf, so they never force a copy, and user space can
+//!   reset them to re-estimate working sets.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cxl_mem::CxlPageId;
+
+use crate::addr::VirtPageNum;
+use crate::pte::{Pte, PteFlags};
+use crate::PTES_PER_LEAF;
+
+/// Atomic per-slot Accessed bits for one leaf (512 bits in 8 words).
+///
+/// These model the hardware A-bit updates that page walks perform on
+/// checkpointed (shared, otherwise-immutable) PTE leaves.
+#[derive(Default)]
+pub struct AccessBits {
+    words: [AtomicU64; 8],
+}
+
+impl AccessBits {
+    /// All-clear bits.
+    pub fn new() -> Self {
+        AccessBits::default()
+    }
+
+    #[inline]
+    fn split(slot: usize) -> (usize, u64) {
+        debug_assert!(slot < PTES_PER_LEAF);
+        (slot / 64, 1u64 << (slot % 64))
+    }
+
+    /// Sets the bit for `slot`.
+    #[inline]
+    pub fn set(&self, slot: usize) {
+        let (w, m) = Self::split(slot);
+        self.words[w].fetch_or(m, Ordering::Relaxed);
+    }
+
+    /// Reads the bit for `slot`.
+    #[inline]
+    pub fn get(&self, slot: usize) -> bool {
+        let (w, m) = Self::split(slot);
+        self.words[w].load(Ordering::Relaxed) & m != 0
+    }
+
+    /// Clears every bit (the user-space A-bit reset interface, §4.3).
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u32 {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones())
+            .sum()
+    }
+}
+
+impl Clone for AccessBits {
+    fn clone(&self) -> Self {
+        let out = AccessBits::new();
+        for (i, w) in self.words.iter().enumerate() {
+            out.words[i].store(w.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for AccessBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AccessBits({} set)", self.count())
+    }
+}
+
+/// One page-table leaf: 512 PTEs plus runtime A bits and user hot-page
+/// hint bits.
+#[derive(Debug, Clone)]
+pub struct PtLeaf {
+    entries: Vec<Pte>,
+    accessed: AccessBits,
+    hot: AccessBits,
+}
+
+impl PtLeaf {
+    /// An all-empty leaf.
+    pub fn new() -> Self {
+        PtLeaf {
+            entries: vec![Pte::EMPTY; PTES_PER_LEAF],
+            accessed: AccessBits::new(),
+            hot: AccessBits::new(),
+        }
+    }
+
+    /// Reads the PTE at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 512`.
+    #[inline]
+    pub fn get(&self, slot: usize) -> Pte {
+        self.entries[slot]
+    }
+
+    /// Writes the PTE at `slot` (owned leaves only; attached leaves go
+    /// through leaf CoW in [`PageTable::set`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 512`.
+    #[inline]
+    pub fn set(&mut self, slot: usize, pte: Pte) {
+        self.entries[slot] = pte;
+    }
+
+    /// The runtime Accessed-bit bitmap.
+    #[inline]
+    pub fn access_bits(&self) -> &AccessBits {
+        &self.accessed
+    }
+
+    /// The user-populated hot-page hint bitmap (§4.3 "User-Identified Hot
+    /// Pages"): profilers write it through a dedicated interface, and
+    /// hybrid-tiering restores consult it alongside the checkpointed A
+    /// bits. Writable even on shared (checkpointed) leaves.
+    #[inline]
+    pub fn hot_bits(&self) -> &AccessBits {
+        &self.hot
+    }
+
+    /// Number of present entries.
+    pub fn present_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_present()).count()
+    }
+
+    /// Number of non-empty entries (present or armed).
+    pub fn populated_count(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_empty()).count()
+    }
+
+    /// Iterates `(slot, pte)` over non-empty entries.
+    pub fn iter_populated(&self) -> impl Iterator<Item = (usize, Pte)> + '_ {
+        self.entries
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, e)| !e.is_empty())
+    }
+
+    /// Returns a copy whose entries' `ACCESSED` flags reflect the runtime
+    /// A-bit bitmap — and *only* it. Used when checkpointing: the
+    /// harvested flags become the checkpoint's access-pattern record
+    /// (§4.1). Any `ACCESSED` flag already present in the entries (e.g.
+    /// the previous generation's record, baked into an attached
+    /// checkpoint leaf) is discarded, so re-checkpointing a restored
+    /// process captures *its* steady state, not its ancestor's.
+    pub fn harvested(&self) -> PtLeaf {
+        let mut out = self.clone();
+        for slot in 0..PTES_PER_LEAF {
+            let e = out.entries[slot];
+            if e.is_empty() {
+                continue;
+            }
+            out.entries[slot] = if self.accessed.get(slot) {
+                e.with_flags(PteFlags::ACCESSED)
+            } else {
+                e.without_flags(PteFlags::ACCESSED)
+            };
+        }
+        out
+    }
+}
+
+impl Default for PtLeaf {
+    fn default() -> Self {
+        PtLeaf::new()
+    }
+}
+
+/// A checkpointed leaf attached from CXL memory.
+#[derive(Debug, Clone)]
+pub struct AttachedLeaf {
+    /// The shared, immutable leaf (its A-bit bitmap stays writable).
+    pub leaf: Arc<PtLeaf>,
+    /// The device page that physically stores this leaf (one leaf is
+    /// exactly one 4 KiB page of 512 × 8-byte PTEs).
+    pub backing: CxlPageId,
+}
+
+/// A leaf position in the tree: node-local and mutable, or attached.
+#[derive(Debug, Clone)]
+pub enum LeafSlot {
+    /// An ordinary node-local leaf.
+    Local(PtLeaf),
+    /// A checkpointed, CXL-resident shared leaf.
+    Attached(AttachedLeaf),
+}
+
+impl LeafSlot {
+    /// Reads a PTE regardless of locality.
+    #[inline]
+    pub fn get(&self, slot: usize) -> Pte {
+        match self {
+            LeafSlot::Local(l) => l.get(slot),
+            LeafSlot::Attached(a) => a.leaf.get(slot),
+        }
+    }
+
+    /// The leaf's runtime A bits.
+    #[inline]
+    pub fn access_bits(&self) -> &AccessBits {
+        match self {
+            LeafSlot::Local(l) => l.access_bits(),
+            LeafSlot::Attached(a) => a.leaf.access_bits(),
+        }
+    }
+
+    /// `true` for an attached (checkpoint) leaf.
+    #[inline]
+    pub fn is_attached(&self) -> bool {
+        matches!(self, LeafSlot::Attached(_))
+    }
+}
+
+/// Result of a [`PageTable::set`] walk, for cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SetOutcome {
+    /// Upper-level directory pages created by this walk.
+    pub dirs_created: u64,
+    /// `true` if an attached leaf had to be copied to local memory first
+    /// (a page-table leaf CoW, §4.2.1).
+    pub leaf_cow: bool,
+    /// `true` if a fresh (empty) leaf was allocated.
+    pub leaf_created: bool,
+}
+
+#[derive(Debug, Default)]
+struct DirLevel {
+    children: std::collections::BTreeMap<u16, DirEntry>,
+}
+
+#[derive(Debug)]
+enum DirEntry {
+    Dir(Box<DirLevel>),
+    Leaf(LeafSlot),
+}
+
+/// A 4-level page table.
+///
+/// # Example
+///
+/// ```
+/// use node_os::page_table::PageTable;
+/// use node_os::pte::{Pte, PteFlags};
+/// use node_os::{PhysAddr, Pfn, VirtPageNum};
+///
+/// let mut pt = PageTable::new();
+/// let vpn = VirtPageNum(0x1234);
+/// let pte = Pte::mapped(PhysAddr::Local(Pfn(7)), PteFlags::PRESENT);
+/// pt.set(vpn, pte);
+/// assert_eq!(pt.get(vpn), pte);
+/// assert_eq!(pt.get(VirtPageNum(0x9999)), Pte::EMPTY);
+/// ```
+#[derive(Debug, Default)]
+pub struct PageTable {
+    root: DirLevel,
+    dir_pages: u64,
+    leaf_cow_events: u64,
+}
+
+impl PageTable {
+    /// An empty table (root directory only).
+    pub fn new() -> Self {
+        PageTable {
+            root: DirLevel::default(),
+            dir_pages: 1, // the root page
+            leaf_cow_events: 0,
+        }
+    }
+
+    /// Reads the PTE for `vpn` ([`Pte::EMPTY`] if unmapped). Never touches
+    /// A bits — use [`PageTable::mark_accessed`] for the access side
+    /// effect.
+    pub fn get(&self, vpn: VirtPageNum) -> Pte {
+        match self.leaf_for(vpn) {
+            Some(slot) => slot.get(vpn.leaf_slot()),
+            None => Pte::EMPTY,
+        }
+    }
+
+    /// Returns the leaf covering `vpn`, if any.
+    pub fn leaf_for(&self, vpn: VirtPageNum) -> Option<&LeafSlot> {
+        let l4 = self.root.children.get(&vpn.index(4))?;
+        let DirEntry::Dir(l3) = l4 else { return None };
+        let l3e = l3.children.get(&vpn.index(3))?;
+        let DirEntry::Dir(l2) = l3e else { return None };
+        match l2.children.get(&vpn.index(2))? {
+            DirEntry::Leaf(slot) => Some(slot),
+            DirEntry::Dir(_) => None,
+        }
+    }
+
+    /// Writes the PTE for `vpn`, creating directories and the leaf as
+    /// needed. If the covering leaf is attached, it is first copied to
+    /// local memory (leaf CoW) — the outcome reports this so the caller can
+    /// charge the copy.
+    pub fn set(&mut self, vpn: VirtPageNum, pte: Pte) -> SetOutcome {
+        let mut outcome = SetOutcome::default();
+        let l3 = match self.root.children.entry(vpn.index(4)).or_insert_with(|| {
+            outcome.dirs_created += 1;
+            DirEntry::Dir(Box::default())
+        }) {
+            DirEntry::Dir(d) => d,
+            DirEntry::Leaf(_) => unreachable!("level-4 entries are always directories"),
+        };
+        let l2 = match l3.children.entry(vpn.index(3)).or_insert_with(|| {
+            outcome.dirs_created += 1;
+            DirEntry::Dir(Box::default())
+        }) {
+            DirEntry::Dir(d) => d,
+            DirEntry::Leaf(_) => unreachable!("level-3 entries are always directories"),
+        };
+        let entry = l2.children.entry(vpn.index(2)).or_insert_with(|| {
+            outcome.leaf_created = true;
+            DirEntry::Leaf(LeafSlot::Local(PtLeaf::new()))
+        });
+        let slot = match entry {
+            DirEntry::Leaf(slot) => slot,
+            DirEntry::Dir(_) => unreachable!("level-2 entries are always leaves"),
+        };
+        if let LeafSlot::Attached(att) = slot {
+            // Leaf CoW: copy entries (dropping the checkpoint pin) and the
+            // runtime A bits to a private local leaf.
+            let mut copy = (*att.leaf).clone();
+            for i in 0..PTES_PER_LEAF {
+                let e = copy.get(i);
+                if !e.is_empty() {
+                    copy.set(i, e.without_flags(PteFlags::CKPT_PIN));
+                }
+            }
+            *slot = LeafSlot::Local(copy);
+            outcome.leaf_cow = true;
+            self.leaf_cow_events += 1;
+        }
+        if let LeafSlot::Local(leaf) = slot {
+            leaf.set(vpn.leaf_slot(), pte);
+        }
+        self.dir_pages += outcome.dirs_created;
+        outcome
+    }
+
+    /// Clears the PTE for `vpn`, returning the previous entry. Triggers a
+    /// leaf CoW if the covering leaf is attached.
+    pub fn unmap(&mut self, vpn: VirtPageNum) -> (Pte, SetOutcome) {
+        let old = self.get(vpn);
+        if old.is_empty() {
+            return (old, SetOutcome::default());
+        }
+        let outcome = self.set(vpn, Pte::EMPTY);
+        (old, outcome)
+    }
+
+    /// Sets the runtime A bit for `vpn` (no-op when unmapped). Works on
+    /// attached leaves without copying them.
+    pub fn mark_accessed(&self, vpn: VirtPageNum) {
+        if let Some(slot) = self.leaf_for(vpn) {
+            slot.access_bits().set(vpn.leaf_slot());
+        }
+    }
+
+    /// Reads the runtime A bit for `vpn`.
+    pub fn is_accessed(&self, vpn: VirtPageNum) -> bool {
+        self.leaf_for(vpn)
+            .is_some_and(|slot| slot.access_bits().get(vpn.leaf_slot()))
+    }
+
+    /// Sets the D bit in the entry for `vpn`.
+    ///
+    /// Only meaningful for local leaves (writable mappings always live in
+    /// local leaves after CoW resolution); silently ignored on attached
+    /// leaves, whose D bits "are never updated, as these pages are attached
+    /// as read-only" (§4.3).
+    pub fn mark_dirty(&mut self, vpn: VirtPageNum) {
+        let slot_idx = vpn.leaf_slot();
+        if let Some(LeafSlot::Local(leaf)) = self.leaf_for_mut(vpn) {
+            let e = leaf.get(slot_idx);
+            if !e.is_empty() {
+                leaf.set(slot_idx, e.with_flags(PteFlags::DIRTY));
+            }
+        }
+    }
+
+    fn leaf_for_mut(&mut self, vpn: VirtPageNum) -> Option<&mut LeafSlot> {
+        let l4 = self.root.children.get_mut(&vpn.index(4))?;
+        let DirEntry::Dir(l3) = l4 else { return None };
+        let l3e = l3.children.get_mut(&vpn.index(3))?;
+        let DirEntry::Dir(l2) = l3e else { return None };
+        match l2.children.get_mut(&vpn.index(2))? {
+            DirEntry::Leaf(slot) => Some(slot),
+            DirEntry::Dir(_) => None,
+        }
+    }
+
+    /// Attaches a checkpointed leaf at `leaf_index` (= `vpn >> 9`),
+    /// replacing anything previously there. Returns the number of
+    /// directory pages created on the way down — the only allocation the
+    /// constant-time restore pays (§4.2.1).
+    pub fn attach_leaf(&mut self, leaf_index: u64, attached: AttachedLeaf) -> u64 {
+        let vpn = VirtPageNum(leaf_index << 9);
+        let mut dirs_created = 0;
+        let l3 = match self.root.children.entry(vpn.index(4)).or_insert_with(|| {
+            dirs_created += 1;
+            DirEntry::Dir(Box::default())
+        }) {
+            DirEntry::Dir(d) => d,
+            DirEntry::Leaf(_) => unreachable!(),
+        };
+        let l2 = match l3.children.entry(vpn.index(3)).or_insert_with(|| {
+            dirs_created += 1;
+            DirEntry::Dir(Box::default())
+        }) {
+            DirEntry::Dir(d) => d,
+            DirEntry::Leaf(_) => unreachable!(),
+        };
+        l2.children
+            .insert(vpn.index(2), DirEntry::Leaf(LeafSlot::Attached(attached)));
+        self.dir_pages += dirs_created;
+        dirs_created
+    }
+
+    /// Installs a local leaf wholesale at `leaf_index` (used by hybrid
+    /// tiering, which materializes per-policy local copies of checkpoint
+    /// leaves at restore time). Returns directories created.
+    pub fn install_local_leaf(&mut self, leaf_index: u64, leaf: PtLeaf) -> u64 {
+        let vpn = VirtPageNum(leaf_index << 9);
+        let mut dirs_created = 0;
+        let l3 = match self.root.children.entry(vpn.index(4)).or_insert_with(|| {
+            dirs_created += 1;
+            DirEntry::Dir(Box::default())
+        }) {
+            DirEntry::Dir(d) => d,
+            DirEntry::Leaf(_) => unreachable!(),
+        };
+        let l2 = match l3.children.entry(vpn.index(3)).or_insert_with(|| {
+            dirs_created += 1;
+            DirEntry::Dir(Box::default())
+        }) {
+            DirEntry::Dir(d) => d,
+            DirEntry::Leaf(_) => unreachable!(),
+        };
+        l2.children
+            .insert(vpn.index(2), DirEntry::Leaf(LeafSlot::Local(leaf)));
+        self.dir_pages += dirs_created;
+        dirs_created
+    }
+
+    /// Iterates `(leaf_index, &LeafSlot)` over all leaves.
+    pub fn leaves(&self) -> Vec<(u64, &LeafSlot)> {
+        let mut out = Vec::new();
+        for (i4, e4) in &self.root.children {
+            let DirEntry::Dir(l3) = e4 else { continue };
+            for (i3, e3) in &l3.children {
+                let DirEntry::Dir(l2) = e3 else { continue };
+                for (i2, e2) in &l2.children {
+                    if let DirEntry::Leaf(slot) = e2 {
+                        let leaf_index = ((*i4 as u64) << 18) | ((*i3 as u64) << 9) | (*i2 as u64);
+                        out.push((leaf_index, slot));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates `(vpn, pte)` over all populated (present or armed)
+    /// entries.
+    pub fn iter_populated(&self) -> Vec<(VirtPageNum, Pte)> {
+        let mut out = Vec::new();
+        for (leaf_index, slot) in self.leaves() {
+            let leaf: &PtLeaf = match slot {
+                LeafSlot::Local(l) => l,
+                LeafSlot::Attached(a) => &a.leaf,
+            };
+            for (s, pte) in leaf.iter_populated() {
+                out.push((VirtPageNum((leaf_index << 9) | s as u64), pte));
+            }
+        }
+        out
+    }
+
+    /// Number of directory (upper-level) pages, including the root.
+    pub fn dir_page_count(&self) -> u64 {
+        self.dir_pages
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves().len()
+    }
+
+    /// Number of currently attached (checkpoint) leaves.
+    pub fn attached_leaf_count(&self) -> usize {
+        self.leaves()
+            .iter()
+            .filter(|(_, s)| s.is_attached())
+            .count()
+    }
+
+    /// Leaf-CoW events since creation.
+    pub fn leaf_cow_events(&self) -> u64 {
+        self.leaf_cow_events
+    }
+
+    /// Clears the Accessed and Dirty record of every mapping: runtime A
+    /// bits on all leaves, and D flags in local leaves. CXLporter invokes
+    /// this after a function's first invocation so the bits capture the
+    /// steady-state access pattern rather than initialization (§5).
+    /// Attached leaves only have their (side-band) A bits cleared — their
+    /// entries are immutable.
+    pub fn clear_ad_bits(&mut self) {
+        fn walk(dir: &mut DirLevel) {
+            for entry in dir.children.values_mut() {
+                match entry {
+                    DirEntry::Dir(d) => walk(d),
+                    DirEntry::Leaf(LeafSlot::Local(leaf)) => {
+                        leaf.access_bits().clear_all();
+                        for slot in 0..PTES_PER_LEAF {
+                            let e = leaf.get(slot);
+                            if !e.is_empty() {
+                                leaf.set(
+                                    slot,
+                                    e.without_flags(PteFlags::DIRTY | PteFlags::ACCESSED),
+                                );
+                            }
+                        }
+                    }
+                    DirEntry::Leaf(LeafSlot::Attached(a)) => {
+                        a.leaf.access_bits().clear_all();
+                    }
+                }
+            }
+        }
+        walk(&mut self.root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Pfn, PhysAddr};
+
+    fn pte(pfn: u64) -> Pte {
+        Pte::mapped(
+            PhysAddr::Local(Pfn(pfn)),
+            PteFlags::PRESENT | PteFlags::WRITABLE,
+        )
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_levels() {
+        let mut pt = PageTable::new();
+        // Spread VPNs across distinct L4/L3/L2 indices.
+        let vpns = [
+            0u64,
+            1,
+            511,
+            512,
+            1 << 18,
+            (1 << 27) | 5,
+            (35 << 27) | (7 << 18) | 123,
+        ];
+        for (i, &v) in vpns.iter().enumerate() {
+            pt.set(VirtPageNum(v), pte(i as u64));
+        }
+        for (i, &v) in vpns.iter().enumerate() {
+            assert_eq!(pt.get(VirtPageNum(v)), pte(i as u64), "vpn {v:#x}");
+        }
+        assert_eq!(pt.get(VirtPageNum(0xdead_beef)), Pte::EMPTY);
+    }
+
+    #[test]
+    fn set_reports_created_structures() {
+        let mut pt = PageTable::new();
+        let o1 = pt.set(VirtPageNum(0), pte(1));
+        assert_eq!(o1.dirs_created, 2); // L3 + L2 dirs under the root
+        assert!(o1.leaf_created);
+        assert!(!o1.leaf_cow);
+        let o2 = pt.set(VirtPageNum(1), pte(2));
+        assert_eq!(o2.dirs_created, 0);
+        assert!(!o2.leaf_created);
+        assert_eq!(pt.dir_page_count(), 3); // root + L3 + L2
+    }
+
+    #[test]
+    fn unmap_returns_old_entry() {
+        let mut pt = PageTable::new();
+        pt.set(VirtPageNum(9), pte(5));
+        let (old, _) = pt.unmap(VirtPageNum(9));
+        assert_eq!(old, pte(5));
+        assert_eq!(pt.get(VirtPageNum(9)), Pte::EMPTY);
+        let (old2, o2) = pt.unmap(VirtPageNum(9));
+        assert!(old2.is_empty());
+        assert_eq!(o2, SetOutcome::default());
+    }
+
+    #[test]
+    fn attached_leaf_reads_through() {
+        let mut shared = PtLeaf::new();
+        shared.set(3, pte(77).with_flags(PteFlags::CKPT_PIN));
+        let shared = Arc::new(shared);
+        let mut pt = PageTable::new();
+        let dirs = pt.attach_leaf(
+            0,
+            AttachedLeaf {
+                leaf: Arc::clone(&shared),
+                backing: CxlPageId(1),
+            },
+        );
+        assert_eq!(dirs, 2);
+        assert_eq!(pt.get(VirtPageNum(3)).target(), pte(77).target());
+        assert_eq!(pt.attached_leaf_count(), 1);
+    }
+
+    #[test]
+    fn write_to_attached_leaf_triggers_leaf_cow_and_preserves_sharers() {
+        let mut shared = PtLeaf::new();
+        shared.set(0, pte(10).with_flags(PteFlags::CKPT_PIN));
+        shared.set(1, pte(11).with_flags(PteFlags::CKPT_PIN));
+        let shared = Arc::new(shared);
+
+        let mut pt_a = PageTable::new();
+        let mut pt_b = PageTable::new();
+        for pt in [&mut pt_a, &mut pt_b] {
+            pt.attach_leaf(
+                0,
+                AttachedLeaf {
+                    leaf: Arc::clone(&shared),
+                    backing: CxlPageId(1),
+                },
+            );
+        }
+
+        let o = pt_a.set(VirtPageNum(0), pte(99));
+        assert!(o.leaf_cow);
+        assert_eq!(pt_a.leaf_cow_events(), 1);
+        assert_eq!(pt_a.get(VirtPageNum(0)), pte(99));
+        // The copy keeps the untouched neighbour entry, minus the pin.
+        assert_eq!(pt_a.get(VirtPageNum(1)).target(), pte(11).target());
+        assert!(!pt_a
+            .get(VirtPageNum(1))
+            .flags()
+            .contains(PteFlags::CKPT_PIN));
+        // The other sharer and the checkpoint itself are unaffected.
+        assert_eq!(pt_b.get(VirtPageNum(0)).target(), pte(10).target());
+        assert!(pt_b.leaf_for(VirtPageNum(0)).unwrap().is_attached());
+        assert_eq!(shared.get(0).target(), pte(10).target());
+        // Second write to the same (now local) leaf: no second CoW.
+        let o2 = pt_a.set(VirtPageNum(5), pte(55));
+        assert!(!o2.leaf_cow);
+    }
+
+    #[test]
+    fn accessed_bits_work_on_attached_leaves_without_cow() {
+        let mut shared = PtLeaf::new();
+        shared.set(7, pte(1));
+        let shared = Arc::new(shared);
+        let mut pt = PageTable::new();
+        pt.attach_leaf(
+            0,
+            AttachedLeaf {
+                leaf: Arc::clone(&shared),
+                backing: CxlPageId(0),
+            },
+        );
+        assert!(!pt.is_accessed(VirtPageNum(7)));
+        pt.mark_accessed(VirtPageNum(7));
+        assert!(pt.is_accessed(VirtPageNum(7)));
+        // The A bit is visible through the shared checkpoint leaf (hybrid
+        // tiering's continuous working-set monitor reads it there).
+        assert!(shared.access_bits().get(7));
+        // And user space can reset it.
+        shared.access_bits().clear_all();
+        assert!(!pt.is_accessed(VirtPageNum(7)));
+        // No leaf CoW happened.
+        assert_eq!(pt.leaf_cow_events(), 0);
+        assert!(pt.leaf_for(VirtPageNum(7)).unwrap().is_attached());
+    }
+
+    #[test]
+    fn dirty_marking_only_touches_local_leaves() {
+        let mut pt = PageTable::new();
+        pt.set(VirtPageNum(4), pte(4));
+        pt.mark_dirty(VirtPageNum(4));
+        assert!(pt.get(VirtPageNum(4)).is_dirty());
+
+        let mut shared = PtLeaf::new();
+        shared.set(0, pte(1));
+        let shared = Arc::new(shared);
+        let mut pt2 = PageTable::new();
+        pt2.attach_leaf(
+            1,
+            AttachedLeaf {
+                leaf: Arc::clone(&shared),
+                backing: CxlPageId(0),
+            },
+        );
+        pt2.mark_dirty(VirtPageNum(512));
+        assert!(
+            !pt2.get(VirtPageNum(512)).is_dirty(),
+            "attached D bits never update"
+        );
+    }
+
+    #[test]
+    fn harvested_folds_runtime_access_into_flags() {
+        let mut leaf = PtLeaf::new();
+        leaf.set(2, pte(2));
+        leaf.set(3, pte(3));
+        // Stale record from a previous generation: must be discarded.
+        leaf.set(4, pte(4).with_flags(PteFlags::ACCESSED));
+        leaf.access_bits().set(2);
+        leaf.access_bits().set(100); // empty slot: must not materialize
+        let h = leaf.harvested();
+        assert!(h.get(2).is_accessed());
+        assert!(!h.get(3).is_accessed());
+        assert!(!h.get(4).is_accessed(), "stale generation A discarded");
+        assert!(h.get(100).is_empty());
+    }
+
+    #[test]
+    fn iter_populated_reconstructs_vpns() {
+        let mut pt = PageTable::new();
+        let vpns = [5u64, 600, (2 << 18) + 9];
+        for &v in &vpns {
+            pt.set(VirtPageNum(v), pte(v));
+        }
+        let mut got: Vec<u64> = pt.iter_populated().iter().map(|(v, _)| v.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![5, 600, (2 << 18) + 9]);
+        assert_eq!(pt.leaf_count(), 3);
+    }
+
+    #[test]
+    fn install_local_leaf_replaces_slot() {
+        let mut pt = PageTable::new();
+        let mut leaf = PtLeaf::new();
+        leaf.set(1, pte(42));
+        pt.install_local_leaf(2, leaf);
+        assert_eq!(pt.get(VirtPageNum((2 << 9) | 1)), pte(42));
+        assert_eq!(pt.attached_leaf_count(), 0);
+    }
+
+    #[test]
+    fn access_bits_count_and_clear() {
+        let b = AccessBits::new();
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(511);
+        assert_eq!(b.count(), 4);
+        assert!(b.get(63) && b.get(64));
+        assert!(!b.get(1));
+        let c = b.clone();
+        b.clear_all();
+        assert_eq!(b.count(), 0);
+        assert_eq!(c.count(), 4, "clone is independent");
+    }
+}

@@ -1,0 +1,233 @@
+//! Tasks, CPU context, file descriptors and namespaces.
+//!
+//! These model the *private* and *global/reconfigurable* process state that
+//! CXLfork's checkpoint distinguishes (§4.1): the task struct and register
+//! file are private (checkpointed as-is to CXL), the fd table and mount
+//! points are "lightly serialized" global state re-instantiated on the
+//! restore node, and scheduling/namespace configuration is *reconfigurable*
+//! — inherited from the restore-side caller so functions can be cloned
+//! straight into new containers (§4.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Pid;
+
+/// The architectural register file (16 GPRs + rip + rsp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Registers {
+    /// General-purpose registers.
+    pub gpr: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Stack pointer.
+    pub rsp: u64,
+}
+
+impl Registers {
+    /// A register file seeded with recognizable values (tests and examples
+    /// verify the context survives checkpoint/restore byte-for-byte).
+    pub fn seeded(seed: u64) -> Self {
+        let mut gpr = [0u64; 16];
+        for (i, r) in gpr.iter_mut().enumerate() {
+            *r = seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64);
+        }
+        Registers {
+            gpr,
+            rip: seed ^ 0x400_000,
+            rsp: seed ^ 0x7fff_f000,
+        }
+    }
+}
+
+/// One open file description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileDescriptor {
+    /// Path on the shared root filesystem.
+    pub path: String,
+    /// Current read/write offset.
+    pub offset: u64,
+    /// `true` if opened for writing.
+    pub writable: bool,
+}
+
+/// The per-process file-descriptor table.
+///
+/// # Example
+///
+/// ```
+/// use node_os::process::{FdTable, FileDescriptor};
+///
+/// let mut fds = FdTable::new();
+/// let fd = fds.open(FileDescriptor { path: "/etc/conf".into(), offset: 0, writable: false });
+/// assert_eq!(fds.get(fd).unwrap().path, "/etc/conf");
+/// fds.close(fd);
+/// assert!(fds.get(fd).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FdTable {
+    slots: Vec<Option<FileDescriptor>>,
+}
+
+impl FdTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FdTable::default()
+    }
+
+    /// Opens a descriptor in the lowest free slot, returning its number.
+    pub fn open(&mut self, fd: FileDescriptor) -> usize {
+        if let Some(i) = self.slots.iter().position(Option::is_none) {
+            self.slots[i] = Some(fd);
+            i
+        } else {
+            self.slots.push(Some(fd));
+            self.slots.len() - 1
+        }
+    }
+
+    /// Closes a descriptor; returns it if it was open.
+    pub fn close(&mut self, fd: usize) -> Option<FileDescriptor> {
+        self.slots.get_mut(fd).and_then(Option::take)
+    }
+
+    /// Looks up an open descriptor.
+    pub fn get(&self, fd: usize) -> Option<&FileDescriptor> {
+        self.slots.get(fd).and_then(Option::as_ref)
+    }
+
+    /// Iterates `(fd, descriptor)` over open descriptors.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &FileDescriptor)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|d| (i, d)))
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Namespace membership and container configuration.
+///
+/// `mount_ns` and `pid_ns` are checkpointed (CXLfork "only serializes and
+/// checkpoints mount points and the process identifier (PID) namespaces",
+/// §4.1); the network namespace and cgroup are *reconfigurable* — inherited
+/// from the process that calls the restore on the new node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct NamespaceSet {
+    /// PID namespace id (checkpointed).
+    pub pid_ns: u64,
+    /// Mount namespace id (checkpointed).
+    pub mount_ns: u64,
+    /// Network namespace id (inherited on restore).
+    pub net_ns: u64,
+    /// Cgroup path (inherited on restore).
+    pub cgroup: String,
+}
+
+/// Scheduling configuration (reconfigurable state: reset on the new node,
+/// §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedPolicy {
+    /// Niceness, −20..=19.
+    pub nice: i8,
+    /// CPU affinity mask.
+    pub cpu_mask: u64,
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        SchedPolicy {
+            nice: 0,
+            cpu_mask: u64::MAX,
+        }
+    }
+}
+
+/// The task structure: everything about a process except its address
+/// space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// Process id on the owning node.
+    pub pid: Pid,
+    /// Command name.
+    pub comm: String,
+    /// CPU context.
+    pub regs: Registers,
+    /// Open files.
+    pub fds: FdTable,
+    /// Namespace membership.
+    pub ns: NamespaceSet,
+    /// Scheduler configuration.
+    pub sched: SchedPolicy,
+}
+
+impl Task {
+    /// A fresh task with default tables.
+    pub fn new(pid: Pid, comm: &str) -> Self {
+        Task {
+            pid,
+            comm: comm.to_owned(),
+            regs: Registers::default(),
+            fds: FdTable::new(),
+            ns: NamespaceSet::default(),
+            sched: SchedPolicy::default(),
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.pid, self.comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_table_reuses_lowest_slot() {
+        let mut t = FdTable::new();
+        let f = |p: &str| FileDescriptor {
+            path: p.into(),
+            offset: 0,
+            writable: false,
+        };
+        let a = t.open(f("/a"));
+        let b = t.open(f("/b"));
+        assert_eq!((a, b), (0, 1));
+        t.close(a);
+        let c = t.open(f("/c"));
+        assert_eq!(c, 0);
+        assert_eq!(t.open_count(), 2);
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn close_missing_returns_none() {
+        let mut t = FdTable::new();
+        assert!(t.close(3).is_none());
+    }
+
+    #[test]
+    fn seeded_registers_differ_by_seed() {
+        assert_ne!(Registers::seeded(1), Registers::seeded(2));
+        assert_eq!(Registers::seeded(1), Registers::seeded(1));
+        let r = Registers::seeded(5);
+        assert!(r.gpr.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn task_display_and_defaults() {
+        let t = Task::new(Pid(4), "bert");
+        assert_eq!(t.to_string(), "pid4 (bert)");
+        assert_eq!(t.sched.nice, 0);
+        assert_eq!(t.sched.cpu_mask, u64::MAX);
+        assert_eq!(t.fds.open_count(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Integration tests for chained local forks: grandchildren, CoW fan-out,
+//! page-cache sharing, and teardown ordering.
+
+use std::sync::Arc;
+
+use cxl_mem::CxlDevice;
+use node_os::addr::{PhysAddr, VirtPageNum};
+use node_os::mm::{Access, FaultKind};
+use node_os::vma::Protection;
+use node_os::{Node, NodeConfig, Pid};
+
+fn node() -> Node {
+    Node::new(
+        NodeConfig::default().with_local_mem_mib(64),
+        Arc::new(CxlDevice::with_capacity_mib(16)),
+    )
+}
+
+fn parent_with_heap(node: &mut Node, pages: u64) -> Pid {
+    let pid = node.spawn("p0").unwrap();
+    node.process_mut(pid)
+        .unwrap()
+        .mm
+        .map_anonymous(0, pages, Protection::read_write(), "heap")
+        .unwrap();
+    for i in 0..pages {
+        node.access(pid, i, Access::Write).unwrap();
+    }
+    pid
+}
+
+#[test]
+fn grandchild_shares_until_write_and_isolates_after() {
+    let mut n = node();
+    let p0 = parent_with_heap(&mut n, 8);
+    let (p1, _) = n.local_fork(p0).unwrap();
+    let (p2, _) = n.local_fork(p1).unwrap();
+
+    // All three map the same frame for page 0, refcount 3.
+    let frame_of = |n: &Node, pid: Pid| {
+        let Some(PhysAddr::Local(pfn)) = n
+            .process(pid)
+            .unwrap()
+            .mm
+            .translate(VirtPageNum(0))
+            .target()
+        else {
+            panic!("page 0 should be mapped local")
+        };
+        pfn
+    };
+    let f0 = frame_of(&n, p0);
+    assert_eq!(frame_of(&n, p1), f0);
+    assert_eq!(frame_of(&n, p2), f0);
+    assert_eq!(n.frames().refcount(f0), 3);
+
+    // Grandchild writes: only it gets a copy.
+    let o = n.access(p2, 0, Access::Write).unwrap();
+    assert_eq!(o.fault, Some(FaultKind::LocalCow));
+    assert_ne!(frame_of(&n, p2), f0);
+    assert_eq!(frame_of(&n, p0), f0);
+    assert_eq!(frame_of(&n, p1), f0);
+    assert_eq!(n.frames().refcount(f0), 2);
+
+    // Child writes: another copy; parent now sole owner.
+    n.access(p1, 0, Access::Write).unwrap();
+    assert_eq!(n.frames().refcount(f0), 1);
+    // Parent's next write is an in-place upgrade, not a copy.
+    let o = n.access(p0, 0, Access::Write).unwrap();
+    assert_eq!(o.fault, Some(FaultKind::UpgradeInPlace));
+}
+
+#[test]
+fn kill_order_does_not_leak_frames() {
+    let mut n = node();
+    let p0 = parent_with_heap(&mut n, 16);
+    let (p1, _) = n.local_fork(p0).unwrap();
+    let (p2, _) = n.local_fork(p0).unwrap();
+    // Children write half their pages each.
+    for i in 0..8 {
+        n.access(p1, i, Access::Write).unwrap();
+        n.access(p2, 8 + i, Access::Write).unwrap();
+    }
+    let used_peak = n.frames().used();
+    assert_eq!(used_peak, 16 + 8 + 8);
+
+    // Kill parent first: children keep working.
+    n.kill(p0).unwrap();
+    n.access(p1, 15, Access::Read).unwrap();
+    n.access(p2, 0, Access::Read).unwrap();
+    n.kill(p1).unwrap();
+    n.kill(p2).unwrap();
+    assert_eq!(n.frames().used(), 0, "all frames returned");
+}
+
+#[test]
+fn forked_children_share_file_pages_through_the_page_cache() {
+    let mut n = node();
+    n.rootfs().create("/lib/shared.so", 16 * 4096, 9);
+    let p0 = n.spawn("p0").unwrap();
+    n.process_mut(p0)
+        .unwrap()
+        .mm
+        .map_file(100, 16, Protection::read_exec(), "/lib/shared.so", 0)
+        .unwrap();
+    // Parent faults them in (major).
+    for i in 0..16 {
+        let o = n.access(p0, 100 + i, Access::Read).unwrap();
+        assert_eq!(o.fault, Some(FaultKind::FileMajor));
+    }
+    let used_after_parent = n.frames().used();
+
+    // Two children re-fault the same pages: minors, zero new frames.
+    let (p1, _) = n.local_fork(p0).unwrap();
+    let (p2, _) = n.local_fork(p0).unwrap();
+    for pid in [p1, p2] {
+        for i in 0..16 {
+            let o = n.access(pid, 100 + i, Access::Read).unwrap();
+            assert_eq!(o.fault, Some(FaultKind::FileMinor));
+        }
+    }
+    assert_eq!(n.frames().used(), used_after_parent);
+
+    // Page cache survives all processes; dropping it frees the frames.
+    n.kill(p0).unwrap();
+    n.kill(p1).unwrap();
+    n.kill(p2).unwrap();
+    assert_eq!(n.frames().used(), 16, "page cache holds the file pages");
+    assert_eq!(n.drop_page_cache(), 16);
+    assert_eq!(n.frames().used(), 0);
+}
+
+#[test]
+fn fork_bomb_hits_capacity_gracefully() {
+    // Fork many children, have each write one page until memory runs out:
+    // the failing child reports OOM, everything else stays consistent.
+    let mut n = Node::new(
+        NodeConfig::default().with_local_mem_mib(1),
+        Arc::new(CxlDevice::with_capacity_mib(4)),
+    );
+    let p0 = parent_with_heap(&mut n, 64);
+    let mut children = Vec::new();
+    let mut oom_seen = false;
+    for i in 0..256u64 {
+        let (c, _) = n.local_fork(p0).unwrap();
+        match n.access(c, i % 64, Access::Write) {
+            Ok(_) => children.push(c),
+            Err(node_os::OsError::OutOfMemory { .. }) => {
+                oom_seen = true;
+                n.kill(c).unwrap();
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(oom_seen, "1 MiB node must run out");
+    // Every surviving child still reads coherent data.
+    for (idx, c) in children.iter().enumerate() {
+        n.access(*c, (idx as u64 + 1) % 64, Access::Read).unwrap();
+    }
+    // Full teardown releases everything.
+    for c in children {
+        n.kill(c).unwrap();
+    }
+    n.kill(p0).unwrap();
+    assert_eq!(n.frames().used(), 0);
+}

@@ -1,0 +1,280 @@
+//! A small validating binary wire format shared by the checkpoint
+//! mechanisms.
+//!
+//! Real CRIU serializes process state with Protocol Buffers; Mitosis uses
+//! a compact OS-state descriptor. Both reproductions encode their images
+//! with this self-describing format: every image starts with a 32-bit
+//! magic identifying its type, and records are fixed-width integers and
+//! length-prefixed byte strings. Decoding validates magics and lengths, so
+//! corrupted or mismatched images fail loudly.
+
+use crate::RforkError;
+
+/// A growable image encoder.
+///
+/// # Example
+///
+/// ```
+/// use rfork::wire::{ImageReader, ImageWriter};
+///
+/// # fn main() -> Result<(), rfork::RforkError> {
+/// let mut w = ImageWriter::new(0xC1A0_0001);
+/// w.put_u64(42);
+/// w.put_str("bert");
+/// let bytes = w.into_bytes();
+///
+/// let mut r = ImageReader::new(&bytes, 0xC1A0_0001)?;
+/// assert_eq!(r.get_u64()?, 42);
+/// assert_eq!(r.get_str()?, "bert");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImageWriter {
+    buf: Vec<u8>,
+}
+
+impl ImageWriter {
+    /// Starts an image of the given type.
+    pub fn new(magic: u32) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&magic.to_le_bytes());
+        ImageWriter { buf }
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if only the magic has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.len() <= 4
+    }
+
+    /// Finishes the image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A validating image decoder.
+#[derive(Debug)]
+pub struct ImageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ImageReader<'a> {
+    /// Opens an image, validating its magic.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] if the buffer is too short or the magic
+    /// does not match `expected_magic`.
+    pub fn new(buf: &'a [u8], expected_magic: u32) -> Result<Self, RforkError> {
+        if buf.len() < 4 {
+            return Err(RforkError::BadImage("image shorter than magic".into()));
+        }
+        let magic = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+        if magic != expected_magic {
+            return Err(RforkError::BadImage(format!(
+                "magic mismatch: expected {expected_magic:#010x}, found {magic:#010x}"
+            )));
+        }
+        Ok(ImageReader { buf, pos: 4 })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RforkError> {
+        if self.pos + n > self.buf.len() {
+            return Err(RforkError::BadImage(format!(
+                "truncated image: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] on truncation.
+    pub fn get_u64(&mut self) -> Result<u64, RforkError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] on truncation.
+    pub fn get_u32(&mut self) -> Result<u32, RforkError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] on truncation.
+    pub fn get_u16(&mut self) -> Result<u16, RforkError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a boolean.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] on truncation or a byte other than 0/1.
+    pub fn get_bool(&mut self) -> Result<bool, RforkError> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(RforkError::BadImage(format!("bad bool byte {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] on truncation.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], RforkError> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::BadImage`] on truncation or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<&'a str, RforkError> {
+        std::str::from_utf8(self.get_bytes()?)
+            .map_err(|e| RforkError::BadImage(format!("invalid utf-8 in image: {e}")))
+    }
+
+    /// `true` once all bytes are consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORE_MAGIC: u32 = 0xC1A0_0001;
+    const MM_MAGIC: u32 = 0xC1A0_0002;
+    const PAGEMAP_MAGIC: u32 = 0xC1A0_0003;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = ImageWriter::new(MM_MAGIC);
+        w.put_u64(u64::MAX);
+        w.put_u32(7);
+        w.put_u16(513);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_bytes(&[1, 2, 3]);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+
+        let mut r = ImageReader::new(&bytes, MM_MAGIC).unwrap();
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 513);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn magic_mismatch_is_rejected() {
+        let w = ImageWriter::new(CORE_MAGIC);
+        let bytes = w.into_bytes();
+        let err = ImageReader::new(&bytes, MM_MAGIC).unwrap_err();
+        assert!(matches!(err, RforkError::BadImage(_)));
+        assert!(err.to_string().contains("magic mismatch"));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = ImageWriter::new(PAGEMAP_MAGIC);
+        w.put_u64(1);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(8); // chop the u64 in half
+        let mut r = ImageReader::new(&bytes, PAGEMAP_MAGIC).unwrap();
+        assert!(matches!(r.get_u64(), Err(RforkError::BadImage(_))));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(matches!(
+            ImageReader::new(&[1, 2], CORE_MAGIC),
+            Err(RforkError::BadImage(_))
+        ));
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let mut w = ImageWriter::new(CORE_MAGIC);
+        w.put_u16(0x0202); // two bytes of 2
+        let bytes = w.into_bytes();
+        let mut r = ImageReader::new(&bytes, CORE_MAGIC).unwrap();
+        assert!(r.get_bool().is_err());
+    }
+
+    #[test]
+    fn writer_len_tracks_content() {
+        let mut w = ImageWriter::new(CORE_MAGIC);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 4);
+        w.put_u64(0);
+        assert_eq!(w.len(), 12);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! The virtual clock.
+
+use crate::{SimDuration, SimTime};
+
+/// A monotonically advancing virtual clock.
+///
+/// Each simulated node owns a `SimClock`; global experiment drivers may also
+/// keep one per logical timeline. The clock never goes backwards and is only
+/// advanced explicitly, which keeps the whole simulation deterministic.
+///
+/// # Example
+///
+/// ```
+/// use simclock::{SimClock, SimDuration};
+///
+/// let mut clock = SimClock::new();
+/// clock.advance(SimDuration::from_micros(5));
+/// let start = clock.now();
+/// clock.advance(SimDuration::from_micros(3));
+/// assert_eq!(clock.now() - start, SimDuration::from_micros(3));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// Creates a clock at the simulation epoch.
+    pub fn new() -> Self {
+        SimClock { now: SimTime::ZERO }
+    }
+
+    /// Creates a clock starting at an arbitrary point, e.g. to resume a
+    /// timeline.
+    pub fn starting_at(now: SimTime) -> Self {
+        SimClock { now }
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    #[inline]
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.now += d;
+        self.now
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; otherwise leaves
+    /// the clock untouched. Returns the (possibly unchanged) current time.
+    ///
+    /// This is the primitive used when merging per-node timelines: an event
+    /// that completed at `t` on another node cannot be observed before `t`.
+    #[inline]
+    pub fn advance_to(&mut self, t: SimTime) -> SimTime {
+        if t > self.now {
+            self.now = t;
+        }
+        self.now
+    }
+
+    /// Runs `f`, charging its returned cost to the clock, and returns the
+    /// cost.
+    ///
+    /// A convenience for the common "perform a modelled operation and account
+    /// for it" pattern.
+    pub fn charge<F>(&mut self, f: F) -> SimDuration
+    where
+        F: FnOnce() -> SimDuration,
+    {
+        let cost = f();
+        self.advance(cost);
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = SimClock::new();
+        c.advance(SimDuration::from_nanos(10));
+        c.advance(SimDuration::from_nanos(20));
+        assert_eq!(c.now().as_nanos(), 30);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = SimClock::starting_at(SimTime::from_nanos(100));
+        c.advance_to(SimTime::from_nanos(50));
+        assert_eq!(c.now().as_nanos(), 100);
+        c.advance_to(SimTime::from_nanos(150));
+        assert_eq!(c.now().as_nanos(), 150);
+    }
+
+    #[test]
+    fn charge_advances_by_closure_cost() {
+        let mut c = SimClock::new();
+        let cost = c.charge(|| SimDuration::from_micros(7));
+        assert_eq!(cost, SimDuration::from_micros(7));
+        assert_eq!(c.now().as_nanos(), 7_000);
+    }
+}

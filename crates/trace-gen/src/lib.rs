@@ -1,0 +1,221 @@
+//! An Azure-like serverless invocation trace generator.
+//!
+//! The paper drives its CXLporter experiments with the production traces
+//! of Shahrad et al. ("Serverless in the Wild", ATC '20), invoking the
+//! Table 1 functions "following Azure serverless traces … of bursty
+//! functions under a total load of 150 Requests Per Second on average"
+//! (§6.2, §7.2). Those traces are a proprietary download, so this crate
+//! generates a statistical stand-in that reproduces the two first-order
+//! properties the experiments depend on:
+//!
+//! * **popularity skew** — a few functions receive most invocations
+//!   (Zipf-distributed per-function rates, with the small functions most
+//!   popular, as in Azure);
+//! * **burstiness** — each function alternates Poisson *base* arrivals
+//!   with randomly placed high-rate burst windows. Bursts are what make
+//!   cold-start latency feed on itself (§7.2: slow rforks push more
+//!   requests into the cold path).
+//!
+//! Generation is fully deterministic given the seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simclock::rng::{derived, exp_sample};
+use simclock::SimTime;
+
+/// One invocation request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Invocation {
+    /// Arrival time.
+    pub time: SimTime,
+    /// Target function name.
+    pub function: String,
+}
+
+/// Trace-generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Trace duration in seconds.
+    pub duration_secs: f64,
+    /// Aggregate average arrival rate (requests per second). The paper
+    /// uses 150 RPS.
+    pub total_rps: f64,
+    /// Function names, most popular first (rates follow a Zipf law over
+    /// this order).
+    pub functions: Vec<String>,
+    /// Zipf skew of per-function popularity (≈1 matches FaaS studies).
+    pub popularity_skew: f64,
+    /// Rate multiplier inside a burst window.
+    pub burst_factor: f64,
+    /// Mean seconds between burst windows, per function.
+    pub burst_every_secs: f64,
+    /// Mean burst window length in seconds.
+    pub burst_len_secs: f64,
+}
+
+impl TraceConfig {
+    /// The paper-style default: 150 RPS aggregate, bursty.
+    pub fn paper_default(functions: Vec<String>, seed: u64) -> Self {
+        TraceConfig {
+            seed,
+            duration_secs: 60.0,
+            total_rps: 150.0,
+            functions,
+            popularity_skew: 1.0,
+            burst_factor: 6.0,
+            burst_every_secs: 15.0,
+            burst_len_secs: 2.0,
+        }
+    }
+
+    /// Per-function average rates (RPS), Zipf-weighted over the function
+    /// order.
+    pub fn function_rates(&self) -> Vec<(String, f64)> {
+        let n = self.functions.len();
+        assert!(n > 0, "trace needs at least one function");
+        let weights: Vec<f64> = (1..=n)
+            .map(|k| 1.0 / (k as f64).powf(self.popularity_skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        self.functions
+            .iter()
+            .zip(weights)
+            .map(|(f, w)| (f.clone(), self.total_rps * w / total))
+            .collect()
+    }
+}
+
+/// Generates a trace: one merged, time-sorted sequence of invocations.
+///
+/// # Panics
+///
+/// Panics if the config has no functions or non-positive duration/rate.
+pub fn generate(config: &TraceConfig) -> Vec<Invocation> {
+    assert!(config.duration_secs > 0.0, "duration must be positive");
+    assert!(config.total_rps > 0.0, "rate must be positive");
+    let mut out = Vec::new();
+    for (fname, avg_rate) in config.function_rates() {
+        let mut rng = derived(config.seed, &fname);
+
+        // Carve burst windows for this function.
+        let mut windows: Vec<(f64, f64)> = Vec::new();
+        let mut t = exp_sample(&mut rng, config.burst_every_secs);
+        while t < config.duration_secs {
+            let len = exp_sample(&mut rng, config.burst_len_secs).min(config.duration_secs - t);
+            windows.push((t, t + len));
+            t += len + exp_sample(&mut rng, config.burst_every_secs);
+        }
+
+        // Split the average rate between base load and bursts so the
+        // long-run mean stays `avg_rate`.
+        let burst_time: f64 = windows.iter().map(|(a, b)| b - a).sum();
+        let burst_share = burst_time / config.duration_secs;
+        // base + burst_share * base * factor = avg  ⇒  base = avg / (1 + share*(factor-1))
+        let base_rate = avg_rate / (1.0 + burst_share * (config.burst_factor - 1.0));
+
+        let in_burst = |t: f64| windows.iter().any(|(a, b)| t >= *a && t < *b);
+        let mut now = 0.0f64;
+        loop {
+            let rate = if in_burst(now) {
+                base_rate * config.burst_factor
+            } else {
+                base_rate
+            };
+            now += exp_sample(&mut rng, 1.0 / rate);
+            if now >= config.duration_secs {
+                break;
+            }
+            out.push(Invocation {
+                time: SimTime::from_nanos((now * 1e9) as u64),
+                function: fname.clone(),
+            });
+        }
+        let _ = rng.gen::<u64>();
+    }
+    out.sort_by_key(|i| i.time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TraceConfig {
+        TraceConfig::paper_default(vec!["A".into(), "B".into(), "C".into(), "D".into()], 42)
+    }
+
+    #[test]
+    fn trace_is_sorted_and_deterministic() {
+        let t1 = generate(&config());
+        let t2 = generate(&config());
+        assert_eq!(t1, t2);
+        assert!(t1.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(!t1.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut c2 = config();
+        c2.seed = 43;
+        assert_ne!(generate(&config()), generate(&c2));
+    }
+
+    #[test]
+    fn aggregate_rate_is_roughly_150_rps() {
+        let trace = generate(&config());
+        let rps = trace.len() as f64 / config().duration_secs;
+        assert!(
+            (120.0..=180.0).contains(&rps),
+            "aggregate rate {rps} RPS (target 150)"
+        );
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let trace = generate(&config());
+        let count = |f: &str| trace.iter().filter(|i| i.function == f).count();
+        let a = count("A");
+        let d = count("D");
+        assert!(a > 2 * d, "most-popular A ({a}) should dwarf D ({d})");
+    }
+
+    #[test]
+    fn bursts_create_load_spikes() {
+        let trace = generate(&config());
+        // Bucket arrivals into 1-second bins; bursty traces should have a
+        // max bin well above the mean bin.
+        let dur = config().duration_secs as usize;
+        let mut bins = vec![0usize; dur];
+        for inv in &trace {
+            let b = (inv.time.as_secs_f64() as usize).min(dur - 1);
+            bins[b] += 1;
+        }
+        let mean = trace.len() as f64 / dur as f64;
+        let max = *bins.iter().max().unwrap() as f64;
+        assert!(
+            max > mean * 1.8,
+            "max bin {max} vs mean {mean}: trace not bursty"
+        );
+    }
+
+    #[test]
+    fn rates_follow_declared_order() {
+        let rates = config().function_rates();
+        assert!(rates.windows(2).all(|w| w[0].1 >= w[1].1));
+        let total: f64 = rates.iter().map(|(_, r)| r).sum();
+        assert!((total - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn empty_function_list_rejected() {
+        let mut c = config();
+        c.functions.clear();
+        let _ = generate(&c);
+    }
+}

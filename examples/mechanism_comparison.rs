@@ -1,0 +1,56 @@
+//! Compare the three remote-fork mechanisms — CRIU-CXL, Mitosis-CXL and
+//! CXLfork — on the same function, end to end: checkpoint cost, restore
+//! latency, cold-start execution and the child's local-memory footprint.
+//!
+//! ```sh
+//! cargo run --release --example mechanism_comparison [function]
+//! ```
+
+use cxlfork_bench::{run_cold_start, Scenario, DEFAULT_STEADY_INVOCATIONS};
+use simclock::LatencyModel;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Rnn".to_owned());
+    let Some(spec) = faas::by_name(&name) else {
+        eprintln!(
+            "unknown function {name}; choose one of: {}",
+            faas::suite()
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+    println!(
+        "function {} — {} MiB footprint, {}-page working set\n",
+        spec.name, spec.footprint_mib, spec.ws_pages
+    );
+
+    let model = LatencyModel::calibrated();
+    println!(
+        "{:<12} {:>12} {:>11} {:>11} {:>11} {:>10} {:>8}",
+        "scenario", "checkpoint", "restore", "faults", "total", "local-MiB", "#faults"
+    );
+    for scenario in [
+        Scenario::Cold,
+        Scenario::LocalFork,
+        Scenario::Criu,
+        Scenario::Mitosis,
+        Scenario::cxlfork_default(),
+    ] {
+        let r = run_cold_start(&spec, scenario, &model, DEFAULT_STEADY_INVOCATIONS);
+        println!(
+            "{:<12} {:>10.1}ms {:>9.2}ms {:>9.2}ms {:>9.1}ms {:>10.1} {:>8}",
+            r.scenario,
+            r.checkpoint_cost.as_millis_f64(),
+            r.restore.as_millis_f64(),
+            r.faults.as_millis_f64(),
+            r.total.as_millis_f64(),
+            r.local_pages as f64 / 256.0,
+            r.fault_count,
+        );
+    }
+    println!("\nCXLfork: near-local-fork latency, a fraction of the memory — the checkpoint");
+    println!("stays in CXL and is shared by every clone on every node.");
+}

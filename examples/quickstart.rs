@@ -1,0 +1,98 @@
+//! Quickstart: checkpoint a process on one node, restore it — zero-copy —
+//! on another node over the shared CXL device.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use cxl_mem::CxlDevice;
+use cxlfork::CxlFork;
+use node_os::fs::SharedFs;
+use node_os::mm::Access;
+use node_os::vma::Protection;
+use node_os::{Node, NodeConfig};
+use rfork::RemoteFork;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A two-node cluster sharing a CXL memory device and a root fs.
+    let device = Arc::new(CxlDevice::with_capacity_mib(256));
+    let rootfs = Arc::new(SharedFs::new());
+    let mut node0 = Node::with_rootfs(
+        NodeConfig::default().with_id(0),
+        Arc::clone(&device),
+        Arc::clone(&rootfs),
+    );
+    let mut node1 = Node::with_rootfs(
+        NodeConfig::default().with_id(1),
+        Arc::clone(&device),
+        rootfs,
+    );
+
+    // A process on node 0 with 4 MiB of initialized heap, of which only a
+    // 32-page set is actively re-written (a typical FaaS shape, §2.2).
+    let pid = node0.spawn("worker")?;
+    node0
+        .process_mut(pid)?
+        .mm
+        .map_anonymous(0, 1024, Protection::read_write(), "heap")?;
+    for vpn in 0..1024 {
+        node0.access(pid, vpn, Access::Write)?;
+    }
+    // Clear the A/D record of initialization, then touch the steady-state
+    // working set (what CXLporter does before checkpointing, §5).
+    node0.with_process_ctx(pid, |p, _| p.mm.page_table.clear_ad_bits())?;
+    for vpn in 0..32 {
+        node0.access(pid, vpn, Access::Write)?;
+    }
+    println!(
+        "parent on {}: {} pages resident, clock {}",
+        node0.id(),
+        node0.process(pid)?.mm.mapped_local_pages(),
+        node0.now()
+    );
+
+    // Checkpoint: copy + rebase everything into CXL memory.
+    let cxlfork = CxlFork::new();
+    let ckpt = cxlfork.checkpoint(&mut node0, pid)?;
+    println!(
+        "checkpoint: {} data pages, {} CXL pages total, took {}",
+        ckpt.data_pages,
+        ckpt.meta().cxl_pages,
+        ckpt.meta().checkpoint_cost
+    );
+
+    // Restore on node 1: attach, don't copy.
+    let frames_before = node1.frames().used();
+    let restored = cxlfork.restore(&ckpt, &mut node1)?;
+    println!(
+        "restored on {} in {} — local frames added: {}",
+        node1.id(),
+        restored.restore_latency,
+        node1.frames().used() - frames_before
+    );
+
+    // The child reads the parent's bytes straight from CXL ...
+    let read = node1.access(restored.pid, 10, Access::Read)?;
+    println!(
+        "child read of page 10: fault={:?}, served from {}",
+        read.fault,
+        if read.cxl_tier { "CXL" } else { "local DRAM" }
+    );
+
+    // ... and a write migrates the page to local memory (CoW), leaving
+    // the checkpoint pristine for further clones.
+    let write = node1.access(restored.pid, 10, Access::Write)?;
+    println!(
+        "child write of page 10: fault={:?} costing {}",
+        write.fault, write.fault_cost
+    );
+    let again = cxlfork.restore(&ckpt, &mut node1)?;
+    println!(
+        "second clone restored in {} (checkpoint is reusable)",
+        again.restore_latency
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Explore CXLfork's tiering policies (§4.3) on a cache-thrashing
+//! workload: migrate-on-write vs migrate-on-access vs A-bit-guided hybrid
+//! tiering, plus the working-set monitoring and user hot-hint interfaces.
+//!
+//! ```sh
+//! cargo run --release --example tiering_policies
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use cxl_mem::CxlDevice;
+use cxlfork::CxlFork;
+use node_os::addr::VirtPageNum;
+use node_os::fs::SharedFs;
+use node_os::{Node, NodeConfig};
+use rfork::{RemoteFork, RestoreOptions};
+
+fn cluster() -> (Node, Node) {
+    let device = Arc::new(CxlDevice::with_capacity_mib(2048));
+    let rootfs = Arc::new(SharedFs::new());
+    (
+        Node::with_rootfs(
+            NodeConfig::default().with_id(0).with_local_mem_mib(2048),
+            Arc::clone(&device),
+            Arc::clone(&rootfs),
+        ),
+        Node::with_rootfs(
+            NodeConfig::default().with_id(1).with_local_mem_mib(2048),
+            device,
+            rootfs,
+        ),
+    )
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // BFS sweeps a working set larger than the 64 MB LLC — the workload
+    // where tiering matters most (Fig. 8).
+    let spec = faas::by_name("BFS").expect("BFS in suite");
+    println!(
+        "function: {} ({} MiB, working set {} pages x{} passes)\n",
+        spec.name, spec.footprint_mib, spec.ws_pages, spec.ws_passes
+    );
+
+    for options in [
+        RestoreOptions::mow(),
+        RestoreOptions::moa(),
+        RestoreOptions::hybrid(),
+    ] {
+        let (mut src, mut dst) = cluster();
+        let (pid, _) = faas::deploy_cold(&mut src, &spec)?;
+        faas::warm_for_checkpoint(&mut src, pid, &spec, 15)?;
+        let fork = CxlFork::new();
+        let ckpt = fork.checkpoint(&mut src, pid)?;
+
+        let frames_before = dst.frames().used();
+        let restored = fork.restore_with(&ckpt, &mut dst, options)?;
+        let cold = faas::run_invocation(&mut dst, restored.pid, &spec, 0)?;
+        for i in 1..3 {
+            faas::run_invocation(&mut dst, restored.pid, &spec, i)?;
+        }
+        let warm = faas::run_invocation(&mut dst, restored.pid, &spec, 3)?;
+        println!(
+            "{:<4}  restore {:>9}  cold {:>10}  warm {:>10}  local {:>6.1} MiB",
+            options.policy.to_string(),
+            restored.restore_latency.to_string(),
+            (restored.restore_latency + cold.total).to_string(),
+            warm.total.to_string(),
+            (dst.frames().used() - frames_before) as f64 / 256.0,
+        );
+    }
+
+    // Working-set monitoring: restored walkers update the checkpointed A
+    // bits, and user space can reset them to re-estimate hot pages (§4.3).
+    let (mut src, mut dst) = cluster();
+    let (pid, _) = faas::deploy_cold(&mut src, &spec)?;
+    faas::warm_for_checkpoint(&mut src, pid, &spec, 15)?;
+    let fork = CxlFork::new();
+    let ckpt = fork.checkpoint(&mut src, pid)?;
+    ckpt.reset_access_bits();
+    let restored = fork.restore_with(&ckpt, &mut dst, RestoreOptions::mow())?;
+    faas::run_invocation(&mut dst, restored.pid, &spec, 0)?;
+    let ws = ckpt.working_set();
+    println!(
+        "\nworking-set monitor: {} of {} checkpointed pages hot ({:.0}%) after one invocation",
+        ws.hot_pages,
+        ws.total_pages,
+        ws.hot_fraction() * 100.0
+    );
+
+    // User hot hints: pin a page hot for future hybrid restores.
+    let hinted = VirtPageNum(0x0020_0000);
+    assert!(ckpt.mark_hot(hinted));
+    println!(
+        "user hint: {hinted} pinned hot ({} hints total)",
+        ckpt.hot_hint_count()
+    );
+    Ok(())
+}
