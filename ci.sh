@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Repository CI gate. Everything here must pass before a change lands.
+#
+# Runs the suite twice: once as shipped (checkers compiled out, zero
+# cost) and once with --features check, which arms the cross-layer
+# invariant auditor, checkpoint seal verification and lockdep edge
+# recording throughout the workspace (see DESIGN.md §7).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo '== fmt =='
+cargo fmt --all --check
+
+echo '== clippy (default features) =='
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo '== clippy (--features check) =='
+cargo clippy --workspace --all-targets --features check -- -D warnings
+
+echo '== test (default features) =='
+cargo test --workspace --quiet
+
+echo '== test (--features check) =='
+cargo test --workspace --quiet --features check
+
+echo '== release build =='
+cargo build --workspace --release --quiet
+
+echo 'CI green.'

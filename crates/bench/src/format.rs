@@ -32,7 +32,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
-    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let header_cells: Vec<String> = headers
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     println!("{}", line(&header_cells));
     println!(
         "{}",

@@ -100,6 +100,27 @@ fn two_node_cluster(model: &LatencyModel) -> (Vec<Node>, Arc<CxlDevice>, Arc<Sha
     (nodes, device, rootfs)
 }
 
+/// Post-condition under the `check` feature: after a scenario run, every
+/// node's memory ledgers, the device's region books, and the global
+/// lock-order graph must all be clean. Checkpoints may still be live;
+/// the audit verifies consistency, not emptiness.
+#[cfg(feature = "check")]
+fn audit_scenario(nodes: &[&Node], device: &CxlDevice) {
+    let mut violations = Vec::new();
+    for node in nodes {
+        violations.extend(cxl_check::audit_node(node));
+    }
+    violations.extend(cxl_check::audit_device(device));
+    violations.extend(cxl_check::check_lock_order());
+    assert!(
+        violations.is_empty(),
+        "scenario left cross-layer violations: {violations:?}"
+    );
+}
+
+#[cfg(not(feature = "check"))]
+fn audit_scenario(_nodes: &[&Node], _device: &CxlDevice) {}
+
 /// Deploys + warms a parent on `node`, returning its pid.
 fn warm_parent(node: &mut Node, spec: &FunctionSpec, steady: u64) -> node_os::Pid {
     let (pid, _) = faas::deploy_cold(node, spec).expect("parent deployment fits the node");
@@ -119,7 +140,7 @@ pub fn run_cold_start(
     let mut node1 = nodes.pop().expect("two nodes");
     let mut node0 = nodes.pop().expect("two nodes");
 
-    match scenario {
+    let row = match scenario {
         Scenario::Cold => {
             let before = node1.frames().used();
             let (pid, init) = faas::deploy_cold(&mut node1, spec).expect("cold deploy fits");
@@ -191,7 +212,9 @@ pub fn run_cold_start(
                 .expect("checkpoint fits CXL");
             finish_rfork(&fork, &ckpt, &mut node1, spec, scenario, options)
         }
-    }
+    };
+    audit_scenario(&[&node0, &node1], &device);
+    row
 }
 
 fn finish_rfork<M: RemoteFork>(
@@ -245,7 +268,7 @@ pub fn run_tiering(
     model: &LatencyModel,
     steady: u64,
 ) -> TieringRow {
-    let (mut nodes, _device, _rootfs) = two_node_cluster(model);
+    let (mut nodes, device, _rootfs) = two_node_cluster(model);
     let mut node1 = nodes.pop().expect("two nodes");
     let mut node0 = nodes.pop().expect("two nodes");
     let parent = warm_parent(&mut node0, spec, steady);
@@ -266,13 +289,15 @@ pub fn run_tiering(
     let warm = faas::run_invocation(&mut node1, restored.pid, spec, 3)
         .expect("invocation")
         .total;
-    TieringRow {
+    let row = TieringRow {
         policy: options.policy.to_string(),
         function: spec.name.clone(),
         cold,
         warm,
         local_pages: node1.frames().used() - before,
-    }
+    };
+    audit_scenario(&[&node0, &node1], &device);
+    row
 }
 
 /// The warm execution time of a locally forked child (the "local fork in
@@ -282,7 +307,7 @@ pub fn local_fork_warm(
     model: &LatencyModel,
     steady: u64,
 ) -> (SimDuration, SimDuration) {
-    let (mut nodes, _device, _rootfs) = two_node_cluster(model);
+    let (mut nodes, device, _rootfs) = two_node_cluster(model);
     let mut node1 = nodes.pop().expect("two nodes");
     let parent = warm_parent(&mut node1, spec, steady);
     let (child, fork_cost) = node1.local_fork(parent).expect("fork");
@@ -294,5 +319,6 @@ pub fn local_fork_warm(
     let warm = faas::run_invocation(&mut node1, child, spec, 3)
         .expect("invocation")
         .total;
+    audit_scenario(&[&node1], &device);
     (cold, warm)
 }

@@ -79,6 +79,11 @@ use rfork::{CheckpointMeta, RemoteFork, RestoreOptions, Restored, RforkError};
 #[derive(Debug, Default)]
 pub struct CxlFork {
     next_seq: AtomicU64,
+    /// Fingerprint seals of every live checkpoint this mechanism took;
+    /// restores re-verify them (checkpoints are immutable by design,
+    /// §4.2.1).
+    #[cfg(feature = "check")]
+    seals: std::sync::Mutex<cxl_check::SealRegistry>,
 }
 
 impl CxlFork {
@@ -94,7 +99,27 @@ impl CxlFork {
     ///
     /// [`RforkError::Cxl`] if the region is already gone.
     pub fn release(&self, checkpoint: CxlForkCheckpoint, node: &Node) -> Result<u64, RforkError> {
+        #[cfg(feature = "check")]
+        self.with_seals(|seals| seals.release(checkpoint.region));
         Ok(node.device().destroy_region(checkpoint.region)?)
+    }
+}
+
+#[cfg(feature = "check")]
+impl CxlFork {
+    fn with_seals<R>(&self, f: impl FnOnce(&mut cxl_check::SealRegistry) -> R) -> R {
+        let mut seals = self
+            .seals
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut seals)
+    }
+
+    /// Re-verifies every checkpoint this mechanism sealed against the
+    /// device, returning a violation per mutated or freed checkpoint
+    /// page. Only available with the `check` feature.
+    pub fn verify_seals(&self, device: &cxl_mem::CxlDevice) -> Vec<cxl_check::Violation> {
+        self.with_seals(|seals| seals.verify(device))
     }
 }
 
@@ -107,7 +132,14 @@ impl RemoteFork for CxlFork {
 
     fn checkpoint(&self, node: &mut Node, pid: Pid) -> Result<CxlForkCheckpoint, RforkError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        checkpoint::take_checkpoint(node, pid, seq)
+        let ckpt = checkpoint::take_checkpoint(node, pid, seq)?;
+        #[cfg(feature = "check")]
+        self.with_seals(|seals| {
+            seals
+                .seal_region(node.device(), ckpt.region)
+                .expect("checkpoint pages are live at seal time");
+        });
+        Ok(ckpt)
     }
 
     fn restore_with(
@@ -116,7 +148,19 @@ impl RemoteFork for CxlFork {
         node: &mut Node,
         options: RestoreOptions,
     ) -> Result<Restored, RforkError> {
-        restore::restore(checkpoint, node, options)
+        let restored = restore::restore(checkpoint, node, options)?;
+        // Post-condition (`check` builds): a restore must never write
+        // through the sealed checkpoint it attaches.
+        #[cfg(feature = "check")]
+        {
+            let violations =
+                self.with_seals(|seals| seals.verify_region(node.device(), checkpoint.region));
+            assert!(
+                violations.is_empty(),
+                "restore mutated its sealed checkpoint: {violations:?}"
+            );
+        }
+        Ok(restored)
     }
 
     /// CXLfork's default restore uses migrate-on-write with dirty-page
@@ -379,7 +423,7 @@ mod tests {
         };
         c.nodes[1]
             .with_process_ctx(restored.pid, |_, ctx| {
-                ctx.frames.data_mut(lpfn).write(0, &[0xEE])
+                ctx.frames.data_mut(lpfn).write(0, &[0xEE]);
             })
             .unwrap();
 

@@ -118,13 +118,15 @@ proptest! {
         let bytes = img.encode();
         let cut = cut.index(bytes.len().max(2) - 1);
         if cut < bytes.len() {
-            if let Ok(decoded) = CoreImage::decode(&bytes[..cut]) { prop_assert!(
-                false,
-                "decoded a truncated image ({} of {} bytes) into {:?}",
-                cut,
-                bytes.len(),
-                decoded
-            ) }
+            if let Ok(decoded) = CoreImage::decode(&bytes[..cut]) {
+                prop_assert!(
+                    false,
+                    "decoded a truncated image ({} of {} bytes) into {:?}",
+                    cut,
+                    bytes.len(),
+                    decoded
+                );
+            }
         }
     }
 

@@ -1,0 +1,430 @@
+//! The cross-layer invariant auditor.
+//!
+//! [`audit_node`] walks every process on a [`Node`] and balances the four
+//! reference ledgers against each other:
+//!
+//! * every PTE target must resolve — local targets to a live frame,
+//!   CXL targets (present, armed or in a backing map) to a live device
+//!   page;
+//! * every live frame's refcount must equal the references the walk can
+//!   account for: mapping PTEs, page-cache entries, and external pins the
+//!   caller declares (template registries, measurement harnesses);
+//! * copy-on-write isolation must hold — no writable mapping of a shared
+//!   frame, no PTE that is simultaneously `COW` and `WRITABLE`;
+//! * no translation may outlive its VMA.
+//!
+//! [`audit_device`] checks the device's own books (slab ↔ `used_pages`
+//! counter ↔ per-region accounting), and [`audit_device_with_live`]
+//! additionally reports regions no declared owner references — leaked
+//! checkpoints.
+//!
+//! All checks are read-only walks over accessor APIs; the auditor holds
+//! no state between runs and never mutates the structures it audits.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cxl_mem::{CxlDevice, RegionId};
+use node_os::addr::PhysAddr;
+use node_os::mm::{BackingSource, CxlTierPolicy};
+use node_os::pte::PteFlags;
+use node_os::{Node, Pfn};
+
+use crate::Violation;
+
+/// A configurable audit of one node's memory ledgers.
+///
+/// The plain [`audit_node`] entry point covers nodes whose frames are
+/// referenced only by PTEs and the page cache. Subsystems that hold frame
+/// references *outside* any process — e.g. a template registry pinning a
+/// warmed page set — declare those pins with
+/// [`with_external_refs`](NodeAudit::with_external_refs) so the refcount
+/// balance still closes.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use cxl_mem::CxlDevice;
+/// use node_os::{mm::Access, vma::Protection, Node, NodeConfig};
+///
+/// # fn main() -> Result<(), node_os::OsError> {
+/// let device = Arc::new(CxlDevice::with_capacity_mib(16));
+/// let mut node = Node::new(NodeConfig::default(), device);
+/// let pid = node.spawn("worker")?;
+/// node.process_mut(pid)?.mm.map_anonymous(0, 4, Protection::read_write(), "heap")?;
+/// node.access(pid, 0, Access::Write)?;
+/// assert!(cxl_check::audit_node(&node).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NodeAudit<'a> {
+    node: &'a Node,
+    external: BTreeMap<u64, u32>,
+}
+
+impl<'a> NodeAudit<'a> {
+    /// Starts an audit of `node` with no external frame references.
+    pub fn new(node: &'a Node) -> Self {
+        NodeAudit {
+            node,
+            external: BTreeMap::new(),
+        }
+    }
+
+    /// Declares frame references held outside any process or the page
+    /// cache (one reference per occurrence in `pins`).
+    #[must_use]
+    pub fn with_external_refs(mut self, pins: impl IntoIterator<Item = Pfn>) -> Self {
+        for pfn in pins {
+            *self.external.entry(pfn.0).or_insert(0) += 1;
+        }
+        self
+    }
+
+    /// Runs the audit, returning every violation found (empty = clean).
+    pub fn run(&self) -> Vec<Violation> {
+        let node = self.node;
+        let node_id = node.id();
+        let device = node.device();
+        let frames = node.frames();
+        let mut out = Vec::new();
+        // Accountable references per frame: external pins, then PTEs and
+        // page-cache entries as the walk finds them.
+        let mut expected: BTreeMap<u64, u32> = self.external.clone();
+
+        for pid in node.pids() {
+            let process = node.process(pid).expect("listed pid exists");
+            let mm = &process.mm;
+            for (vpn, pte) in mm.page_table.iter_populated() {
+                let flags = pte.flags();
+                if flags.contains(PteFlags::COW) && flags.contains(PteFlags::WRITABLE) {
+                    out.push(Violation::CowWritablePte {
+                        node: node_id,
+                        pid,
+                        vpn: vpn.0,
+                    });
+                }
+                let vma = mm.vmas.find(vpn);
+                if vma.is_none() {
+                    out.push(Violation::PteOutsideVma {
+                        node: node_id,
+                        pid,
+                        vpn: vpn.0,
+                    });
+                }
+                match pte.target() {
+                    None => {}
+                    Some(PhysAddr::Local(pfn)) => {
+                        let refcount = frames.refcount(pfn);
+                        if refcount == 0 {
+                            out.push(Violation::DanglingLocalPte {
+                                node: node_id,
+                                pid,
+                                vpn: vpn.0,
+                                pfn,
+                            });
+                            continue;
+                        }
+                        *expected.entry(pfn.0).or_insert(0) += 1;
+                        let shared_anon = vma.is_some_and(|v| v.kind.is_shared_anonymous());
+                        if pte.is_present() && pte.is_writable() && refcount > 1 && !shared_anon {
+                            out.push(Violation::WritableSharedFrame {
+                                node: node_id,
+                                pid,
+                                vpn: vpn.0,
+                                pfn,
+                                refcount,
+                            });
+                        }
+                    }
+                    Some(PhysAddr::Cxl(page)) if device.page_region(page).is_none() => {
+                        out.push(Violation::DanglingCxlPte {
+                            node: node_id,
+                            pid,
+                            vpn: vpn.0,
+                            page,
+                        });
+                    }
+                    Some(PhysAddr::Cxl(_)) => {}
+                }
+            }
+
+            // A migrate-on-access backing map is consulted on every fault
+            // at a vpn with no installed translation, so its device
+            // sources must stay live as long as such a fault can happen.
+            // (Already-pulled pages leave a stale-but-never-consulted
+            // entry behind; those are exempt.)
+            if mm.policy() == CxlTierPolicy::MigrateOnAccess {
+                if let Some(backing) = mm.backing() {
+                    for (vpn, bp) in backing.iter() {
+                        if !mm.page_table.get(vpn).is_present() {
+                            if let BackingSource::Device(page) = bp.source {
+                                if device.page_region(page).is_none() {
+                                    out.push(Violation::DanglingBackingPage {
+                                        node: node_id,
+                                        pid,
+                                        vpn: vpn.0,
+                                        page,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for (path, file_page, pfn) in node.page_cache().entries() {
+            if frames.refcount(pfn) == 0 {
+                out.push(Violation::DanglingCacheEntry {
+                    node: node_id,
+                    path: path.to_owned(),
+                    file_page,
+                    pfn,
+                });
+            } else {
+                *expected.entry(pfn.0).or_insert(0) += 1;
+            }
+        }
+
+        for (pfn, refcount) in frames.live_pfns() {
+            let counted = expected.get(&pfn.0).copied().unwrap_or(0);
+            if counted == 0 {
+                out.push(Violation::FrameLeak {
+                    node: node_id,
+                    pfn,
+                    refcount,
+                });
+            } else if counted != refcount {
+                out.push(Violation::RefcountSkew {
+                    node: node_id,
+                    pfn,
+                    actual: refcount,
+                    expected: counted,
+                });
+            }
+        }
+
+        out
+    }
+}
+
+/// Audits one node with no external frame references. See [`NodeAudit`]
+/// for the full builder.
+pub fn audit_node(node: &Node) -> Vec<Violation> {
+    NodeAudit::new(node).run()
+}
+
+/// Audits the device's internal accounting: the `used_pages` counter
+/// against the page slab, and every region's page count against the slab
+/// pages that name it as owner.
+pub fn audit_device(device: &CxlDevice) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let live = device.live_pages();
+    let regions: BTreeMap<RegionId, _> = device.regions().into_iter().collect();
+
+    let counted = device.used_pages();
+    if counted != live.len() as u64 {
+        out.push(Violation::DeviceAccounting {
+            counted,
+            live: live.len() as u64,
+        });
+    }
+
+    let mut per_region: BTreeMap<RegionId, u64> = BTreeMap::new();
+    for (page, region) in live {
+        if regions.contains_key(&region) {
+            *per_region.entry(region).or_insert(0) += 1;
+        } else {
+            out.push(Violation::OrphanCxlPage { page, region });
+        }
+    }
+    for (region, usage) in &regions {
+        let live_owned = per_region.get(region).copied().unwrap_or(0);
+        if usage.pages != live_owned {
+            out.push(Violation::RegionAccounting {
+                region: *region,
+                counted: usage.pages,
+                live: live_owned,
+            });
+        }
+    }
+    out
+}
+
+/// Audits the device and additionally reports every region absent from
+/// `known_live` — device memory no declared owner (checkpoint store,
+/// live checkpoint handle) can ever reclaim.
+pub fn audit_device_with_live(
+    device: &CxlDevice,
+    known_live: impl IntoIterator<Item = RegionId>,
+) -> Vec<Violation> {
+    let mut out = audit_device(device);
+    let known: BTreeSet<RegionId> = known_live.into_iter().collect();
+    for (region, usage) in device.regions() {
+        if !known.contains(&region) {
+            out.push(Violation::RegionLeak {
+                region,
+                name: usage.name,
+                pages: usage.pages,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use cxl_mem::{CxlDevice, PageData};
+    use node_os::mm::Access;
+    use node_os::vma::Protection;
+    use node_os::{NodeConfig, NodeId};
+
+    use super::*;
+
+    fn test_node() -> Node {
+        let device = Arc::new(CxlDevice::with_capacity_mib(16));
+        Node::new(NodeConfig::default().with_id(0), device)
+    }
+
+    #[test]
+    fn fresh_process_audits_clean() {
+        let mut node = test_node();
+        let pid = node.spawn("w").unwrap();
+        node.process_mut(pid)
+            .unwrap()
+            .mm
+            .map_anonymous(0, 8, Protection::read_write(), "heap")
+            .unwrap();
+        for vpn in 0..4 {
+            node.access(pid, vpn, Access::Write).unwrap();
+        }
+        assert_eq!(audit_node(&node), Vec::new());
+    }
+
+    #[test]
+    fn local_fork_cow_audits_clean() {
+        let mut node = test_node();
+        let pid = node.spawn("parent").unwrap();
+        node.process_mut(pid)
+            .unwrap()
+            .mm
+            .map_anonymous(0, 8, Protection::read_write(), "heap")
+            .unwrap();
+        for vpn in 0..8 {
+            node.access(pid, vpn, Access::Write).unwrap();
+        }
+        let (child, _) = node.local_fork(pid).unwrap();
+        assert_eq!(audit_node(&node), Vec::new());
+        // Child writes break the sharing; still clean.
+        node.access(child, 3, Access::Write).unwrap();
+        assert_eq!(audit_node(&node), Vec::new());
+    }
+
+    #[test]
+    fn file_mappings_balance_through_page_cache() {
+        let mut node = test_node();
+        node.rootfs().create("/lib/a.so", 8 * 4096, 0xA5);
+        let p1 = node.spawn("a").unwrap();
+        let p2 = node.spawn("b").unwrap();
+        for pid in [p1, p2] {
+            node.process_mut(pid)
+                .unwrap()
+                .mm
+                .map_file(0, 4, Protection::read_only(), "/lib/a.so", 0)
+                .unwrap();
+            for vpn in 0..4 {
+                node.access(pid, vpn, Access::Read).unwrap();
+            }
+        }
+        assert_eq!(audit_node(&node), Vec::new());
+        // Reclaiming the cache keeps the books balanced too.
+        node.drop_page_cache();
+        assert_eq!(audit_node(&node), Vec::new());
+    }
+
+    #[test]
+    fn skipped_dec_ref_reports_refcount_skew() {
+        let mut node = test_node();
+        let pid = node.spawn("w").unwrap();
+        node.process_mut(pid)
+            .unwrap()
+            .mm
+            .map_anonymous(0, 4, Protection::read_write(), "heap")
+            .unwrap();
+        node.access(pid, 0, Access::Write).unwrap();
+        let pte = node
+            .process(pid)
+            .unwrap()
+            .mm
+            .page_table
+            .get(node_os::VirtPageNum(0));
+        let Some(PhysAddr::Local(pfn)) = pte.target() else {
+            panic!("expected local mapping");
+        };
+        // A fork path that bumps the refcount and then forgets the
+        // matching dec_ref leaves the allocator one reference high.
+        node.frames_mut().inc_ref(pfn);
+        let violations = audit_node(&node);
+        // The phantom reference both skews the count and makes the
+        // (still writable) mapping a CoW-isolation hazard.
+        assert!(violations.contains(&Violation::RefcountSkew {
+            node: NodeId(0),
+            pfn,
+            actual: 2,
+            expected: 1,
+        }));
+        assert!(violations.contains(&Violation::WritableSharedFrame {
+            node: NodeId(0),
+            pid,
+            vpn: 0,
+            pfn,
+            refcount: 2,
+        }));
+        assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn unreferenced_frame_reports_leak() {
+        let mut node = test_node();
+        let pfn = node.frames_mut().alloc(PageData::pattern(1)).unwrap();
+        let violations = audit_node(&node);
+        assert_eq!(
+            violations,
+            vec![Violation::FrameLeak {
+                node: NodeId(0),
+                pfn,
+                refcount: 1,
+            }]
+        );
+        // Declaring the pin as external closes the balance again.
+        assert_eq!(
+            NodeAudit::new(&node).with_external_refs([pfn]).run(),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn device_books_balance_and_region_leak_is_reported() {
+        let device = Arc::new(CxlDevice::with_capacity_mib(16));
+        let region = device.create_region("ckpt");
+        let page = device.alloc_page(region).unwrap();
+        device
+            .write_page(page, PageData::pattern(7), NodeId(0))
+            .unwrap();
+        assert_eq!(audit_device(&device), Vec::new());
+        assert_eq!(audit_device_with_live(&device, [region]), Vec::new());
+        let leaks = audit_device_with_live(&device, []);
+        assert_eq!(
+            leaks,
+            vec![Violation::RegionLeak {
+                region,
+                name: "ckpt".to_owned(),
+                pages: 1,
+            }]
+        );
+    }
+}

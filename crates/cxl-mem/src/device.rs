@@ -2,8 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+
+use crate::lockdep::TrackedRwLock;
 
 use crate::{CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
 
@@ -35,7 +36,7 @@ use crate::{CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
 #[derive(Debug)]
 pub struct CxlDevice {
     capacity_pages: u64,
-    state: RwLock<DeviceState>,
+    state: TrackedRwLock<DeviceState>,
 }
 
 #[derive(Debug, Default)]
@@ -103,7 +104,7 @@ impl CxlDevice {
     pub fn new(capacity_pages: u64) -> Self {
         CxlDevice {
             capacity_pages,
-            state: RwLock::new(DeviceState::default()),
+            state: TrackedRwLock::new("cxl_mem.device", DeviceState::default()),
         }
     }
 
@@ -296,6 +297,28 @@ impl CxlDevice {
                 )
             })
             .collect()
+    }
+
+    /// Lists every live page with its owning region, for cross-layer
+    /// auditing (`cxl-check` validates that region page counts, the used
+    /// counter, and per-page ownership all agree).
+    pub fn live_pages(&self) -> Vec<(CxlPageId, RegionId)> {
+        let st = self.state.read();
+        st.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|s| (CxlPageId(i as u64), s.region)))
+            .collect()
+    }
+
+    /// Returns the region owning `page`, or `None` if the page is not
+    /// live (freed, or never allocated).
+    pub fn page_region(&self, page: CxlPageId) -> Option<RegionId> {
+        let st = self.state.read();
+        st.pages
+            .get(page.0 as usize)
+            .and_then(Option::as_ref)
+            .map(|s| s.region)
     }
 
     /// Reads `buf.len()` bytes at `offset` within `page`, on behalf of

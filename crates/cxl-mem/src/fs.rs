@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::lockdep::TrackedRwLock;
 
 use crate::{CxlDevice, CxlError, CxlPageId, NodeId, RegionId, PAGE_SIZE};
 
@@ -62,7 +62,7 @@ impl CxlFile {
 pub struct CxlFs {
     device: Arc<CxlDevice>,
     region: RegionId,
-    files: RwLock<BTreeMap<String, CxlFile>>,
+    files: TrackedRwLock<BTreeMap<String, CxlFile>>,
 }
 
 impl CxlFs {
@@ -72,7 +72,7 @@ impl CxlFs {
         CxlFs {
             device,
             region,
-            files: RwLock::new(BTreeMap::new()),
+            files: TrackedRwLock::new("cxl_mem.fs", BTreeMap::new()),
         }
     }
 

@@ -52,6 +52,7 @@ mod device;
 mod error;
 mod fs;
 mod ids;
+pub mod lockdep;
 mod page;
 
 pub use device::{CxlDevice, CxlDeviceStats, RegionGuard, RegionUsage};

@@ -36,7 +36,13 @@ mod tests {
         generate(&TraceConfig {
             duration_secs: secs,
             total_rps: rps,
-            ..TraceConfig::paper_default(functions.iter().map(|s| s.to_string()).collect(), seed)
+            ..TraceConfig::paper_default(
+                functions
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect(),
+                seed,
+            )
         })
     }
 

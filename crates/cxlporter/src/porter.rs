@@ -335,6 +335,16 @@ impl<M: RemoteFork> CxlPorter<M> {
             .map(|n| n.frames().peak_used())
             .collect();
         report.final_cxl_pages = self.cluster.device.used_pages();
+        // Post-condition (`check` builds): a full trace must leave every
+        // memory ledger in the cluster balanced.
+        #[cfg(feature = "check")]
+        {
+            let violations = self.audit();
+            assert!(
+                violations.is_empty(),
+                "cluster invariants violated after trace: {violations:?}"
+            );
+        }
         report
     }
 
@@ -784,5 +794,42 @@ impl<M: RemoteFork> CxlPorter<M> {
     /// Number of checkpoints stored.
     pub fn stored_checkpoints(&self) -> usize {
         self.store.len()
+    }
+
+    /// The checkpoint object store (for audits and tests).
+    pub fn store(&self) -> &ObjectStore<M::Checkpoint> {
+        &self.store
+    }
+
+    /// Runs the cross-layer invariant audit over the whole deployment:
+    /// every node's memory ledgers, the shared device's region
+    /// accounting, and the recorded lock-order graph. Returns every
+    /// violation found (empty = clean). Only available with the `check`
+    /// feature.
+    #[cfg(feature = "check")]
+    pub fn audit(&self) -> Vec<cxl_check::Violation> {
+        let mut out = Vec::new();
+        for (idx, node) in self.cluster.nodes.iter().enumerate() {
+            // Containers pin their bare 512 KiB footprint outside any
+            // process; declare those frames so the refcount balance
+            // closes.
+            let pins = self.ghost_pools[idx]
+                .iter()
+                .chain(
+                    self.instances
+                        .iter()
+                        .filter(|i| i.node == idx)
+                        .map(|i| &i.container),
+                )
+                .flat_map(|c| c.pinned_frames().iter().copied());
+            out.extend(
+                cxl_check::NodeAudit::new(node)
+                    .with_external_refs(pins)
+                    .run(),
+            );
+        }
+        out.extend(cxl_check::audit_device(&self.cluster.device));
+        out.extend(cxl_check::check_lock_order());
+        out
     }
 }

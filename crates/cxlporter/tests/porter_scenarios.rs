@@ -99,10 +99,7 @@ fn cold_starts_balance_across_nodes() {
     let report = p.run_trace(&trace);
     assert_eq!(report.full_cold, 2);
     let peaks = &report.peak_local_pages;
-    assert!(
-        peaks.iter().all(|p| *p > 0),
-        "both nodes used: {peaks:?}"
-    );
+    assert!(peaks.iter().all(|p| *p > 0), "both nodes used: {peaks:?}");
 }
 
 #[test]
@@ -124,7 +121,10 @@ fn report_accounting_is_conserved() {
         report.warm_hits + report.restores + report.full_cold + report.dropped,
         trace.len() as u64
     );
-    assert_eq!(report.overall.len() as u64, trace.len() as u64 - report.dropped);
+    assert_eq!(
+        report.overall.len() as u64,
+        trace.len() as u64 - report.dropped
+    );
     assert_eq!(report.checkpoints, 1);
     assert!(report.final_cxl_pages > 0);
 }

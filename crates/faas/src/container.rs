@@ -68,6 +68,12 @@ impl Container {
         ))
     }
 
+    /// The bare-footprint frames this container pins outside any process
+    /// (declared to `cxl-check` audits as external references).
+    pub fn pinned_frames(&self) -> &[Pfn] {
+        &self.frames
+    }
+
     /// `true` if the container is an empty ghost awaiting a restore.
     pub fn is_ghost(&self) -> bool {
         self.pid.is_none()

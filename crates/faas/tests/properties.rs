@@ -7,14 +7,14 @@ use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = FunctionSpec> {
     (
-        8u64..512,          // footprint MiB
-        0.40f64..0.85,      // init fraction
-        0.05f64..0.40,      // ro fraction (clamped below)
-        0.0f64..0.45,       // file share of footprint (clamped below)
-        1u64..20_000,       // ws pages (clamped below)
-        1u32..4,            // passes
-        10u64..200,         // compute ms
-        200u64..500,        // init compute ms
+        8u64..512,     // footprint MiB
+        0.40f64..0.85, // init fraction
+        0.05f64..0.40, // ro fraction (clamped below)
+        0.0f64..0.45,  // file share of footprint (clamped below)
+        1u64..20_000,  // ws pages (clamped below)
+        1u32..4,       // passes
+        10u64..200,    // compute ms
+        200u64..500,   // init compute ms
     )
         .prop_map(
             |(mib, init, ro_raw, file_raw, ws_raw, passes, compute, init_ms)| {

@@ -141,6 +141,16 @@ impl FrameAllocator {
         self.frame(pfn).map_or(0, |f| f.refcount)
     }
 
+    /// Iterates every live frame with its refcount, for cross-layer
+    /// auditing (`cxl-check` balances these against PTE and page-cache
+    /// references).
+    pub fn live_pfns(&self) -> impl Iterator<Item = (Pfn, u32)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|f| (Pfn(i as u64), f.refcount)))
+    }
+
     /// Increments the refcount (CoW sharing on fork).
     ///
     /// # Panics

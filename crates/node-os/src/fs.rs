@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::RwLock;
+use cxl_mem::lockdep::TrackedRwLock;
 
 use cxl_mem::PageData;
 
@@ -51,15 +51,23 @@ impl FileMeta {
 /// let again = fs.read_page("/usr/lib/libpython3.11.so", 0).unwrap();
 /// assert_eq!(page0, again); // same bytes on every node, every time
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SharedFs {
-    files: RwLock<BTreeMap<String, FileMeta>>,
+    files: TrackedRwLock<BTreeMap<String, FileMeta>>,
+}
+
+impl Default for SharedFs {
+    fn default() -> Self {
+        SharedFs::new()
+    }
 }
 
 impl SharedFs {
     /// Creates an empty filesystem.
     pub fn new() -> Self {
-        SharedFs::default()
+        SharedFs {
+            files: TrackedRwLock::new("node_os.shared_fs", BTreeMap::new()),
+        }
     }
 
     /// Declares (or replaces) a file of `len` bytes with content `seed`.

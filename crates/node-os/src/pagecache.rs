@@ -56,6 +56,15 @@ impl PageCache {
         self.map.len()
     }
 
+    /// Iterates every cached `(path, file_page) → pfn` entry, for
+    /// cross-layer auditing (each entry holds one frame reference that
+    /// `cxl-check` balances into the expected refcount).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64, Pfn)> + '_ {
+        self.map
+            .iter()
+            .map(|((path, file_page), pfn)| (path.as_str(), *file_page, *pfn))
+    }
+
     /// `true` if nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()

@@ -6,14 +6,14 @@ use trace_gen::{generate, TraceConfig};
 
 fn arb_config() -> impl Strategy<Value = TraceConfig> {
     (
-        any::<u64>(),      // seed
-        5.0f64..60.0,      // duration
-        5.0f64..200.0,     // rps
-        1usize..8,         // function count
-        0.0f64..2.0,       // skew
-        1.5f64..10.0,      // burst factor
-        5.0f64..30.0,      // burst every
-        0.5f64..4.0,       // burst len
+        any::<u64>(),  // seed
+        5.0f64..60.0,  // duration
+        5.0f64..200.0, // rps
+        1usize..8,     // function count
+        0.0f64..2.0,   // skew
+        1.5f64..10.0,  // burst factor
+        5.0f64..30.0,  // burst every
+        0.5f64..4.0,   // burst len
     )
         .prop_map(|(seed, dur, rps, nfn, skew, bf, be, bl)| TraceConfig {
             seed,

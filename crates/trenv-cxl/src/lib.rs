@@ -40,7 +40,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use cxl_mem::lockdep::TrackedMutex;
 
 use criu_cxl::images::{CoreImage, MmImage, PagemapEntry, PagemapImage};
 use cxl_mem::{CxlPageId, NodeId, RegionId, PAGE_SIZE};
@@ -64,12 +64,21 @@ struct Template {
 }
 
 /// The TrEnv-CXL mechanism.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TrEnvCxl {
     next_id: AtomicU64,
     /// `(checkpoint id, node) → template`. Templates are per-function
     /// *and* per-node — the pre-processing TrEnv requires everywhere.
-    templates: Mutex<HashMap<(u64, NodeId), Arc<Template>>>,
+    templates: TrackedMutex<HashMap<(u64, NodeId), Arc<Template>>>,
+}
+
+impl Default for TrEnvCxl {
+    fn default() -> Self {
+        TrEnvCxl {
+            next_id: AtomicU64::new(0),
+            templates: TrackedMutex::new("trenv.templates", HashMap::new()),
+        }
+    }
 }
 
 /// A TrEnv checkpoint: CXL-resident data pages plus CRIU-format metadata.

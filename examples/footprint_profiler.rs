@@ -45,11 +45,25 @@ fn main() {
     let b = faas::profile_footprint(&mut node, pid, &spec, invocations).expect("profile");
     let (i, r, w) = b.fractions();
     println!();
-    println!("footprint composition of {} ({} pages):", spec.name, b.total());
+    println!(
+        "footprint composition of {} ({} pages):",
+        spec.name,
+        b.total()
+    );
     println!("  Init       {:>6.1}%  ({} pages)", i * 100.0, b.init_pages);
-    println!("  Read-only  {:>6.1}%  ({} pages)", r * 100.0, b.readonly_pages);
-    println!("  Read/Write {:>6.1}%  ({} pages)", w * 100.0, b.readwrite_pages);
+    println!(
+        "  Read-only  {:>6.1}%  ({} pages)",
+        r * 100.0,
+        b.readonly_pages
+    );
+    println!(
+        "  Read/Write {:>6.1}%  ({} pages)",
+        w * 100.0,
+        b.readwrite_pages
+    );
     println!();
-    println!("paper (Fig. 1) averages across the suite: Init 72.2%, Read-only 23%, Read/Write 4.8%");
+    println!(
+        "paper (Fig. 1) averages across the suite: Init 72.2%, Read-only 23%, Read/Write 4.8%"
+    );
     println!("the Init + Read-only shares are what CXLfork leaves deduplicated in CXL memory.");
 }

@@ -34,6 +34,27 @@ fn cluster() -> (Vec<Node>, Arc<CxlDevice>) {
     (nodes, device)
 }
 
+/// Post-condition under `--features check`: every node's page tables,
+/// frame ledger and VMA tree are mutually consistent, the device's
+/// region books balance, and no lock-order cycle has been recorded.
+fn audit_clean(nodes: &[Node], device: &CxlDevice) {
+    #[cfg(feature = "check")]
+    {
+        let mut violations = Vec::new();
+        for node in nodes {
+            violations.extend(cxl_check::audit_node(node));
+        }
+        violations.extend(cxl_check::audit_device(device));
+        violations.extend(cxl_check::check_lock_order());
+        assert!(
+            violations.is_empty(),
+            "cross-layer audit failed: {violations:?}"
+        );
+    }
+    #[cfg(not(feature = "check"))]
+    let _ = (nodes, device);
+}
+
 fn build_parent(node: &mut Node) -> Pid {
     let pid = node.spawn("shared-fn").unwrap();
     node.process_mut(pid)
@@ -89,6 +110,7 @@ fn sixteen_clones_share_one_checkpoint_without_device_growth() {
         let o = nodes[*n].access(*pid, 0, Access::Read).unwrap();
         assert_eq!(o.fault, None);
     }
+    audit_clean(&nodes, &device);
 }
 
 #[test]
@@ -146,11 +168,12 @@ fn writes_by_any_clone_never_leak_to_siblings_or_checkpoint() {
         })
         .collect();
     assert_eq!(before, after);
+    audit_clean(&nodes, &device);
 }
 
 #[test]
 fn shared_page_table_leaves_are_copied_per_writer_only() {
-    let (mut nodes, _device) = cluster();
+    let (mut nodes, device) = cluster();
     let parent = build_parent(&mut nodes[0]);
     let fork = CxlFork::new();
     let ckpt = fork.checkpoint(&mut nodes[0], parent).unwrap();
@@ -193,11 +216,12 @@ fn shared_page_table_leaves_are_copied_per_writer_only() {
             .attached_leaf_count(),
         leaves
     );
+    audit_clean(&nodes, &device);
 }
 
 #[test]
 fn working_set_monitoring_aggregates_across_nodes() {
-    let (mut nodes, _device) = cluster();
+    let (mut nodes, device) = cluster();
     let parent = build_parent(&mut nodes[0]);
     let fork = CxlFork::new();
     let ckpt = fork.checkpoint(&mut nodes[0], parent).unwrap();
@@ -219,6 +243,7 @@ fn working_set_monitoring_aggregates_across_nodes() {
         nodes[2].access(b.pid, i, Access::Read).unwrap();
     }
     assert_eq!(ckpt.working_set().hot_pages, 30);
+    audit_clean(&nodes, &device);
 }
 
 #[test]
@@ -238,4 +263,5 @@ fn release_returns_all_device_pages_even_with_live_clones() {
     // The clone keeps running on its private copies.
     let o = nodes[1].access(r.pid, 5, Access::Read).unwrap();
     assert_eq!(o.fault, None);
+    audit_clean(&nodes, &device);
 }

@@ -24,6 +24,34 @@ struct Cluster {
     dst: Node,
 }
 
+/// Post-condition under `--features check`: the given nodes' memory
+/// ledgers, the device's region books and the lock-order graph are all
+/// consistent. Live checkpoints are fine — the audit verifies balance,
+/// not emptiness.
+fn audit_clean(nodes: &[&Node], device: &CxlDevice) {
+    #[cfg(feature = "check")]
+    {
+        let mut violations = Vec::new();
+        for node in nodes {
+            violations.extend(cxl_check::audit_node(node));
+        }
+        violations.extend(cxl_check::audit_device(device));
+        violations.extend(cxl_check::check_lock_order());
+        assert!(
+            violations.is_empty(),
+            "cross-layer audit failed: {violations:?}"
+        );
+    }
+    #[cfg(not(feature = "check"))]
+    let _ = (nodes, device);
+}
+
+impl Cluster {
+    fn audit_clean(&self) {
+        audit_clean(&[&self.src, &self.dst], &self.device);
+    }
+}
+
 fn cluster() -> Cluster {
     let device = Arc::new(CxlDevice::with_capacity_mib(512));
     let rootfs = Arc::new(SharedFs::new());
@@ -128,6 +156,7 @@ fn criu_preserves_full_process_state() {
     let ckpt = criu.checkpoint(&mut c.src, pid).unwrap();
     let restored = criu.restore(&ckpt, &mut c.dst).unwrap();
     verify_restored(&mut c, &restored, "CRIU-CXL");
+    c.audit_clean();
 }
 
 #[test]
@@ -139,6 +168,7 @@ fn mitosis_preserves_full_process_state() {
     let ckpt = mitosis.checkpoint(&mut c.src, pid).unwrap();
     let restored = mitosis.restore(&ckpt, &mut c.dst).unwrap();
     verify_restored(&mut c, &restored, "Mitosis-CXL");
+    c.audit_clean();
 }
 
 #[test]
@@ -160,6 +190,7 @@ fn cxlfork_preserves_full_process_state_under_every_policy() {
         let ckpt = fork.checkpoint(&mut c.src, pid).unwrap();
         let restored = fork.restore_with(&ckpt, &mut c.dst, options).unwrap();
         verify_restored(&mut c, &restored, &format!("CXLfork-{}", options.policy));
+        c.audit_clean();
     }
 }
 
@@ -185,10 +216,11 @@ fn children_of_different_mechanisms_are_mutually_isolated() {
     };
     c.dst
         .with_process_ctx(r1.pid, |_, ctx| {
-            ctx.frames.data_mut(pfn).write(123, &[0xFF])
+            ctx.frames.data_mut(pfn).write(123, &[0xFF]);
         })
         .unwrap();
     assert_eq!(child_byte(&mut c.dst, &c.device, r2.pid), 0x5A);
+    c.audit_clean();
 }
 
 #[test]
@@ -209,6 +241,7 @@ fn cxlfork_rejects_shared_anonymous_mappings() {
     let err = fork.checkpoint(&mut c.src, pid).unwrap_err();
     assert!(matches!(err, rfork::RforkError::Unsupported(_)), "{err}");
     assert_eq!(c.device.used_pages(), used_before, "nothing leaked");
+    c.audit_clean();
 }
 
 #[test]
@@ -244,6 +277,9 @@ fn failed_checkpoints_leak_no_device_pages() {
     let trenv = trenv_cxl::TrEnvCxl::new();
     assert!(trenv.checkpoint(&mut src, pid).is_err());
     assert_eq!(device.used_pages(), used_before, "trenv leaked");
+    // Failed checkpoints must also leave the source node's ledgers intact
+    // (no half-built template pinning frames, no stray refcounts).
+    audit_clean(&[&src], &device);
 }
 
 #[test]
@@ -285,6 +321,7 @@ fn restore_latency_ordering_matches_the_paper() {
         r2.restore_latency,
         r3.restore_latency
     );
+    c.audit_clean();
 }
 
 #[test]
@@ -305,4 +342,5 @@ fn checkpoint_cost_ordering_matches_the_paper() {
     );
     assert!(k2 < k3, "Mitosis {k2} < CXLfork {k3}");
     assert!(k3 < k1, "CXLfork {k3} < CRIU {k1}");
+    c.audit_clean();
 }

@@ -10,14 +10,31 @@ use rfork::RemoteFork;
 use simclock::LatencyModel;
 use trace_gen::{generate, TraceConfig};
 
+/// Post-condition under `--features check`: node ledgers, device books
+/// and the lock-order graph are consistent after a pipeline run.
+fn audit_clean(nodes: &[&node_os::Node], device: &cxl_mem::CxlDevice) {
+    #[cfg(feature = "check")]
+    {
+        let mut violations = Vec::new();
+        for node in nodes {
+            violations.extend(cxl_check::audit_node(node));
+        }
+        violations.extend(cxl_check::audit_device(device));
+        violations.extend(cxl_check::check_lock_order());
+        assert!(
+            violations.is_empty(),
+            "cross-layer audit failed: {violations:?}"
+        );
+    }
+    #[cfg(not(feature = "check"))]
+    let _ = (nodes, device);
+}
+
 fn trace(seed: u64) -> Vec<trace_gen::Invocation> {
     generate(&TraceConfig {
         duration_secs: 8.0,
         total_rps: 35.0,
-        ..TraceConfig::paper_default(
-            vec!["Json".into(), "Float".into(), "Linpack".into()],
-            seed,
-        )
+        ..TraceConfig::paper_default(vec!["Json".into(), "Float".into(), "Linpack".into()], seed)
     })
 }
 
@@ -57,12 +74,16 @@ fn fork_pipelines_are_bit_identical() {
         let device = Arc::new(cxl_mem::CxlDevice::with_capacity_mib(2048));
         let rootfs = Arc::new(node_os::fs::SharedFs::new());
         let mut src = node_os::Node::with_rootfs(
-            node_os::NodeConfig::default().with_id(0).with_local_mem_mib(1024),
+            node_os::NodeConfig::default()
+                .with_id(0)
+                .with_local_mem_mib(1024),
             Arc::clone(&device),
             Arc::clone(&rootfs),
         );
         let mut dst = node_os::Node::with_rootfs(
-            node_os::NodeConfig::default().with_id(1).with_local_mem_mib(1024),
+            node_os::NodeConfig::default()
+                .with_id(1)
+                .with_local_mem_mib(1024),
             Arc::clone(&device),
             rootfs,
         );
@@ -73,6 +94,7 @@ fn fork_pipelines_are_bit_identical() {
         let ckpt = fork.checkpoint(&mut src, pid).unwrap();
         let restored = fork.restore(&ckpt, &mut dst).unwrap();
         let inv = faas::run_invocation(&mut dst, restored.pid, &spec, 0).unwrap();
+        audit_clean(&[&src, &dst], &device);
         (
             init.total,
             fork.meta(&ckpt).checkpoint_cost,
@@ -99,7 +121,9 @@ fn mechanisms_see_identical_source_state() {
     let device = Arc::new(cxl_mem::CxlDevice::with_capacity_mib(2048));
     let rootfs = Arc::new(node_os::fs::SharedFs::new());
     let mut src = node_os::Node::with_rootfs(
-        node_os::NodeConfig::default().with_id(0).with_local_mem_mib(1024),
+        node_os::NodeConfig::default()
+            .with_id(0)
+            .with_local_mem_mib(1024),
         Arc::clone(&device),
         rootfs,
     );
@@ -115,4 +139,5 @@ fn mechanisms_see_identical_source_state() {
     assert_eq!(a.accessed_pages, b.accessed_pages);
     assert_eq!(a.leaves.len(), b.leaves.len());
     assert_eq!(a.vma_blocks.len(), b.vma_blocks.len());
+    audit_clean(&[&src], &device);
 }

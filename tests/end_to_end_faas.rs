@@ -46,6 +46,10 @@ fn cxlfork_porter_serves_a_bursty_trace() {
     assert!(report.checkpoints >= 1);
     // Checkpoints live on the device.
     assert!(report.final_cxl_pages > 0);
+    // `run_trace` already audits internally under `check`; assert once
+    // more through the public API to pin it down.
+    #[cfg(feature = "check")]
+    assert_eq!(porter.audit(), Vec::new());
 }
 
 #[test]

@@ -1,0 +1,102 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build environment has no network access, so this vendored
+//! stand-in implements the surface the workspace's micro-benchmarks use
+//! (`Criterion::default().sample_size(n)`, `bench_function`, `Bencher::iter`,
+//! `black_box`, `criterion_group!`/`criterion_main!`). It measures simple
+//! wall-clock means instead of criterion's full statistical pipeline —
+//! good enough to exercise the hot paths and print comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` (which drives a [`Bencher`]) and prints the mean sample.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mean = if bencher.samples.is_empty() {
+            0.0
+        } else {
+            bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64
+        };
+        println!("bench {name:<48} mean {:>12.1} ns/iter", mean);
+        self
+    }
+}
+
+/// Hands the benchmark body to the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `body`, recording `sample_size` samples of one iteration each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One warm-up iteration, then timed samples.
+        black_box(body());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(body());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Declares a group of benchmark functions with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

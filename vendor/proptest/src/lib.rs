@@ -1,0 +1,649 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `proptest` cannot be fetched. This vendored stand-in implements the
+//! slice of the API the workspace's property tests use — the `proptest!`
+//! macro, `prop_assert*`, `any::<T>()`, range/tuple/`&str` strategies,
+//! `prop::collection::vec`, `prop::option::of`, `prop::sample::Index`,
+//! and `Strategy::prop_map` — with deterministic generation seeded from
+//! the test name, and **no shrinking** (a failing case reports the
+//! assertion message and case number instead of a minimized input).
+
+#![forbid(unsafe_code)]
+
+/// Test-case execution: config, RNG, runner, and failure type.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property assertion (carried by `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic xoshiro256** generator used for value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the generator (splitmix64-expanded, per the xoshiro paper).
+        pub fn from_seed(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below() needs a positive bound");
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives the cases of one property.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `f` for each case with a per-case deterministic RNG,
+        /// panicking (failing the test) on the first `Err`.
+        pub fn run_named<F>(&mut self, name: &str, f: F)
+        where
+            F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            // FNV-1a over the property name gives stable per-test streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            for case in 0..self.config.cases {
+                let mut rng =
+                    TestRng::from_seed(h.wrapping_add(u64::from(case).wrapping_mul(0x9e37_79b9)));
+                if let Err(e) = f(&mut rng) {
+                    panic!(
+                        "property `{name}` failed at case {case}/{}: {e}",
+                        self.config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The `Strategy` trait and the built-in strategy types.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` draws a
+    /// fresh value and nothing shrinks.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.below(span)) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    /// `&'static str` patterns act as string strategies over a single
+    /// character class with an optional `{m,n}` repetition — the only
+    /// regex shapes the workspace's tests use (e.g. `"[a-z/._-]{1,40}"`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let bytes: Vec<char> = pattern.chars().collect();
+        assert!(
+            bytes.first() == Some(&'['),
+            "unsupported string strategy pattern {pattern:?} (want \"[class]\" or \"[class]{{m,n}}\")"
+        );
+        let close = bytes
+            .iter()
+            .position(|&c| c == ']')
+            .unwrap_or_else(|| panic!("unclosed char class in {pattern:?}"));
+        let mut alphabet = Vec::new();
+        let class = &bytes[1..close];
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                for c in class[i]..=class[i + 2] {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty char class in {pattern:?}");
+        let rest: String = bytes[close + 1..].iter().collect();
+        if rest.is_empty() {
+            return (alphabet, 1, 1);
+        }
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition {rest:?} in {pattern:?}"));
+        let (lo, hi) = match inner.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+            None => {
+                let n = inner.trim().parse().unwrap();
+                (n, n)
+            }
+        };
+        assert!(lo <= hi, "bad repetition bounds in {pattern:?}");
+        (alphabet, lo, hi)
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+/// `any::<T>()` and the `Arbitrary` trait behind it.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T` over its whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_arbitrary_tuple!(A);
+    impl_arbitrary_tuple!(A, B);
+    impl_arbitrary_tuple!(A, B, C);
+    impl_arbitrary_tuple!(A, B, C, D);
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted vec-length specifications.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length falls in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `None` about a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is only known later.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the index against a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror so tests can say `prop::collection::vec(..)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Each inner `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]`-attributed function running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run_named(
+                stringify!($name),
+                |__proptest_rng: &mut $crate::test_runner::TestRng|
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// mid-generation) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} != {:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} != {:?}`: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..17, b in 1u8..=9, f in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((1..=9).contains(&b));
+            prop_assert!((0.5..2.0).contains(&f), "f out of range: {f}");
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec(0usize..5, 2..8),
+            s in "[a-c]{1,4}",
+            doubled in (0u32..10).prop_map(|x| x * 2),
+            opt in prop::option::of(0u64..3),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert_eq!(doubled % 2, 0);
+            if let Some(x) = opt {
+                prop_assert!(x < 3);
+            }
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_seed(9);
+        let mut b = TestRng::from_seed(9);
+        let s = crate::collection::vec(0u64..100, 1..10);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

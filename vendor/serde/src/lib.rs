@@ -1,0 +1,19 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types to
+//! document wire-compatibility intent, but never calls a serializer — all
+//! actual encoding goes through the hand-rolled `rfork::wire` format. The
+//! build environment has no network access, so this vendored stand-in
+//! supplies just the marker traits and the derive macros that emit empty
+//! impls. If a future PR adds real serialization, replace this stub with
+//! the genuine crate (or extend it with the data-model methods).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

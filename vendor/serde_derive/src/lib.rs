@@ -1,0 +1,42 @@
+//! Derive macros backing the vendored `serde` stub.
+//!
+//! The workspace never serializes through serde (encoding is hand-rolled
+//! in `rfork::wire`), so these derives only need to emit the empty marker
+//! impls. Parsing is deliberately minimal — the deriving types in this
+//! workspace are concrete (no generics), which a scan for the ident after
+//! `struct`/`enum` handles without pulling in `syn`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: could not find type name in input");
+}
+
+/// Emits an empty `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
+
+/// Emits an empty `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}
