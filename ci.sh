@@ -24,6 +24,12 @@ cargo test --workspace --quiet
 echo '== test (--features check) =='
 cargo test --workspace --quiet --features check
 
+echo '== fault injection sweep (--features check, 3 seeds) =='
+for seed in 7 1984 4242; do
+    echo "-- CXLFAULT_SEED=$seed"
+    CXLFAULT_SEED=$seed cargo test --quiet -p cxlfork-bench --features check --test fault_recovery
+done
+
 echo '== release build =='
 cargo build --workspace --release --quiet
 

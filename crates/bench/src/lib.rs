@@ -29,5 +29,6 @@ pub mod format;
 pub mod scenarios;
 
 pub use scenarios::{
-    run_cold_start, run_tiering, ColdStartRow, Scenario, TieringRow, DEFAULT_STEADY_INVOCATIONS,
+    run_availability, run_cold_start, run_tiering, AvailabilityOutcome, ColdStartRow, Scenario,
+    TieringRow, DEFAULT_STEADY_INVOCATIONS,
 };

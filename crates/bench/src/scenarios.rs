@@ -300,6 +300,79 @@ pub fn run_tiering(
     row
 }
 
+/// Everything the availability experiment measures in one run.
+#[derive(Debug)]
+pub struct AvailabilityOutcome {
+    /// The porter's full report (crash/retry/reclaim accounting
+    /// included).
+    pub report: cxlporter::PorterReport,
+    /// What the device-level injector actually fired.
+    pub fault_stats: cxl_fault::FaultStats,
+    /// Requests in the generated trace.
+    pub trace_len: u64,
+}
+
+impl AvailabilityOutcome {
+    /// Requests that completed on some node (warm, restored, or cold).
+    pub fn completed(&self) -> u64 {
+        self.report.warm_hits + self.report.restores + self.report.full_cold
+    }
+
+    /// Exactly-once bookkeeping: every trace request and every
+    /// re-dispatch lands in precisely one outcome bucket.
+    pub fn accounting_balances(&self) -> bool {
+        self.completed() + self.report.dropped == self.trace_len + self.report.redispatched
+    }
+}
+
+/// Runs the availability experiment: a 10 s Azure-style trace over a
+/// three-node cluster whose CXL device injects seeded transient link
+/// errors, while `crash_count` nodes die at seeded times mid-run (about
+/// half of them mid-checkpoint). The porter retries transients, fails
+/// crashed nodes over by restoring from CXL-resident checkpoints, and
+/// lease-reclaims torn staging regions — the run is fully deterministic
+/// in `seed`.
+pub fn run_availability(
+    seed: u64,
+    crash_count: usize,
+    model: &LatencyModel,
+) -> AvailabilityOutcome {
+    let duration = SimDuration::from_secs(10);
+    let cluster = cxlporter::Cluster::new(3, 2048, 8192, model.clone());
+
+    let injector = Arc::new(cxl_fault::Injector::from_plan(
+        cxl_fault::FaultPlan::new(seed).with_transient_rate(2e-4),
+    ));
+    injector.arm(&cluster.device);
+
+    let mut porter = cxlporter::CxlPorter::new(
+        cluster,
+        CxlFork::new(),
+        cxlporter::PorterConfig::cxlfork_dynamic(),
+    );
+    porter.set_crash_schedule(cxl_fault::CrashSchedule::from_plan(
+        seed,
+        3,
+        duration,
+        crash_count,
+    ));
+
+    let trace = trace_gen::generate(&trace_gen::TraceConfig {
+        duration_secs: 10.0,
+        total_rps: 40.0,
+        ..trace_gen::TraceConfig::paper_default(
+            vec!["Float".into(), "Json".into(), "Pyaes".into()],
+            seed,
+        )
+    });
+    let report = porter.run_trace(&trace);
+    AvailabilityOutcome {
+        report,
+        fault_stats: injector.stats(),
+        trace_len: trace.len() as u64,
+    }
+}
+
 /// The warm execution time of a locally forked child (the "local fork in
 /// an environment without CXL memory" baseline of Fig. 9).
 pub fn local_fork_warm(

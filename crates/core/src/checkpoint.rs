@@ -31,6 +31,33 @@ use simclock::SimDuration;
 /// Magic of the lightly-serialized global-state record.
 pub const GLOBAL_STATE_MAGIC: u32 = 0xCF0C_0001;
 
+/// Runs one device operation with bounded backoff on transient link
+/// errors, accumulating the retry count and the (virtual) backoff delay
+/// for the caller's cost model, and typing the give-up error as
+/// [`RforkError::RetriesExhausted`].
+pub(crate) fn dev_retry<T>(
+    op: &'static str,
+    retries: &mut u64,
+    backoff: &mut SimDuration,
+    f: impl FnMut() -> Result<T, cxl_mem::CxlError>,
+) -> Result<T, RforkError> {
+    let policy = cxl_fault::BackoffPolicy::default();
+    let (res, report) = cxl_fault::with_backoff(&policy, f);
+    *retries += u64::from(report.retries);
+    *backoff = backoff.saturating_add(report.backoff);
+    res.map_err(|e| {
+        if e.is_transient() {
+            RforkError::RetriesExhausted {
+                op,
+                attempts: report.attempts,
+                last: e,
+            }
+        } else {
+            RforkError::from(e)
+        }
+    })
+}
+
 /// The task's private state, checkpointed as-is (a bitwise copy in CXL
 /// memory; no serialization).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,11 +223,20 @@ pub(crate) fn take_checkpoint(
         (task, fds, src_leaves, vma_block_images, footprint_pages)
     };
 
-    // ---- Copy pages + metadata into a fresh CXL region. ----
-    // The guard destroys the region if any allocation below fails, so a
-    // failed checkpoint never leaks device pages.
+    // ---- Copy pages + metadata into a fresh CXL *staging* region. ----
+    // Two-phase commit: the region stays uncommitted (invisible to
+    // restore) until every page is written, then `commit_region`
+    // publishes it atomically — a crash mid-checkpoint can never leave a
+    // half-visible checkpoint, only an orphaned staging region for the
+    // lease GC. The guard additionally destroys the region if anything
+    // below fails on this (live) node, so a failed checkpoint never
+    // leaks device pages.
     let device = Arc::clone(node.device());
-    let guard = device.create_region_guarded(&format!("cxlfork:{}#{}", task.comm, checkpoint_seq));
+    let guard = device.create_region_staged_guarded(
+        &format!("cxlfork:{}#{}", task.comm, checkpoint_seq),
+        node_id,
+        checkpoint_seq,
+    );
     let region = guard.id();
 
     let mut leaves = Vec::with_capacity(src_leaves.len());
@@ -209,6 +245,8 @@ pub(crate) fn take_checkpoint(
     let mut dirty_pages = 0u64;
     let mut accessed_pages = 0u64;
     let mut rebased_pointers = 0u64;
+    let mut retries = 0u64;
+    let mut retry_backoff = SimDuration::ZERO;
 
     for src in &src_leaves {
         let mut ckpt_leaf = PtLeaf::new();
@@ -220,10 +258,18 @@ pub(crate) fn take_checkpoint(
             // Copy the page content to a fresh device page.
             let data = match pte.target().expect("present pte") {
                 PhysAddr::Local(pfn) => node.frames().data(pfn).clone(),
-                PhysAddr::Cxl(page) => device.read_page(page, node_id)?,
+                PhysAddr::Cxl(page) => {
+                    dev_retry("checkpoint_read", &mut retries, &mut retry_backoff, || {
+                        device.read_page(page, node_id)
+                    })?
+                }
             };
-            let dst = device.alloc_page(region)?;
-            device.write_page(dst, data, node_id)?;
+            let dst = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
+                device.alloc_page(region)
+            })?;
+            dev_retry("checkpoint_copy", &mut retries, &mut retry_backoff, || {
+                device.write_page(dst, data.clone(), node_id)
+            })?;
             data_pages += 1;
 
             // REBASE: rewrite the entry to the machine-independent CXL
@@ -258,7 +304,9 @@ pub(crate) fn take_checkpoint(
             continue;
         }
         // One device page physically stores the 512-entry leaf.
-        let leaf_backing = device.alloc_page(region)?;
+        let leaf_backing = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
+            device.alloc_page(region)
+        })?;
         leaves.push(CkptLeaf {
             leaf_index: src.leaf_index,
             leaf: Arc::new(ckpt_leaf),
@@ -270,28 +318,40 @@ pub(crate) fn take_checkpoint(
     let mut vma_blocks = Vec::with_capacity(vma_block_images.len());
     let mut vma_count = 0usize;
     for block in vma_block_images {
-        let backing_page = device.alloc_page(region)?;
+        let backing_page = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
+            device.alloc_page(region)
+        })?;
         vma_count += block.len();
         rebased_pointers += block.len() as u64;
         vma_blocks.push((Arc::new(block), backing_page));
     }
 
     // Task image: one device page.
-    let task_backing = device.alloc_page(region)?;
+    let task_backing = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
+        device.alloc_page(region)
+    })?;
     let _ = task_backing;
 
     // Global state: light serialization of fd paths + permissions.
     let global_bytes = encode_global_state(&fds);
 
-    // ---- Cost model (§4.1, §8): streaming non-temporal copies + rebase.
+    // ---- Cost model (§4.1, §8): streaming non-temporal copies + rebase,
+    // plus whatever backoff the transient-fault retries accrued.
     let copied_bytes = (data_pages + leaves.len() as u64 + vma_blocks.len() as u64 + 1) * PAGE_SIZE;
     let cost = model.cxl_write_copy(copied_bytes)
         + SimDuration::from_nanos(model.rebase_pointer_ns) * rebased_pointers
-        + model.serialize(global_bytes.len() as u64);
+        + model.serialize(global_bytes.len() as u64)
+        + retry_backoff;
     node.clock_mut().advance(cost);
     node.counters_note("cxlfork_checkpoint");
+    if retries > 0 {
+        node.counters_add("cxl_transient_retry", retries);
+    }
 
     let region_usage = device.region_usage(region)?;
+    // Phase two: every page is in place — publish atomically, then
+    // disarm the cleanup guard.
+    device.commit_region(region)?;
     let region = guard.commit();
     Ok(CxlForkCheckpoint {
         meta: CheckpointMeta {

@@ -216,7 +216,7 @@ impl RemoteFork for CxlFork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxl_mem::{CxlDevice, PAGE_SIZE};
+    use cxl_mem::{CxlDevice, CxlError, PAGE_SIZE};
     use node_os::addr::{PhysAddr, VirtPageNum};
     use node_os::fs::SharedFs;
     use node_os::mm::{Access, CxlTierPolicy, FaultKind};
@@ -701,5 +701,204 @@ mod tests {
             r_big.restore_latency,
             r_small.restore_latency
         );
+    }
+
+    #[test]
+    fn torn_staging_checkpoint_is_never_restorable() {
+        let mut c = cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        assert_eq!(c.device.region_committed(ckpt.region), Some(true));
+
+        // Forge a checkpoint whose region is an *unpublished* staging
+        // region — what a reader would see if a node died mid-copy and
+        // two-phase commit did not exist.
+        let torn_region = c
+            .device
+            .create_region_staged("cxlfork:torn#1", cxl_mem::NodeId(0), 1);
+        c.device.alloc_pages(torn_region, 4).unwrap();
+        let forged = CxlForkCheckpoint {
+            meta: ckpt.meta.clone(),
+            region: torn_region,
+            task: ckpt.task.clone(),
+            global_bytes: ckpt.global_bytes.clone(),
+            vma_blocks: ckpt.vma_blocks.clone(),
+            leaves: ckpt.leaves.clone(),
+            backing: Arc::clone(&ckpt.backing),
+            data_pages: ckpt.data_pages,
+            dirty_pages: ckpt.dirty_pages,
+            accessed_pages: ckpt.accessed_pages,
+        };
+        let before = c.nodes[1].process_count();
+        let err = c.fork.restore(&forged, &mut c.nodes[1]).unwrap_err();
+        assert!(matches!(err, RforkError::BadImage(_)), "got {err}");
+        assert_eq!(c.nodes[1].process_count(), before, "no zombie process");
+
+        // A destroyed region is equally unrestorable.
+        c.device.destroy_region(torn_region).unwrap();
+        c.fork.release(ckpt, &c.nodes[0]).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_retries_transient_faults_and_charges_backoff() {
+        let mut c = cluster(1);
+        let pid = build_process(&mut c.nodes[0]);
+        // Clean baseline checkpoint of the same process.
+        let clean = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+
+        // Two transient write errors early in the bulk copy.
+        let inj = Arc::new(cxl_fault::Injector::from_schedule(
+            cxl_fault::FaultSchedule::new().transient_after(cxl_mem::DeviceOp::Write, 3, 2),
+        ));
+        inj.arm(&c.device);
+        let faulted = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        c.device.set_fault_hook(None);
+
+        assert_eq!(c.nodes[0].counters().get("cxl_transient_retry"), 2);
+        assert!(
+            faulted.meta().checkpoint_cost > clean.meta().checkpoint_cost,
+            "backoff delay must show up in the checkpoint cost ({} vs {})",
+            faulted.meta().checkpoint_cost,
+            clean.meta().checkpoint_cost
+        );
+        assert_eq!(faulted.data_pages, clean.data_pages);
+    }
+
+    #[test]
+    fn checkpoint_gives_up_cleanly_when_the_link_stays_down() {
+        let mut c = cluster(1);
+        let pid = build_process(&mut c.nodes[0]);
+        let used_before = c.device.used_pages();
+        // A burst longer than the retry budget (4 attempts).
+        let inj = Arc::new(cxl_fault::Injector::from_schedule(
+            cxl_fault::FaultSchedule::new().transient_after(cxl_mem::DeviceOp::Write, 0, 16),
+        ));
+        inj.arm(&c.device);
+        let err = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap_err();
+        c.device.set_fault_hook(None);
+        assert!(
+            matches!(
+                err,
+                RforkError::RetriesExhausted {
+                    op: "checkpoint_copy",
+                    attempts: 4,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+        assert_eq!(c.device.used_pages(), used_before, "no leaked pages");
+        assert!(c.device.staging_regions().is_empty(), "no orphaned staging");
+    }
+
+    #[test]
+    fn checkpoint_alloc_exhaustion_fails_all_or_nothing() {
+        let mut c = cluster(1);
+        let pid = build_process(&mut c.nodes[0]);
+        let used_before = c.device.used_pages();
+        let inj = Arc::new(cxl_fault::Injector::from_schedule(
+            cxl_fault::FaultSchedule::new().alloc_exhausted_after(5, 1),
+        ));
+        inj.arm(&c.device);
+        let err = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap_err();
+        c.device.set_fault_hook(None);
+        assert!(
+            matches!(err, RforkError::Cxl(CxlError::OutOfDeviceMemory { .. })),
+            "got {err}"
+        );
+        assert_eq!(c.device.used_pages(), used_before);
+        assert!(c.device.staging_regions().is_empty());
+    }
+
+    #[test]
+    fn failed_restore_rolls_back_the_half_restored_process() {
+        let mut c = cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+
+        let frames_before = c.nodes[1].frames().used();
+        let procs_before = c.nodes[1].process_count();
+        // The link goes down for good during dirty-page prefetch.
+        let inj = Arc::new(cxl_fault::Injector::from_schedule(
+            cxl_fault::FaultSchedule::new().transient_after(cxl_mem::DeviceOp::Read, 0, 64),
+        ));
+        inj.arm(&c.device);
+        let err = c
+            .fork
+            .restore_with(
+                &ckpt,
+                &mut c.nodes[1],
+                rfork::RestoreOptions {
+                    policy: rfork::TierPolicy::MigrateOnWrite,
+                    prefetch_dirty: true,
+                    sync_hot_prefetch: false,
+                },
+            )
+            .unwrap_err();
+        c.device.set_fault_hook(None);
+        assert!(
+            matches!(
+                err,
+                RforkError::RetriesExhausted {
+                    op: "restore_prefetch",
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+        assert_eq!(c.nodes[1].process_count(), procs_before, "no zombie");
+        assert_eq!(
+            c.nodes[1].frames().used(),
+            frames_before,
+            "no leaked frames"
+        );
+        // The checkpoint itself is untouched and still restorable.
+        let restored = c.fork.restore(&ckpt, &mut c.nodes[1]).unwrap();
+        assert!(c.nodes[1].process(restored.pid).is_ok());
+    }
+
+    #[test]
+    fn restored_access_to_poisoned_page_surfaces_typed_error() {
+        let mut c = cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        let restored = c
+            .fork
+            .restore_with(
+                &ckpt,
+                &mut c.nodes[1],
+                rfork::RestoreOptions {
+                    policy: rfork::TierPolicy::MigrateOnWrite,
+                    prefetch_dirty: false,
+                    sync_hot_prefetch: false,
+                },
+            )
+            .unwrap();
+
+        // Poison the device page backing vpn 5, then write to it:
+        // migrate-on-write must surface the poison, not retry forever.
+        let (_, pte) = ckpt
+            .iter_pages()
+            .find(|(vpn, _)| *vpn == VirtPageNum(5))
+            .unwrap();
+        let Some(PhysAddr::Cxl(page)) = pte.target() else {
+            panic!("checkpoint entries point at CXL");
+        };
+        let inj = Arc::new(cxl_fault::Injector::from_schedule(
+            cxl_fault::FaultSchedule::new(),
+        ));
+        inj.poison_page(page);
+        inj.arm(&c.device);
+        let err = c.nodes[1]
+            .access(restored.pid, 5, Access::Write)
+            .unwrap_err();
+        c.device.set_fault_hook(None);
+        assert_eq!(
+            err,
+            node_os::OsError::Cxl(CxlError::Poisoned(page)),
+            "poison is permanent, not retried"
+        );
+        // Other pages stay readable.
+        assert!(c.nodes[1].access(restored.pid, 6, Access::Read).is_ok());
     }
 }

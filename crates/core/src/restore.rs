@@ -24,7 +24,7 @@
 //!   (or user-hinted hot) pages are *armed* to migrate on first access and
 //!   the rest stay mapped read-only in CXL.
 
-use node_os::addr::{PhysAddr, VirtPageNum};
+use node_os::addr::{PhysAddr, Pid, VirtPageNum};
 use node_os::mm::CxlTierPolicy;
 use node_os::page_table::{AttachedLeaf, PtLeaf};
 use node_os::process::FdTable;
@@ -33,7 +33,7 @@ use node_os::Node;
 use rfork::{RestoreOptions, Restored, RforkError, TierPolicy};
 use simclock::SimDuration;
 
-use crate::checkpoint::{decode_global_state, CxlForkCheckpoint};
+use crate::checkpoint::{decode_global_state, dev_retry, CxlForkCheckpoint};
 
 /// Restores a process from `checkpoint` onto `node` with `options`,
 /// charging the cost to the node's clock.
@@ -42,9 +42,27 @@ pub(crate) fn restore(
     node: &mut Node,
     options: RestoreOptions,
 ) -> Result<Restored, RforkError> {
-    let node_id = node.id();
     let model = node.model().clone();
     let device = std::sync::Arc::clone(node.device());
+
+    // Two-phase-commit gate: an *uncommitted* region is a torn
+    // checkpoint whose writer died mid-copy — it must never be
+    // restorable, no matter how plausible its contents look.
+    match device.region_committed(checkpoint.region) {
+        Some(true) => {}
+        Some(false) => {
+            return Err(RforkError::BadImage(format!(
+                "checkpoint region {} is an unpublished staging region",
+                checkpoint.region
+            )))
+        }
+        None => {
+            return Err(RforkError::BadImage(format!(
+                "checkpoint region {} no longer exists",
+                checkpoint.region
+            )))
+        }
+    }
 
     let mut cost = SimDuration::from_nanos(model.process_create_ns);
 
@@ -66,6 +84,34 @@ pub(crate) fn restore(
         }
         process.task.fds = table;
     }
+
+    match attach_state(checkpoint, node, options, pid, cost) {
+        Ok(restored) => Ok(restored),
+        Err(e) => {
+            // Roll back the half-restored process: a failed restore
+            // (exhausted device retries, poisoned checkpoint page, frame
+            // exhaustion) must not leak a zombie address space.
+            let _ = node.kill(pid);
+            Err(e)
+        }
+    }
+}
+
+/// Attaches VMA/page-table state and runs prefetch — everything after
+/// the process shell exists. Split out so [`restore`] can roll the
+/// process back on any failure.
+fn attach_state(
+    checkpoint: &CxlForkCheckpoint,
+    node: &mut Node,
+    options: RestoreOptions,
+    pid: Pid,
+    mut cost: SimDuration,
+) -> Result<Restored, RforkError> {
+    let node_id = node.id();
+    let model = node.model().clone();
+    let device = std::sync::Arc::clone(node.device());
+    let mut retries = 0u64;
+    let mut retry_backoff = SimDuration::ZERO;
 
     // ---- VMA tree: attach the checkpointed leaf blocks. ----
     cost += SimDuration::from_nanos(model.vma_leaf_attach_ns) * checkpoint.vma_blocks.len() as u64;
@@ -123,7 +169,12 @@ pub(crate) fn restore(
                         let PhysAddr::Cxl(page) = target else {
                             unreachable!("checkpoint targets are CXL pages")
                         };
-                        let data = device.read_page(page, node_id)?;
+                        let data = dev_retry(
+                            "restore_prefetch",
+                            &mut retries,
+                            &mut retry_backoff,
+                            || device.read_page(page, node_id),
+                        )?;
                         let pfn = node
                             .with_process_ctx(pid, |p, ctx| {
                                 let pfn = ctx.frames.alloc(data)?;
@@ -175,7 +226,9 @@ pub(crate) fn restore(
             let PhysAddr::Cxl(page) = target else {
                 unreachable!("checkpoint targets are CXL pages")
             };
-            let data = device.read_page(page, node_id)?;
+            let data = dev_retry("restore_prefetch", &mut retries, &mut retry_backoff, || {
+                device.read_page(page, node_id)
+            })?;
             let leaf_cows_before = node.process(pid)?.mm.page_table.leaf_cow_events();
             let installed = node.with_process_ctx(pid, |p, ctx| -> Result<(), RforkError> {
                 let pfn = ctx.frames.alloc(data).map_err(RforkError::from)?;
@@ -203,8 +256,12 @@ pub(crate) fn restore(
         }
     }
 
+    cost += retry_backoff;
     node.clock_mut().advance(cost);
     node.counters_note("cxlfork_restore");
+    if retries > 0 {
+        node.counters_add("cxl_transient_retry", retries);
+    }
     if prefetched > 0 {
         for _ in 0..prefetched {
             node.counters_note("cxlfork_prefetched_page");

@@ -274,6 +274,33 @@ pub fn audit_device_with_live(
     out
 }
 
+/// Audits checkpoint staging regions against the set of live owners:
+/// every *uncommitted* region whose owner is not in `live_owners` is a
+/// torn checkpoint that lease reclamation should have destroyed, and is
+/// reported as an [`Violation::OrphanStagingRegion`].
+///
+/// Committed regions are never flagged — a published checkpoint
+/// legitimately outlives its writer (that is the whole point of
+/// two-phase commit). Run this after crash recovery to prove the orphan
+/// GC actually ran.
+pub fn audit_staging(
+    device: &CxlDevice,
+    live_owners: impl IntoIterator<Item = cxl_mem::NodeId>,
+) -> Vec<Violation> {
+    let live: BTreeSet<cxl_mem::NodeId> = live_owners.into_iter().collect();
+    device
+        .staging_regions()
+        .into_iter()
+        .filter(|s| !live.contains(&s.owner))
+        .map(|s| Violation::OrphanStagingRegion {
+            region: s.region,
+            owner: s.owner,
+            epoch: s.epoch,
+            pages: s.pages,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::Arc;
@@ -405,6 +432,53 @@ mod tests {
             NodeAudit::new(&node).with_external_refs([pfn]).run(),
             Vec::new()
         );
+    }
+
+    #[test]
+    fn skipped_lease_reclamation_is_flagged_and_gc_clears_it() {
+        // Negative test proving the orphan GC is load-bearing: a node
+        // dies mid-checkpoint, leaving an uncommitted staging region. If
+        // lease reclamation is deliberately skipped, the auditor must
+        // flag the orphan; after the GC runs, the books close again.
+        let device = Arc::new(CxlDevice::with_capacity_mib(16));
+        let dead = cxl_mem::NodeId(2);
+
+        // The crashed writer got three pages into its copy.
+        let staged = device.create_region_staged("ckpt:torn#4", dead, 4);
+        for _ in 0..3 {
+            let page = device.alloc_page(staged).unwrap();
+            device.write_page(page, PageData::pattern(9), dead).unwrap();
+        }
+        // An earlier *committed* checkpoint of the same (now dead) owner
+        // must never be flagged — published checkpoints legitimately
+        // outlive their writer.
+        let published = device.create_region_staged("ckpt:good#3", dead, 3);
+        let page = device.alloc_page(published).unwrap();
+        device.write_page(page, PageData::pattern(1), dead).unwrap();
+        device.commit_region(published).unwrap();
+
+        // GC skipped: exactly the torn region is reported as orphaned.
+        let live = [cxl_mem::NodeId(0), cxl_mem::NodeId(1)];
+        assert_eq!(
+            audit_staging(&device, live),
+            vec![Violation::OrphanStagingRegion {
+                region: staged,
+                owner: dead,
+                epoch: 4,
+                pages: 3,
+            }]
+        );
+        // While its owner is still considered live, nothing is wrong.
+        assert_eq!(audit_staging(&device, [dead]), Vec::new());
+
+        // Run the GC the recovery path would have run; the audit closes.
+        let report = cxl_fault::reclaim_dead(&device, &[dead]);
+        assert_eq!(report.regions, 1);
+        assert_eq!(report.pages, 3);
+        assert_eq!(audit_staging(&device, live), Vec::new());
+        assert_eq!(audit_device(&device), Vec::new());
+        // The committed checkpoint survived reclamation.
+        assert_eq!(device.region_committed(published), Some(true));
     }
 
     #[test]

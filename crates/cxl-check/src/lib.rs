@@ -38,7 +38,7 @@ pub mod audit;
 pub mod lockorder;
 pub mod seal;
 
-pub use audit::{audit_device, audit_device_with_live, audit_node, NodeAudit};
+pub use audit::{audit_device, audit_device_with_live, audit_node, audit_staging, NodeAudit};
 pub use lockorder::{check_lock_order, lock_order_cycles};
 pub use seal::SealRegistry;
 
@@ -48,6 +48,7 @@ pub use seal::SealRegistry;
 /// they find so negative tests can assert on the exact class they seeded
 /// and production callers can log or fail as they prefer.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Violation {
     /// A PTE targets a local frame the allocator says is dead.
     DanglingLocalPte {
@@ -212,6 +213,18 @@ pub enum Violation {
         /// last element acquires the first.
         cycle: Vec<&'static str>,
     },
+    /// An uncommitted checkpoint staging region whose owner is not in
+    /// the live set — a torn checkpoint the lease GC failed to reclaim.
+    OrphanStagingRegion {
+        /// The orphaned staging region.
+        region: RegionId,
+        /// The (dead) owner recorded at creation.
+        owner: cxl_mem::NodeId,
+        /// The owner's checkpoint epoch.
+        epoch: u64,
+        /// Device pages stranded in the region.
+        pages: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -332,6 +345,16 @@ impl fmt::Display for Violation {
                 }
                 write!(f, "{}", cycle.first().copied().unwrap_or("?"))
             }
+            Violation::OrphanStagingRegion {
+                region,
+                owner,
+                epoch,
+                pages,
+            } => write!(
+                f,
+                "device: staging region {region} (owner {owner}, epoch {epoch}, {pages} pages) \
+                 outlived its dead owner without reclamation"
+            ),
         }
     }
 }

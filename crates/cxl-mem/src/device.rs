@@ -1,9 +1,13 @@
 //! The shared CXL memory device.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
+use crate::injection::{DeviceOp, FaultHook};
 use crate::lockdep::TrackedRwLock;
 
 use crate::{CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
@@ -37,6 +41,11 @@ use crate::{CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
 pub struct CxlDevice {
     capacity_pages: u64,
     state: TrackedRwLock<DeviceState>,
+    /// Fault-injection hook (see [`crate::FaultHook`]). Kept outside the
+    /// state lock: the hook fires *before* state is touched, and an armed
+    /// flag keeps the unhooked fast path to one relaxed atomic load.
+    hook: RwLock<Option<Arc<dyn FaultHook>>>,
+    hook_armed: AtomicBool,
 }
 
 #[derive(Debug, Default)]
@@ -61,6 +70,14 @@ struct PageSlot {
 struct Region {
     name: String,
     pages: u64,
+    /// Two-phase commit state: regions start committed unless created via
+    /// the staged API; an uncommitted region is a checkpoint in flight and
+    /// must never be restored from.
+    committed: bool,
+    /// Node that owns the staging region (for lease-based orphan GC).
+    owner: Option<NodeId>,
+    /// Owner-supplied epoch (checkpoint sequence number).
+    epoch: u64,
 }
 
 /// Per-node traffic counters for the device.
@@ -99,13 +116,51 @@ pub struct RegionUsage {
     pub bytes: u64,
 }
 
+/// Summary of one *uncommitted* (staging) region, as reported by
+/// [`CxlDevice::staging_regions`] for lease-based orphan reclamation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagingRegion {
+    /// The region id.
+    pub region: RegionId,
+    /// Region name supplied at creation.
+    pub name: String,
+    /// Node that was building the checkpoint.
+    pub owner: NodeId,
+    /// Owner-supplied epoch (checkpoint sequence number).
+    pub epoch: u64,
+    /// Pages currently allocated into the region.
+    pub pages: u64,
+}
+
 impl CxlDevice {
     /// Creates a device with a capacity given in pages.
     pub fn new(capacity_pages: u64) -> Self {
         CxlDevice {
             capacity_pages,
             state: TrackedRwLock::new("cxl_mem.device", DeviceState::default()),
+            hook: RwLock::new(None),
+            hook_armed: AtomicBool::new(false),
         }
+    }
+
+    /// Installs (or, with `None`, removes) the fault-injection hook.
+    ///
+    /// The hook is consulted before every read, write, allocation and
+    /// free; see [`FaultHook`]. With no hook installed the data path pays
+    /// one relaxed atomic load.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn FaultHook>>) {
+        let mut slot = self.hook.write();
+        self.hook_armed.store(hook.is_some(), Ordering::Release);
+        *slot = hook;
+    }
+
+    /// Consults the fault hook (if armed) about one operation.
+    fn injected(&self, op: DeviceOp, page: Option<CxlPageId>, node: NodeId) -> Option<CxlError> {
+        if !self.hook_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let hook = self.hook.read().clone()?;
+        hook.inject(op, page, node)
     }
 
     /// Creates a device with a capacity given in MiB (the evaluation
@@ -139,6 +194,26 @@ impl CxlDevice {
 
     /// Creates a new (empty) region.
     pub fn create_region(&self, name: &str) -> RegionId {
+        self.create_region_inner(name, true, None, 0)
+    }
+
+    /// Creates a new *staging* region for a two-phase checkpoint commit:
+    /// the region exists and accepts allocations/writes, but stays
+    /// uncommitted — invisible to restore — until
+    /// [`CxlDevice::commit_region`] atomically publishes it. `owner` and
+    /// `epoch` identify the checkpointing node so lease-based GC can
+    /// reclaim the region if that node dies mid-checkpoint.
+    pub fn create_region_staged(&self, name: &str, owner: NodeId, epoch: u64) -> RegionId {
+        self.create_region_inner(name, false, Some(owner), epoch)
+    }
+
+    fn create_region_inner(
+        &self,
+        name: &str,
+        committed: bool,
+        owner: Option<NodeId>,
+        epoch: u64,
+    ) -> RegionId {
         let mut st = self.state.write();
         let id = RegionId(st.next_region);
         st.next_region += 1;
@@ -147,9 +222,51 @@ impl CxlDevice {
             Region {
                 name: name.to_owned(),
                 pages: 0,
+                committed,
+                owner,
+                epoch,
             },
         );
         id
+    }
+
+    /// Atomically publishes a staging region (phase two of the checkpoint
+    /// commit). Idempotent on already-committed regions.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadRegion`] if the region does not exist.
+    pub fn commit_region(&self, region: RegionId) -> Result<(), CxlError> {
+        let mut st = self.state.write();
+        let r = st
+            .regions
+            .get_mut(&region)
+            .ok_or(CxlError::BadRegion(region))?;
+        r.committed = true;
+        Ok(())
+    }
+
+    /// Whether `region` has been committed (`None` if it does not exist).
+    pub fn region_committed(&self, region: RegionId) -> Option<bool> {
+        let st = self.state.read();
+        st.regions.get(&region).map(|r| r.committed)
+    }
+
+    /// Lists every *uncommitted* staging region, for orphan reclamation
+    /// and the `cxl-check` staging audit.
+    pub fn staging_regions(&self) -> Vec<StagingRegion> {
+        let st = self.state.read();
+        st.regions
+            .iter()
+            .filter(|(_, r)| !r.committed)
+            .map(|(id, r)| StagingRegion {
+                region: *id,
+                name: r.name.clone(),
+                owner: r.owner.unwrap_or(NodeId(u32::MAX)),
+                epoch: r.epoch,
+                pages: r.pages,
+            })
+            .collect()
     }
 
     /// Allocates one zeroed page into `region`.
@@ -171,6 +288,11 @@ impl CxlDevice {
     /// [`CxlError::OutOfDeviceMemory`] if fewer than `n` pages are free;
     /// [`CxlError::BadRegion`] if the region does not exist.
     pub fn alloc_pages(&self, region: RegionId, n: u64) -> Result<Vec<CxlPageId>, CxlError> {
+        // Allocations are not attributed to a node at this layer; the
+        // sentinel id keeps the hook signature uniform.
+        if let Some(err) = self.injected(DeviceOp::Alloc, None, NodeId(u32::MAX)) {
+            return Err(err);
+        }
         let mut st = self.state.write();
         if !st.regions.contains_key(&region) {
             return Err(CxlError::BadRegion(region));
@@ -226,6 +348,9 @@ impl CxlDevice {
     ///
     /// [`CxlError::BadPage`] if the page is not live.
     pub fn free_page(&self, page: CxlPageId) -> Result<(), CxlError> {
+        if let Some(err) = self.injected(DeviceOp::Free, Some(page), NodeId(u32::MAX)) {
+            return Err(err);
+        }
         let mut st = self.state.write();
         let slot = st
             .pages
@@ -338,6 +463,9 @@ impl CxlDevice {
         buf: &mut [u8],
         node: NodeId,
     ) -> Result<(), CxlError> {
+        if let Some(err) = self.injected(DeviceOp::Read, Some(page), node) {
+            return Err(err);
+        }
         let mut st = self.state.write();
         let len = buf.len() as u64;
         let slot = st
@@ -367,6 +495,9 @@ impl CxlDevice {
         data: &[u8],
         node: NodeId,
     ) -> Result<(), CxlError> {
+        if let Some(err) = self.injected(DeviceOp::Write, Some(page), node) {
+            return Err(err);
+        }
         let mut st = self.state.write();
         let slot = st
             .pages
@@ -391,6 +522,9 @@ impl CxlDevice {
         data: PageData,
         node: NodeId,
     ) -> Result<(), CxlError> {
+        if let Some(err) = self.injected(DeviceOp::Write, Some(page), node) {
+            return Err(err);
+        }
         let mut st = self.state.write();
         let slot = st
             .pages
@@ -410,6 +544,9 @@ impl CxlDevice {
     ///
     /// [`CxlError::BadPage`] if the page is not live.
     pub fn read_page(&self, page: CxlPageId, node: NodeId) -> Result<PageData, CxlError> {
+        if let Some(err) = self.injected(DeviceOp::Read, Some(page), node) {
+            return Err(err);
+        }
         let mut st = self.state.write();
         let slot = st
             .pages
@@ -445,6 +582,24 @@ impl CxlDevice {
         RegionGuard {
             device: self,
             region: self.create_region(name),
+            armed: true,
+        }
+    }
+
+    /// Like [`CxlDevice::create_region_guarded`], but the region starts
+    /// as an uncommitted staging region (see
+    /// [`CxlDevice::create_region_staged`]). Callers publish with
+    /// [`CxlDevice::commit_region`] and then disarm the guard with
+    /// [`RegionGuard::commit`].
+    pub fn create_region_staged_guarded<'d>(
+        &'d self,
+        name: &str,
+        owner: NodeId,
+        epoch: u64,
+    ) -> RegionGuard<'d> {
+        RegionGuard {
+            device: self,
+            region: self.create_region_staged(name, owner, epoch),
             armed: true,
         }
     }
@@ -497,6 +652,15 @@ impl RegionGuard<'_> {
     /// Disarms the guard and returns the region, which now lives until
     /// explicitly destroyed.
     pub fn commit(mut self) -> RegionId {
+        self.armed = false;
+        self.region
+    }
+
+    /// Disarms the guard *without* destroying the region, leaving it in
+    /// whatever commit state it has. Simulates the owner crashing
+    /// mid-checkpoint: the staging region stays behind for the lease GC
+    /// (or the `cxl-check` staging audit) to find.
+    pub fn abandon(mut self) -> RegionId {
         self.armed = false;
         self.region
     }
@@ -642,5 +806,86 @@ mod tests {
     fn device_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CxlDevice>();
+    }
+
+    #[test]
+    fn staged_regions_commit_atomically() {
+        let d = dev();
+        let r = d.create_region_staged("staging", NodeId(3), 7);
+        d.alloc_pages(r, 2).unwrap();
+        assert_eq!(d.region_committed(r), Some(false));
+        let staged = d.staging_regions();
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].owner, NodeId(3));
+        assert_eq!(staged[0].epoch, 7);
+        assert_eq!(staged[0].pages, 2);
+        d.commit_region(r).unwrap();
+        assert_eq!(d.region_committed(r), Some(true));
+        assert!(d.staging_regions().is_empty());
+        // Idempotent; plain regions are born committed.
+        d.commit_region(r).unwrap();
+        assert_eq!(d.region_committed(d.create_region("plain")), Some(true));
+        assert_eq!(d.region_committed(RegionId(99)), None);
+        assert_eq!(
+            d.commit_region(RegionId(99)).unwrap_err(),
+            CxlError::BadRegion(RegionId(99))
+        );
+    }
+
+    #[test]
+    fn abandoned_staged_guard_leaves_orphan_behind() {
+        let d = dev();
+        let region = {
+            let g = d.create_region_staged_guarded("staging", NodeId(1), 4);
+            d.alloc_pages(g.id(), 3).unwrap();
+            g.abandon()
+        };
+        assert_eq!(d.used_pages(), 3, "abandon keeps pages");
+        assert_eq!(d.region_committed(region), Some(false));
+        assert_eq!(d.staging_regions().len(), 1);
+    }
+
+    #[derive(Debug)]
+    struct FailNthRead {
+        countdown: std::sync::Mutex<u64>,
+    }
+
+    impl FaultHook for FailNthRead {
+        fn inject(
+            &self,
+            op: DeviceOp,
+            _page: Option<CxlPageId>,
+            _node: NodeId,
+        ) -> Option<CxlError> {
+            if op != DeviceOp::Read {
+                return None;
+            }
+            let mut n = self.countdown.lock().unwrap();
+            if *n == 0 {
+                *n = u64::MAX; // fire once
+                Some(CxlError::Transient { op: op.name() })
+            } else {
+                *n -= 1;
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn fault_hook_vetoes_operations_and_unhooks_cleanly() {
+        let d = dev();
+        let r = d.create_region("r");
+        let p = d.alloc_page(r).unwrap();
+        d.set_fault_hook(Some(Arc::new(FailNthRead {
+            countdown: std::sync::Mutex::new(1),
+        })));
+        assert!(d.read_page(p, NodeId(0)).is_ok(), "first read passes");
+        assert_eq!(
+            d.read_page(p, NodeId(0)).unwrap_err(),
+            CxlError::Transient { op: "read" }
+        );
+        assert!(d.read_page(p, NodeId(0)).is_ok(), "hook fires once");
+        d.set_fault_hook(None);
+        assert!(d.read_page(p, NodeId(0)).is_ok());
     }
 }

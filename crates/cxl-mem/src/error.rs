@@ -25,6 +25,24 @@ pub enum CxlError {
     FileNotFound(String),
     /// A filesystem path already exists and overwrite was not requested.
     FileExists(String),
+    /// The page's media reported an uncorrectable (poison/ECC) error.
+    /// Permanent: retrying the access cannot succeed.
+    Poisoned(CxlPageId),
+    /// A transient fabric/link error (CRC retry exhaustion, credit stall).
+    /// The operation may succeed if retried; see
+    /// [`CxlError::is_transient`].
+    Transient {
+        /// The device operation that hit the link error.
+        op: &'static str,
+    },
+}
+
+impl CxlError {
+    /// Whether the error is worth retrying (transient link faults are;
+    /// poison, bad handles and exhaustion are not).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CxlError::Transient { .. })
+    }
 }
 
 impl fmt::Display for CxlError {
@@ -41,6 +59,10 @@ impl fmt::Display for CxlError {
             CxlError::BadRegion(r) => write!(f, "no such CXL region: {r}"),
             CxlError::FileNotFound(p) => write!(f, "no such file on CXL fs: {p}"),
             CxlError::FileExists(p) => write!(f, "file already exists on CXL fs: {p}"),
+            CxlError::Poisoned(p) => write!(f, "uncorrectable (poisoned) CXL page: {p}"),
+            CxlError::Transient { op } => {
+                write!(f, "transient CXL link error during {op}")
+            }
         }
     }
 }
@@ -65,6 +87,18 @@ mod tests {
         assert!(CxlError::FileNotFound("a/b".into())
             .to_string()
             .contains("a/b"));
+    }
+
+    #[test]
+    fn only_link_errors_are_transient() {
+        assert!(CxlError::Transient { op: "read" }.is_transient());
+        assert!(!CxlError::Poisoned(CxlPageId(1)).is_transient());
+        assert!(!CxlError::BadPage(CxlPageId(1)).is_transient());
+        assert!(!CxlError::OutOfDeviceMemory {
+            requested: 1,
+            available: 0
+        }
+        .is_transient());
     }
 
     #[test]

@@ -52,13 +52,15 @@ mod device;
 mod error;
 mod fs;
 mod ids;
+mod injection;
 pub mod lockdep;
 mod page;
 
-pub use device::{CxlDevice, CxlDeviceStats, RegionGuard, RegionUsage};
+pub use device::{CxlDevice, CxlDeviceStats, RegionGuard, RegionUsage, StagingRegion};
 pub use error::CxlError;
 pub use fs::{CxlFile, CxlFs};
 pub use ids::{CxlOffset, CxlPageId, NodeId, RegionId};
+pub use injection::{DeviceOp, FaultHook};
 pub use page::PageData;
 
 /// Size of one device page in bytes (shared constant, re-exported from

@@ -19,6 +19,8 @@ pub struct Cluster {
     pub device: Arc<CxlDevice>,
     /// The shared root filesystem.
     pub rootfs: Arc<SharedFs>,
+    /// Per-node failure flags: a failed node takes no new placements.
+    failed: Vec<bool>,
 }
 
 impl Cluster {
@@ -40,6 +42,7 @@ impl Cluster {
             })
             .collect();
         Cluster {
+            failed: vec![false; node_count],
             nodes,
             device,
             rootfs,
@@ -51,17 +54,33 @@ impl Cluster {
         Cluster::new(2, node_mem_mib, 16 * 1024, LatencyModel::calibrated())
     }
 
-    /// Index of the node with the most free local memory.
-    pub fn least_loaded(&self) -> usize {
+    /// Index of the live node with the most free local memory, or `None`
+    /// when every node has failed.
+    pub fn least_loaded(&self) -> Option<usize> {
         self.nodes
             .iter()
             .enumerate()
+            .filter(|(i, _)| !self.failed[*i])
             .min_by_key(|(_, n)| {
                 // Sort by utilization scaled to integers.
                 (n.frames().utilization() * 1e9) as u64
             })
             .map(|(i, _)| i)
-            .expect("cluster has at least one node")
+    }
+
+    /// Marks a node as failed; it is skipped by placement from now on.
+    pub fn mark_failed(&mut self, idx: usize) {
+        self.failed[idx] = true;
+    }
+
+    /// Whether `idx` has been marked failed.
+    pub fn is_failed(&self, idx: usize) -> bool {
+        self.failed.get(idx).copied().unwrap_or(true)
+    }
+
+    /// Indices of the nodes still live.
+    pub fn live_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes.len()).filter(|&i| !self.failed[i])
     }
 }
 
@@ -87,7 +106,27 @@ mod tests {
         for _ in 0..1000 {
             c.nodes[0].frames_mut().alloc_zeroed().unwrap();
         }
-        assert_eq!(c.least_loaded(), 1);
+        assert_eq!(c.least_loaded(), Some(1));
+    }
+
+    #[test]
+    fn least_loaded_skips_failed_nodes() {
+        let mut c = Cluster::new(3, 64, 16, LatencyModel::calibrated());
+        // Node 2 is the emptiest but dead; placement must skip it.
+        for _ in 0..1000 {
+            c.nodes[0].frames_mut().alloc_zeroed().unwrap();
+        }
+        for _ in 0..500 {
+            c.nodes[1].frames_mut().alloc_zeroed().unwrap();
+        }
+        c.mark_failed(2);
+        assert!(c.is_failed(2));
+        assert_eq!(c.least_loaded(), Some(1));
+        assert_eq!(c.live_nodes().collect::<Vec<_>>(), vec![0, 1]);
+        // A fully failed cluster has nowhere to place.
+        c.mark_failed(0);
+        c.mark_failed(1);
+        assert_eq!(c.least_loaded(), None);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 
 use std::collections::BTreeMap;
 
+use cxl_fault::{reclaim_dead, reclaim_orphans, CrashSchedule, LeaseTable, NodeCrash};
+use cxl_mem::NodeId;
 use node_os::addr::Pid;
 use node_os::OsError;
 use rfork::{RemoteFork, RestoreOptions, TierPolicy};
@@ -67,6 +69,9 @@ pub struct PorterConfig {
     /// cheap restores make short windows safe for functions with fast
     /// cold paths).
     pub per_function_keep_alive: BTreeMap<String, SimDuration>,
+    /// Liveness-lease duration: a node that stops renewing for this long
+    /// is presumed dead and its checkpoint staging regions reclaimable.
+    pub lease_ttl: SimDuration,
 }
 
 impl Default for PorterConfig {
@@ -84,6 +89,7 @@ impl Default for PorterConfig {
             maintenance_interval: SimDuration::from_secs(10),
             cxl_reclaim_threshold: 0.9,
             per_function_keep_alive: BTreeMap::new(),
+            lease_ttl: SimDuration::from_secs(30),
         }
     }
 }
@@ -197,7 +203,11 @@ impl FnStats {
 }
 
 /// Aggregated results of a trace run.
-#[derive(Debug, Default)]
+///
+/// Equality is derived so determinism tests can compare whole reports:
+/// two runs of the same trace with the same fault/crash seeds must
+/// produce identical reports, bit for bit.
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct PorterReport {
     /// End-to-end latency per function.
     pub per_function: BTreeMap<String, LatencyHistogram>,
@@ -223,6 +233,20 @@ pub struct PorterReport {
     pub peak_local_pages: Vec<u64>,
     /// CXL device pages in use at the end of the run.
     pub final_cxl_pages: u64,
+    /// Node crashes the run absorbed without stopping.
+    pub crashes_survived: u64,
+    /// In-flight invocations re-dispatched to a surviving node after a
+    /// crash (each also lands in `warm_hits`/`restores`/`full_cold`).
+    pub redispatched: u64,
+    /// In-flight invocations lost to a crash that no surviving node
+    /// could absorb.
+    pub work_lost: u64,
+    /// Transient CXL device errors absorbed by retry, summed over nodes.
+    pub device_retries: u64,
+    /// Orphaned checkpoint staging regions the lease GC reclaimed.
+    pub orphan_regions_reclaimed: u64,
+    /// Device pages freed with those regions.
+    pub orphan_pages_reclaimed: u64,
 }
 
 impl PorterReport {
@@ -271,6 +295,9 @@ pub struct CxlPorter<M: RemoteFork> {
     next_instance_id: u64,
     last_maintenance: SimTime,
     measure_from: SimTime,
+    crash_schedule: CrashSchedule,
+    leases: LeaseTable,
+    torn_epoch: u64,
 }
 
 impl<M: RemoteFork> CxlPorter<M> {
@@ -291,6 +318,10 @@ impl<M: RemoteFork> CxlPorter<M> {
             }
             ghost_pools.push(pool);
         }
+        let mut leases = LeaseTable::new(config.lease_ttl);
+        for idx in 0..cluster.nodes.len() {
+            leases.renew(NodeId(idx as u32), SimTime::ZERO);
+        }
         CxlPorter {
             mech,
             config,
@@ -304,7 +335,17 @@ impl<M: RemoteFork> CxlPorter<M> {
             next_instance_id: 1,
             last_maintenance: SimTime::ZERO,
             measure_from: SimTime::ZERO,
+            crash_schedule: CrashSchedule::new(),
+            leases,
+            torn_epoch: 0,
         }
+    }
+
+    /// Installs the node-crash schedule [`run_trace`](Self::run_trace)
+    /// consumes: each due crash kills a node mid-run and the porter fails
+    /// its work over to the survivors.
+    pub fn set_crash_schedule(&mut self, schedule: CrashSchedule) {
+        self.crash_schedule = schedule;
     }
 
     /// Excludes requests arriving before `t` from the latency histograms
@@ -324,10 +365,31 @@ impl<M: RemoteFork> CxlPorter<M> {
     /// Runs a trace to completion and returns the report.
     pub fn run_trace(&mut self, trace: &[Invocation]) -> PorterReport {
         for inv in trace {
+            let crashes = self.crash_schedule.due(inv.time);
+            for crash in crashes {
+                self.handle_crash(crash);
+            }
             self.maintenance_tick(inv.time);
             self.handle(inv);
         }
         let mut report = std::mem::take(&mut self.report);
+        // Backstop GC: a crash after the last maintenance tick may have
+        // left staging orphans the lease pass never saw.
+        let dead: Vec<NodeId> = (0..self.cluster.nodes.len())
+            .filter(|&i| self.cluster.is_failed(i))
+            .map(|i| NodeId(i as u32))
+            .collect();
+        if !dead.is_empty() {
+            let r = reclaim_dead(&self.cluster.device, &dead);
+            report.orphan_regions_reclaimed += r.regions;
+            report.orphan_pages_reclaimed += r.pages;
+        }
+        report.device_retries = self
+            .cluster
+            .nodes
+            .iter()
+            .map(|n| n.counters().get("cxl_transient_retry"))
+            .sum();
         report.peak_local_pages = self
             .cluster
             .nodes
@@ -351,8 +413,95 @@ impl<M: RemoteFork> CxlPorter<M> {
     fn maintenance_tick(&mut self, now: SimTime) {
         if now - self.last_maintenance >= self.config.maintenance_interval {
             self.last_maintenance = now;
+            // Liveness: every surviving node renews its lease, then one
+            // GC pass reclaims staging regions whose owner's lease has
+            // lapsed (crashed nodes stop renewing).
+            for idx in self.cluster.live_nodes() {
+                self.leases.renew(NodeId(idx as u32), now);
+            }
+            let r = reclaim_orphans(&self.cluster.device, &self.leases, now);
+            self.report.orphan_regions_reclaimed += r.regions;
+            self.report.orphan_pages_reclaimed += r.pages;
             for (_, entry) in self.store.iter() {
                 self.mech.maintain(&entry.checkpoint);
+            }
+        }
+    }
+
+    /// Fails `crash.node` over to the surviving nodes: tears down every
+    /// instance and ghost on the dead node, revokes its lease (so its
+    /// staging orphans become reclaimable immediately), and re-dispatches
+    /// the invocations that were executing at the instant of the crash.
+    ///
+    /// Exactly-once accounting: a crashed in-flight invocation either
+    /// re-runs once on a survivor (`redispatched`) or is counted in
+    /// `work_lost` — never both, and never silently dropped. The CXL
+    /// device survives the crash, so published checkpoints keep serving
+    /// restores; a crash `mid_checkpoint` leaves a torn staging region
+    /// behind that two-phase commit keeps invisible to restores until the
+    /// lease GC destroys it.
+    fn handle_crash(&mut self, crash: NodeCrash) {
+        let node = crash.node;
+        if node >= self.cluster.nodes.len() || self.cluster.is_failed(node) {
+            return;
+        }
+        if crash.mid_checkpoint {
+            // The node dies partway through a checkpoint copy: its
+            // staging region stays uncommitted (invisible to restores)
+            // and its pages are stranded until reclamation.
+            self.torn_epoch += 1;
+            let region = self.cluster.device.create_region_staged(
+                &format!("crash:n{node}#torn{}", self.torn_epoch),
+                NodeId(node as u32),
+                self.torn_epoch,
+            );
+            for _ in 0..4 {
+                let _ = self.cluster.device.alloc_page(region);
+            }
+        }
+
+        // Tear down everything on the dead node. Containers are destroyed
+        // outright (their host is gone), never recycled into a pool.
+        let mut in_flight: Vec<String> = Vec::new();
+        let mut idx = 0;
+        while idx < self.instances.len() {
+            if self.instances[idx].node == node {
+                let inst = self.instances.swap_remove(idx);
+                if inst.busy_until > crash.at {
+                    in_flight.push(inst.function.clone());
+                }
+                let mut container = inst.container;
+                let _ = container.recycle(&mut self.cluster.nodes[node]);
+                let _ = container.destroy(&mut self.cluster.nodes[node]);
+            } else {
+                idx += 1;
+            }
+        }
+        let ghosts: Vec<Container> = self.ghost_pools[node].drain(..).collect();
+        for ghost in ghosts {
+            let _ = ghost.destroy(&mut self.cluster.nodes[node]);
+        }
+        self.cluster.nodes[node].drop_page_cache();
+        self.cluster.mark_failed(node);
+        self.leases.revoke(NodeId(node as u32));
+        self.report.crashes_survived += 1;
+
+        // Re-dispatch: each lost invocation re-enters the normal
+        // dispatch path at the crash instant. A retry the survivors
+        // cannot place is lost work, not a dropped request.
+        in_flight.sort();
+        for function in in_flight {
+            let retry = Invocation {
+                time: crash.at,
+                function,
+            };
+            let dropped_before = self.report.dropped;
+            self.handle(&retry);
+            if self.report.dropped > dropped_before {
+                self.report.dropped = dropped_before;
+                self.report.work_lost += 1;
+            } else {
+                self.report.redispatched += 1;
             }
         }
     }
@@ -521,7 +670,7 @@ impl<M: RemoteFork> CxlPorter<M> {
     /// Cold start: restore from checkpoint if one exists, else full cold
     /// deployment. Returns the instance index and the startup latency.
     fn cold_start(&mut self, spec: &FunctionSpec, now: SimTime) -> Option<(u64, SimDuration)> {
-        let node = self.cluster.least_loaded();
+        let node = self.cluster.least_loaded()?;
         self.cluster.nodes[node].clock_mut().advance_to(now);
 
         if self.store.contains(&spec.name) {
@@ -829,6 +978,10 @@ impl<M: RemoteFork> CxlPorter<M> {
             );
         }
         out.extend(cxl_check::audit_device(&self.cluster.device));
+        out.extend(cxl_check::audit_staging(
+            &self.cluster.device,
+            self.cluster.live_nodes().map(|i| NodeId(i as u32)),
+        ));
         out.extend(cxl_check::check_lock_order());
         out
     }

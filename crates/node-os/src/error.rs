@@ -31,6 +31,14 @@ pub enum OsError {
     MappingOverlap(VirtPageNum),
     /// An underlying CXL device operation failed.
     Cxl(CxlError),
+    /// Bounded-backoff retries against the CXL device gave up: the link
+    /// stayed transiently faulted through every attempt.
+    DeviceRetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The last transient error observed.
+        last: CxlError,
+    },
 }
 
 impl fmt::Display for OsError {
@@ -53,6 +61,12 @@ impl fmt::Display for OsError {
                 write!(f, "requested mapping overlaps existing vma at {vpn}")
             }
             OsError::Cxl(e) => write!(f, "cxl device error: {e}"),
+            OsError::DeviceRetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "cxl device unavailable after {attempts} attempts: {last}"
+                )
+            }
         }
     }
 }
@@ -61,6 +75,7 @@ impl Error for OsError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             OsError::Cxl(e) => Some(e),
+            OsError::DeviceRetriesExhausted { last, .. } => Some(last),
             _ => None,
         }
     }

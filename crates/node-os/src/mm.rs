@@ -189,6 +189,9 @@ pub struct AccessOutcome {
     pub pt_leaf_cow: bool,
     /// Whether a VMA block was reconstructed on the way.
     pub vma_block_cow: bool,
+    /// Transient CXL link errors retried away during the access (their
+    /// backoff delay is already included in `cost`).
+    pub retries: u32,
 }
 
 /// Borrowed node resources a fault needs.
@@ -367,6 +370,7 @@ impl AddressSpace {
             cxl_tier: false,
             pt_leaf_cow: false,
             vma_block_cow: false,
+            retries: 0,
         };
 
         let pte = self.page_table.get(vpn);
@@ -467,7 +471,7 @@ impl AddressSpace {
                 }
                 PhysAddr::Cxl(page) => {
                     // Migrate-on-write: copy the checkpointed page locally.
-                    let data = ctx.device.read_page(page, ctx.node)?;
+                    let data = Self::read_cxl_page(ctx.device, ctx.node, page, outcome)?;
                     let pfn = ctx.frames.alloc(data)?;
                     self.private_local_pages += 1;
                     (
@@ -484,10 +488,10 @@ impl AddressSpace {
             let PhysAddr::Cxl(page) = target else {
                 unreachable!("armed entries always point at CXL")
             };
-            self.pull_page(BackingSource::Device(page), access, &vma, ctx)?
+            self.pull_page(BackingSource::Device(page), access, &vma, ctx, outcome)?
         } else if let Some(b) = self.backing_for(vpn) {
             // Pull policy (migrate-on-access): copy on first touch.
-            self.pull_page(b.source, access, &vma, ctx)?
+            self.pull_page(b.source, access, &vma, ctx, outcome)?
         } else {
             match &vma.kind {
                 // Shared anonymous memory faults like private anonymous
@@ -584,6 +588,33 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// Reads a checkpointed page from the device, retrying transient
+    /// link errors with bounded exponential backoff. The (virtual)
+    /// backoff delay is charged to the outcome, so injected faults show
+    /// up in latency reports, not just error counts.
+    fn read_cxl_page(
+        device: &CxlDevice,
+        node: NodeId,
+        page: CxlPageId,
+        outcome: &mut AccessOutcome,
+    ) -> Result<PageData, OsError> {
+        let policy = cxl_fault::BackoffPolicy::default();
+        let (res, report) = cxl_fault::with_backoff(&policy, || device.read_page(page, node));
+        outcome.retries += report.retries;
+        outcome.fault_cost += report.backoff;
+        outcome.cost += report.backoff;
+        res.map_err(|e| {
+            if e.is_transient() {
+                OsError::DeviceRetriesExhausted {
+                    attempts: report.attempts,
+                    last: e,
+                }
+            } else {
+                OsError::from(e)
+            }
+        })
+    }
+
     fn backing_for(&self, vpn: VirtPageNum) -> Option<BackingPage> {
         match self.policy {
             CxlTierPolicy::MigrateOnAccess => self.backing.as_ref()?.get(vpn),
@@ -598,11 +629,13 @@ impl AddressSpace {
         access: Access,
         vma: &Vma,
         ctx: &mut MmContext<'_>,
+        outcome: &mut AccessOutcome,
     ) -> Result<(FaultKind, Pte), OsError> {
         let (kind, data) = match source {
-            BackingSource::Device(page) => {
-                (FaultKind::CxlPull, ctx.device.read_page(page, ctx.node)?)
-            }
+            BackingSource::Device(page) => (
+                FaultKind::CxlPull,
+                Self::read_cxl_page(ctx.device, ctx.node, page, outcome)?,
+            ),
             BackingSource::Remote(data) => (FaultKind::RemotePull, (*data).clone()),
         };
         let pfn = ctx.frames.alloc(data)?;

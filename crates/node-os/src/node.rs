@@ -206,6 +206,11 @@ impl Node {
         self.counters.incr(name);
     }
 
+    /// Adds `n` to a named event counter (e.g. retry totals).
+    pub fn counters_add(&mut self, name: &str, n: u64) {
+        self.counters.add(name, n);
+    }
+
     /// The node's page cache.
     pub fn page_cache(&self) -> &PageCache {
         &self.page_cache
@@ -347,6 +352,10 @@ impl Node {
         });
         if outcome.cxl_tier && !outcome.cache_hit {
             self.counters.incr("cxl_line_access");
+        }
+        if outcome.retries > 0 {
+            self.counters
+                .add("cxl_transient_retry", u64::from(outcome.retries));
         }
         Ok(outcome)
     }

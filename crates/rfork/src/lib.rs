@@ -164,6 +164,17 @@ pub enum RforkError {
     /// The process uses state the mechanism cannot checkpoint (e.g.
     /// shared anonymous mappings, §4.1).
     Unsupported(String),
+    /// Bounded-backoff retries against the CXL device gave up during a
+    /// checkpoint or restore: the link stayed transiently faulted
+    /// through every attempt.
+    RetriesExhausted {
+        /// The operation that gave up (e.g. `"checkpoint_copy"`).
+        op: &'static str,
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The last transient error observed.
+        last: CxlError,
+    },
 }
 
 impl fmt::Display for RforkError {
@@ -173,6 +184,10 @@ impl fmt::Display for RforkError {
             RforkError::Cxl(e) => write!(f, "cxl error during remote fork: {e}"),
             RforkError::BadImage(m) => write!(f, "bad checkpoint image: {m}"),
             RforkError::Unsupported(m) => write!(f, "unsupported process state: {m}"),
+            RforkError::RetriesExhausted { op, attempts, last } => write!(
+                f,
+                "cxl device unavailable during {op} after {attempts} attempts: {last}"
+            ),
         }
     }
 }
@@ -182,6 +197,7 @@ impl Error for RforkError {
         match self {
             RforkError::Os(e) => Some(e),
             RforkError::Cxl(e) => Some(e),
+            RforkError::RetriesExhausted { last, .. } => Some(last),
             _ => None,
         }
     }
@@ -191,6 +207,11 @@ impl From<OsError> for RforkError {
     fn from(e: OsError) -> Self {
         match e {
             OsError::Cxl(c) => RforkError::Cxl(c),
+            OsError::DeviceRetriesExhausted { attempts, last } => RforkError::RetriesExhausted {
+                op: "page_fault",
+                attempts,
+                last,
+            },
             other => RforkError::Os(other),
         }
     }
