@@ -33,4 +33,10 @@ done
 echo '== release build =='
 cargo build --workspace --release --quiet
 
+echo '== benchmark report drift gate (telemetry armed) =='
+# Regenerates every BENCH_<scenario>.json with telemetry armed,
+# round-trips each through the parser, and fails if any byte differs
+# from the committed file: perf changes must be committed explicitly.
+cargo run --release --quiet -p cxlfork-bench --bin bench_report -- --check
+
 echo 'CI green.'

@@ -1,0 +1,126 @@
+//! Writes (or checks) the machine-readable benchmark reports.
+//!
+//! ```text
+//! cargo run -p cxlfork-bench --bin bench_report            # regenerate BENCH_*.json
+//! cargo run -p cxlfork-bench --bin bench_report -- --check # fail on drift vs committed files
+//! cargo run -p cxlfork-bench --bin bench_report -- --trace trace.json
+//!                                                          # Chrome trace of one cold start
+//! ```
+//!
+//! Reports land at the workspace root as `BENCH_<scenario>.json`. Every
+//! input is fixed and the simulation is deterministic, so `--check`
+//! regenerating a different byte sequence means a code change moved a
+//! virtual-time result — CI fails and the author either fixes the
+//! regression or commits the new reports as an explicit perf change.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cxlfork_bench::report::all_reports;
+use cxlfork_bench::{run_cold_start, Scenario, DEFAULT_STEADY_INVOCATIONS};
+use simclock::LatencyModel;
+
+/// `BENCH_*.json` live at the workspace root, two levels above this
+/// crate, so the binary works from any working directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn report_path(scenario: &str) -> PathBuf {
+    workspace_root().join(format!("BENCH_{scenario}.json"))
+}
+
+/// Regenerates all reports, validates them, and round-trips each through
+/// the parser before anything touches disk.
+fn regenerate() -> Vec<(String, String)> {
+    let model = LatencyModel::calibrated();
+    all_reports(&model)
+        .into_iter()
+        .map(|s| {
+            s.report
+                .validate()
+                .unwrap_or_else(|e| panic!("{} report invalid: {e}", s.report.scenario));
+            let text = s.report.to_json();
+            let back = cxl_telemetry::BenchReport::from_json(&text)
+                .unwrap_or_else(|e| panic!("{} report does not re-parse: {e}", s.report.scenario));
+            assert_eq!(
+                back, s.report,
+                "{} report round-trip is lossy",
+                s.report.scenario
+            );
+            (s.report.scenario.clone(), text)
+        })
+        .collect()
+}
+
+fn write_reports() -> ExitCode {
+    for (scenario, text) in regenerate() {
+        let path = report_path(&scenario);
+        std::fs::write(&path, &text).expect("write report");
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn check_reports() -> ExitCode {
+    let mut drift = false;
+    for (scenario, text) in regenerate() {
+        let path = report_path(&scenario);
+        match std::fs::read_to_string(&path) {
+            Ok(committed) if committed == text => println!("ok    {}", path.display()),
+            Ok(_) => {
+                eprintln!(
+                    "DRIFT {}: regenerated report differs from committed file \
+                     (run `cargo run -p cxlfork-bench --bin bench_report` and review the diff)",
+                    path.display()
+                );
+                drift = true;
+            }
+            Err(e) => {
+                eprintln!("MISSING {}: {e}", path.display());
+                drift = true;
+            }
+        }
+    }
+    if drift {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// One telemetry-armed CXLfork cold start of the Float function,
+/// exported as a Chrome `trace_event` file for `chrome://tracing`.
+fn write_trace(path: &str) -> ExitCode {
+    let spec = faas::by_name("Float").expect("Float is in the suite");
+    let session = cxl_telemetry::TelemetrySession::start();
+    run_cold_start(
+        &spec,
+        Scenario::cxlfork_default(),
+        &LatencyModel::calibrated(),
+        DEFAULT_STEADY_INVOCATIONS,
+    );
+    let data = session.finish();
+    std::fs::write(path, cxl_telemetry::chrome_trace(&data.spans)).expect("write trace");
+    println!("wrote {path} ({} spans)", data.spans.len());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => write_reports(),
+        Some("--check") => check_reports(),
+        Some("--trace") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: bench_report --trace <out.json>");
+                return ExitCode::FAILURE;
+            };
+            write_trace(path)
+        }
+        Some(other) => {
+            eprintln!("unknown flag `{other}`; usage: bench_report [--check | --trace <out.json>]");
+            ExitCode::FAILURE
+        }
+    }
+}

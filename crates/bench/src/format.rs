@@ -28,7 +28,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             if i > 0 {
                 s.push_str("  ");
             }
-            s.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            // Cells past the last header have no column width; print
+            // them as-is rather than indexing out of bounds.
+            let width = widths.get(i).copied().unwrap_or(0);
+            s.push_str(&format!("{cell:>width$}"));
         }
         s
     };
@@ -37,10 +40,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         .map(std::string::ToString::to_string)
         .collect();
     println!("{}", line(&header_cells));
-    println!(
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
-    );
+    // `widths.len() - 1` underflows on an empty header set; a titled
+    // table with no columns still prints its title cleanly.
+    let rule_len = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    println!("{}", "-".repeat(rule_len));
     for row in rows {
         println!("{}", line(row));
     }
@@ -59,4 +62,26 @@ pub fn ratio(r: f64) -> String {
 /// Formats a page count as MiB.
 pub fn pages_mib(pages: u64) -> String {
     format!("{:.1}", pages as f64 * 4096.0 / 1048576.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_table_tolerates_empty_headers() {
+        // Regression: `2 * (widths.len() - 1)` used to underflow and
+        // panic when headers was empty.
+        print_table("empty", &[], &[]);
+        print_table("empty with rows", &[], &[vec!["orphan".into()]]);
+    }
+
+    #[test]
+    fn print_table_normal_shape() {
+        print_table(
+            "demo",
+            &["function", "ms"],
+            &[vec!["Float".into(), "14.0".into()]],
+        );
+    }
 }

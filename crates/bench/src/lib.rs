@@ -26,8 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod format;
+pub mod report;
 pub mod scenarios;
 
+pub use report::{
+    availability_report, cold_start_report, tiering_report, ScenarioTelemetry, CORE_PHASES,
+};
 pub use scenarios::{
     run_availability, run_cold_start, run_tiering, AvailabilityOutcome, ColdStartRow, Scenario,
     TieringRow, DEFAULT_STEADY_INVOCATIONS,

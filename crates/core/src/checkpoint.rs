@@ -338,14 +338,40 @@ pub(crate) fn take_checkpoint(
     // ---- Cost model (§4.1, §8): streaming non-temporal copies + rebase,
     // plus whatever backoff the transient-fault retries accrued.
     let copied_bytes = (data_pages + leaves.len() as u64 + vma_blocks.len() as u64 + 1) * PAGE_SIZE;
-    let cost = model.cxl_write_copy(copied_bytes)
-        + SimDuration::from_nanos(model.rebase_pointer_ns) * rebased_pointers
-        + model.serialize(global_bytes.len() as u64)
-        + retry_backoff;
+    let copy_cost = model.cxl_write_copy(copied_bytes);
+    let rebase_cost = SimDuration::from_nanos(model.rebase_pointer_ns) * rebased_pointers;
+    let serialize_cost = model.serialize(global_bytes.len() as u64);
+    let cost = copy_cost + rebase_cost + serialize_cost + retry_backoff;
+    let t0 = node.now();
     node.clock_mut().advance(cost);
     node.counters_note("cxlfork_checkpoint");
     if retries > 0 {
         node.counters_add("cxl_transient_retry", retries);
+    }
+    if cxl_telemetry::is_armed() {
+        // The four phase children partition [t0, t0+cost] contiguously,
+        // so their durations sum exactly to the parent span (Fig. 7a).
+        let track = node_id.0;
+        cxl_telemetry::span_open(
+            "core.checkpoint",
+            track,
+            t0,
+            &[("pages", data_pages), ("bytes", copied_bytes)],
+        );
+        let mut cursor = t0;
+        for (phase, d) in [
+            ("checkpoint.copy_pages", copy_cost),
+            ("checkpoint.rebase", rebase_cost),
+            ("checkpoint.serialize", serialize_cost),
+            ("checkpoint.retry_backoff", retry_backoff),
+        ] {
+            let end = cursor + d;
+            cxl_telemetry::record_span(&format!("core.{phase}"), track, cursor, end, &[]);
+            cxl_telemetry::counter_add("core", &format!("phase.{phase}"), None, d.as_nanos());
+            cursor = end;
+        }
+        cxl_telemetry::span_close(track, cursor);
+        cxl_telemetry::timer_record("core", "checkpoint.latency", Some(track), cost);
     }
 
     let region_usage = device.region_usage(region)?;

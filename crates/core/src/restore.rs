@@ -112,6 +112,10 @@ fn attach_state(
     let device = std::sync::Arc::clone(node.device());
     let mut retries = 0u64;
     let mut retry_backoff = SimDuration::ZERO;
+    // Cost accrued so far is the global-state redo (process create +
+    // deserialize + fd reopen); everything added below is attach, then
+    // prefetch. The splits feed the Fig. 7a phase breakdown.
+    let global_redo_cost = cost;
 
     // ---- VMA tree: attach the checkpointed leaf blocks. ----
     cost += SimDuration::from_nanos(model.vma_leaf_attach_ns) * checkpoint.vma_blocks.len() as u64;
@@ -214,6 +218,8 @@ fn attach_state(
         }
     }
 
+    let attach_cost = cost - global_redo_cost;
+
     // ---- Optional dirty-page prefetch (§4.2.1). ----
     let mut prefetched = 0u64;
     if options.prefetch_dirty && options.policy != TierPolicy::MigrateOnAccess {
@@ -256,7 +262,9 @@ fn attach_state(
         }
     }
 
+    let prefetch_cost = cost - global_redo_cost - attach_cost;
     cost += retry_backoff;
+    let t0 = node.now();
     node.clock_mut().advance(cost);
     node.counters_note("cxlfork_restore");
     if retries > 0 {
@@ -266,6 +274,31 @@ fn attach_state(
         for _ in 0..prefetched {
             node.counters_note("cxlfork_prefetched_page");
         }
+    }
+    if cxl_telemetry::is_armed() {
+        // Phase children partition [t0, t0+cost] contiguously, so their
+        // durations sum exactly to the parent restore span.
+        let track = node_id.0;
+        cxl_telemetry::span_open(
+            "core.restore",
+            track,
+            t0,
+            &[("pages", checkpoint.data_pages), ("prefetched", prefetched)],
+        );
+        let mut cursor = t0;
+        for (phase, d) in [
+            ("restore.global_redo", global_redo_cost),
+            ("restore.attach", attach_cost),
+            ("restore.prefetch", prefetch_cost),
+            ("restore.retry_backoff", retry_backoff),
+        ] {
+            let end = cursor + d;
+            cxl_telemetry::record_span(&format!("core.{phase}"), track, cursor, end, &[]);
+            cxl_telemetry::counter_add("core", &format!("phase.{phase}"), None, d.as_nanos());
+            cursor = end;
+        }
+        cxl_telemetry::span_close(track, cursor);
+        cxl_telemetry::timer_record("core", "restore.latency", Some(track), cost);
     }
     Ok(Restored {
         pid,

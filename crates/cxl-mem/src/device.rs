@@ -12,6 +12,13 @@ use crate::lockdep::TrackedRwLock;
 
 use crate::{CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
 
+/// Telemetry layer name for device metrics (`cxl_mem.reads{node=}` …).
+/// Counters mirror [`CxlDeviceStats`] exactly — same increment sites,
+/// same units — so telemetry can be reconciled against device stats as a
+/// second witness. Lock order: telemetry is recorded while the device
+/// state lock is held and never calls back into the device.
+const TELEMETRY_LAYER: &str = "cxl_mem";
+
 /// The fabric-attached CXL memory device, shared by all nodes.
 ///
 /// Thread-safe: all methods take `&self`; wrap the device in an
@@ -328,6 +335,7 @@ impl CxlDevice {
         if let Some(r) = st.regions.get_mut(&region) {
             r.pages += n;
         }
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "pages_allocated", None, n);
         Ok(out)
     }
 
@@ -362,6 +370,7 @@ impl CxlDevice {
         if let Some(r) = st.regions.get_mut(&slot.region) {
             r.pages -= 1;
         }
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "pages_freed", None, 1);
         Ok(())
     }
 
@@ -388,6 +397,7 @@ impl CxlDevice {
         }
         debug_assert_eq!(freed, info.pages, "region page accounting drifted");
         st.used_pages -= freed;
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "pages_freed", None, freed);
         Ok(freed)
     }
 
@@ -476,6 +486,8 @@ impl CxlDevice {
         slot.data.read(offset, buf);
         *st.stats.reads.entry(node).or_insert(0) += 1;
         *st.stats.bytes_read.entry(node).or_insert(0) += len;
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "reads", Some(node.0), 1);
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "bytes_read", Some(node.0), len);
         Ok(())
     }
 
@@ -507,6 +519,13 @@ impl CxlDevice {
         slot.data.write(offset, data);
         *st.stats.writes.entry(node).or_insert(0) += 1;
         *st.stats.bytes_written.entry(node).or_insert(0) += data.len() as u64;
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "writes", Some(node.0), 1);
+        cxl_telemetry::counter_add(
+            TELEMETRY_LAYER,
+            "bytes_written",
+            Some(node.0),
+            data.len() as u64,
+        );
         Ok(())
     }
 
@@ -534,6 +553,8 @@ impl CxlDevice {
         slot.data = data;
         *st.stats.writes.entry(node).or_insert(0) += 1;
         *st.stats.bytes_written.entry(node).or_insert(0) += PAGE_SIZE;
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "writes", Some(node.0), 1);
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "bytes_written", Some(node.0), PAGE_SIZE);
         Ok(())
     }
 
@@ -556,6 +577,8 @@ impl CxlDevice {
         let data = slot.data.clone();
         *st.stats.reads.entry(node).or_insert(0) += 1;
         *st.stats.bytes_read.entry(node).or_insert(0) += PAGE_SIZE;
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "reads", Some(node.0), 1);
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "bytes_read", Some(node.0), PAGE_SIZE);
         Ok(data)
     }
 

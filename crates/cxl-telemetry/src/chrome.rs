@@ -1,0 +1,159 @@
+//! Chrome `trace_event` export.
+//!
+//! Produces the JSON Array-with-metadata format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one
+//! complete event (`"ph": "X"`) per finished span, with the fabric node
+//! id mapped to the thread id so each node renders as its own timeline
+//! row. Timestamps are virtual time expressed in microseconds (the
+//! trace viewer's native unit); exact nanosecond values are preserved in
+//! `args.dur_ns` so tooling never has to re-parse floats.
+
+use crate::json::Json;
+use crate::span::{SpanRecord, TRACK_GLOBAL};
+
+/// Converts nanoseconds to the trace viewer's microsecond unit. Above
+/// 2^53 ns (~104 virtual days) this rounds; `args.dur_ns` keeps the
+/// exact value.
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn track_name(track: u32) -> String {
+    if track == TRACK_GLOBAL {
+        "global".to_owned()
+    } else {
+        format!("node{track}")
+    }
+}
+
+/// Renders spans as a Chrome `trace_event` JSON document.
+///
+/// The output is deterministic: events appear in the order the spans
+/// were closed, metadata events first.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut events = Vec::new();
+
+    // Name the process once, and each thread (track) on first sight.
+    events.push(Json::obj(vec![
+        ("name", Json::Str("process_name".to_owned())),
+        ("ph", Json::Str("M".to_owned())),
+        ("pid", Json::Int(1)),
+        ("tid", Json::Int(0)),
+        (
+            "args",
+            Json::obj(vec![("name", Json::Str("cxlfork-sim".to_owned()))]),
+        ),
+    ]));
+    let mut seen_tracks = Vec::new();
+    for span in spans {
+        if !seen_tracks.contains(&span.track) {
+            seen_tracks.push(span.track);
+        }
+    }
+    seen_tracks.sort_unstable();
+    for track in seen_tracks {
+        events.push(Json::obj(vec![
+            ("name", Json::Str("thread_name".to_owned())),
+            ("ph", Json::Str("M".to_owned())),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(i64::from(track))),
+            (
+                "args",
+                Json::obj(vec![("name", Json::Str(track_name(track)))]),
+            ),
+        ]));
+    }
+
+    for span in spans {
+        let mut args = vec![
+            ("depth", Json::Int(i64::from(span.depth))),
+            ("dur_ns", Json::Int(span.dur_ns() as i64)),
+        ];
+        for (k, v) in &span.attrs {
+            args.push((k.as_str(), Json::Int(*v as i64)));
+        }
+        events.push(Json::obj(vec![
+            ("name", Json::Str(span.name.clone())),
+            ("cat", Json::Str("sim".to_owned())),
+            ("ph", Json::Str("X".to_owned())),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(i64::from(span.track))),
+            ("ts", Json::Float(us(span.start.as_nanos()))),
+            ("dur", Json::Float(us(span.dur_ns()))),
+            (
+                "args",
+                Json::Obj(args.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()),
+            ),
+        ]));
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".to_owned())),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimTime;
+
+    fn span(name: &str, track: u32, start: u64, end: u64, depth: u32) -> SpanRecord {
+        SpanRecord {
+            name: name.to_owned(),
+            track,
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+            depth,
+            attrs: vec![("pages".to_owned(), 7)],
+        }
+    }
+
+    #[test]
+    fn trace_parses_back_and_preserves_ns() {
+        let out = chrome_trace(&[span("core.checkpoint", 0, 1_500, 4_750, 0)]);
+        let doc = Json::parse(&out).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ev = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(ev.get("name").unwrap().as_str(), Some("core.checkpoint"));
+        // 1500 ns = 1.5 µs, 3250 ns = 3.25 µs.
+        assert_eq!(ev.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(ev.get("dur").unwrap().as_f64(), Some(3.25));
+        let args = ev.get("args").unwrap();
+        assert_eq!(args.get("dur_ns").unwrap().as_u64(), Some(3_250));
+        assert_eq!(args.get("pages").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn tracks_get_thread_metadata() {
+        let out = chrome_trace(&[span("a", 0, 0, 1, 0), span("b", TRACK_GLOBAL, 0, 1, 0)]);
+        let doc = Json::parse(&out).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert_eq!(names, vec!["node0", "global"]);
+    }
+
+    #[test]
+    fn sub_microsecond_spans_keep_nanosecond_resolution() {
+        let out = chrome_trace(&[span("tiny", 0, 1, 2, 0)]);
+        let doc = Json::parse(&out).unwrap();
+        let ev = &doc.get("traceEvents").unwrap().as_arr().unwrap()[2];
+        assert_eq!(ev.get("ts").unwrap().as_f64(), Some(0.001));
+        assert_eq!(
+            ev.get("args").unwrap().get("dur_ns").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Structured spans on the virtual clock.
+//!
+//! A span is a named interval of **virtual** time on one track (a track
+//! is a fabric node id, or [`TRACK_GLOBAL`] for cluster-wide work). Spans
+//! nest: depth is assigned from the per-track stack of currently-open
+//! spans, so a `core.checkpoint` parent opened around its
+//! `core.checkpoint.copy_pages` child renders as a nested bar in the
+//! Chrome trace viewer.
+//!
+//! Recording never advances any clock — telemetry observes virtual time,
+//! it does not spend it.
+
+use simclock::SimTime;
+
+/// Track id for spans not tied to a single node (porter-level work).
+pub const TRACK_GLOBAL: u32 = u32::MAX;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Dotted span name, e.g. `core.checkpoint.copy_pages`.
+    pub name: String,
+    /// Timeline the span belongs to (node id, or [`TRACK_GLOBAL`]).
+    pub track: u32,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time (`>= start`).
+    pub end: SimTime,
+    /// Nesting depth: 0 for top-level, parent depth + 1 for children.
+    pub depth: u32,
+    /// Typed attributes (`("pages", 42)`), in recording order.
+    pub attrs: Vec<(String, u64)>,
+}
+
+impl SpanRecord {
+    /// The span's virtual duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        (self.end - self.start).as_nanos()
+    }
+}
+
+/// An in-flight span opened with [`SpanBuffer::open`].
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    name: String,
+    track: u32,
+    start: SimTime,
+    attrs: Vec<(String, u64)>,
+}
+
+/// Accumulates spans for one telemetry session.
+///
+/// Finished spans are kept in close order; per-track stacks of open
+/// spans supply the nesting depth. A leaf span whose interval is already
+/// known can skip open/close and be recorded directly with
+/// [`SpanBuffer::record`] — it still inherits the depth of whatever is
+/// open on its track.
+#[derive(Debug, Default)]
+pub struct SpanBuffer {
+    finished: Vec<SpanRecord>,
+    /// `(track, open spans on that track, innermost last)`.
+    open: Vec<(u32, Vec<OpenSpan>)>,
+}
+
+impl SpanBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        SpanBuffer::default()
+    }
+
+    fn open_depth(&self, track: u32) -> u32 {
+        self.open
+            .iter()
+            .find(|(t, _)| *t == track)
+            .map_or(0, |(_, stack)| stack.len() as u32)
+    }
+
+    /// Opens a span; children recorded before the matching
+    /// [`close`](SpanBuffer::close) nest one level deeper.
+    pub fn open(&mut self, name: &str, track: u32, start: SimTime, attrs: Vec<(String, u64)>) {
+        let span = OpenSpan {
+            name: name.to_owned(),
+            track,
+            start,
+            attrs,
+        };
+        if let Some((_, stack)) = self.open.iter_mut().find(|(t, _)| *t == track) {
+            stack.push(span);
+        } else {
+            self.open.push((track, vec![span]));
+        }
+    }
+
+    /// Closes the innermost open span on `track`. Returns `false` (and
+    /// records nothing) if no span is open there.
+    pub fn close(&mut self, track: u32, end: SimTime) -> bool {
+        let Some((_, stack)) = self.open.iter_mut().find(|(t, _)| *t == track) else {
+            return false;
+        };
+        let Some(span) = stack.pop() else {
+            return false;
+        };
+        let depth = stack.len() as u32;
+        self.finished.push(SpanRecord {
+            name: span.name,
+            track: span.track,
+            start: span.start,
+            end: end.max(span.start),
+            depth,
+            attrs: span.attrs,
+        });
+        true
+    }
+
+    /// Records a complete leaf span at the current nesting depth of its
+    /// track.
+    pub fn record(
+        &mut self,
+        name: &str,
+        track: u32,
+        start: SimTime,
+        end: SimTime,
+        attrs: Vec<(String, u64)>,
+    ) {
+        let depth = self.open_depth(track);
+        self.finished.push(SpanRecord {
+            name: name.to_owned(),
+            track,
+            start,
+            end: end.max(start),
+            depth,
+            attrs,
+        });
+    }
+
+    /// Number of finished spans.
+    pub fn len(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// `true` if no span has finished yet.
+    pub fn is_empty(&self) -> bool {
+        self.finished.is_empty()
+    }
+
+    /// Consumes the buffer, returning finished spans in close order.
+    /// Still-open spans are dropped (a session that ends mid-span loses
+    /// only that span, not the buffer).
+    pub fn into_spans(self) -> Vec<SpanRecord> {
+        self.finished
+    }
+
+    /// Read access to the finished spans.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn leaf_spans_default_to_depth_zero() {
+        let mut buf = SpanBuffer::new();
+        buf.record("a", 0, t(0), t(10), vec![]);
+        assert_eq!(buf.spans()[0].depth, 0);
+        assert_eq!(buf.spans()[0].dur_ns(), 10);
+    }
+
+    #[test]
+    fn children_nest_under_open_parents() {
+        let mut buf = SpanBuffer::new();
+        buf.open("parent", 1, t(0), vec![("pid".into(), 9)]);
+        buf.record("child.a", 1, t(0), t(4), vec![]);
+        buf.open("child.b", 1, t(4), vec![]);
+        buf.record("grandchild", 1, t(4), t(6), vec![]);
+        assert!(buf.close(1, t(6)));
+        assert!(buf.close(1, t(10)));
+
+        let spans = buf.into_spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("parent").depth, 0);
+        assert_eq!(by_name("child.a").depth, 1);
+        assert_eq!(by_name("child.b").depth, 1);
+        assert_eq!(by_name("grandchild").depth, 2);
+        assert_eq!(by_name("parent").attrs, vec![("pid".to_owned(), 9)]);
+    }
+
+    #[test]
+    fn tracks_are_independent() {
+        let mut buf = SpanBuffer::new();
+        buf.open("on_zero", 0, t(0), vec![]);
+        buf.record("on_one", 1, t(0), t(5), vec![]);
+        assert!(buf.close(0, t(8)));
+        let spans = buf.into_spans();
+        assert!(spans.iter().all(|s| s.depth == 0));
+    }
+
+    #[test]
+    fn close_without_open_is_harmless() {
+        let mut buf = SpanBuffer::new();
+        assert!(!buf.close(3, t(1)));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn end_is_clamped_to_start() {
+        let mut buf = SpanBuffer::new();
+        buf.record("x", 0, t(10), t(5), vec![]);
+        assert_eq!(buf.spans()[0].dur_ns(), 0);
+    }
+}

@@ -489,6 +489,8 @@ impl<M: RemoteFork> CxlPorter<M> {
         // Re-dispatch: each lost invocation re-enters the normal
         // dispatch path at the crash instant. A retry the survivors
         // cannot place is lost work, not a dropped request.
+        let redispatched_before = self.report.redispatched;
+        let lost_before = self.report.work_lost;
         in_flight.sort();
         for function in in_flight {
             let retry = Invocation {
@@ -502,6 +504,17 @@ impl<M: RemoteFork> CxlPorter<M> {
                 self.report.work_lost += 1;
             } else {
                 self.report.redispatched += 1;
+            }
+        }
+        if cxl_telemetry::is_armed() {
+            cxl_telemetry::counter_add("cxlporter", "crashes_survived", None, 1);
+            let redispatched = self.report.redispatched - redispatched_before;
+            if redispatched > 0 {
+                cxl_telemetry::counter_add("cxlporter", "redispatched", None, redispatched);
+            }
+            let lost = self.report.work_lost - lost_before;
+            if lost > 0 {
+                cxl_telemetry::counter_add("cxlporter", "work_lost", None, lost);
             }
         }
     }
@@ -519,10 +532,12 @@ impl<M: RemoteFork> CxlPorter<M> {
                 let i = self.instance(id).expect("just found");
                 (i.node, i.pid, i.invocations)
             };
+            self.note_queue_wait(node, now);
             self.cluster.nodes[node].clock_mut().advance_to(now);
             match self.invoke_with_reclaim(node, pid, &spec, inv_idx, now) {
                 Some(result) => {
                     self.report.warm_hits += 1;
+                    cxl_telemetry::counter_add("cxlporter", "warm_hits", None, 1);
                     self.finish(id, now, SimDuration::ZERO, result, &spec, true);
                 }
                 None => {
@@ -553,6 +568,21 @@ impl<M: RemoteFork> CxlPorter<M> {
             None => {
                 self.report.dropped += 1;
             }
+        }
+    }
+
+    /// Records how long the invocation waited for its target node's
+    /// virtual clock (the node is still busy with earlier work) — the
+    /// queueing portion of the request timeline.
+    fn note_queue_wait(&self, node: usize, now: SimTime) {
+        if !cxl_telemetry::is_armed() {
+            return;
+        }
+        let node_now = self.cluster.nodes[node].now();
+        if node_now > now {
+            let track = node as u32;
+            cxl_telemetry::record_span("cxlporter.queue", track, now, node_now, &[]);
+            cxl_telemetry::timer_record("cxlporter", "queue.latency", Some(track), node_now - now);
         }
     }
 
@@ -596,6 +626,15 @@ impl<M: RemoteFork> CxlPorter<M> {
                 .or_default()
                 .record(latency);
             self.report.overall.record(latency);
+            if cxl_telemetry::is_armed() {
+                cxl_telemetry::timer_record("cxlporter", "e2e", None, latency);
+                cxl_telemetry::timer_record(
+                    "cxlporter",
+                    &format!("e2e.{}", spec.name),
+                    None,
+                    latency,
+                );
+            }
         }
         let slo_factor = self.config.slo_factor;
         let stats = self.fn_stats.entry(spec.name.clone()).or_default();
@@ -628,6 +667,7 @@ impl<M: RemoteFork> CxlPorter<M> {
                 if let Some(ckpt) = ckpt {
                     self.store.put(&spec.name, ckpt, now);
                     self.report.checkpoints += 1;
+                    cxl_telemetry::counter_add("cxlporter", "checkpoints", None, 1);
                     self.reclaim_cxl_pressure(&spec.name);
                 }
             }
@@ -671,6 +711,7 @@ impl<M: RemoteFork> CxlPorter<M> {
     /// deployment. Returns the instance index and the startup latency.
     fn cold_start(&mut self, spec: &FunctionSpec, now: SimTime) -> Option<(u64, SimDuration)> {
         let node = self.cluster.least_loaded()?;
+        self.note_queue_wait(node, now);
         self.cluster.nodes[node].clock_mut().advance_to(now);
 
         if self.store.contains(&spec.name) {
@@ -687,6 +728,14 @@ impl<M: RemoteFork> CxlPorter<M> {
             self.ensure_free(node, estimate + faas::BARE_CONTAINER_PAGES, now);
 
             let (container, container_cost) = self.claim_container(node, now)?;
+            // Placement + restore span; the mechanism's own
+            // `core.restore` phase spans nest underneath it.
+            cxl_telemetry::span_open(
+                "cxlporter.restore",
+                node as u32,
+                self.cluster.nodes[node].now(),
+                &[],
+            );
             let restored = {
                 let entry = self
                     .store
@@ -695,6 +744,7 @@ impl<M: RemoteFork> CxlPorter<M> {
                 self.mech
                     .restore_with(&entry.checkpoint, &mut self.cluster.nodes[node], options)
             };
+            cxl_telemetry::span_close(node as u32, self.cluster.nodes[node].now());
             match restored {
                 Ok(r) => {
                     let mut container = container;
@@ -713,6 +763,15 @@ impl<M: RemoteFork> CxlPorter<M> {
                         cold_started: false,
                     });
                     self.report.restores += 1;
+                    if cxl_telemetry::is_armed() {
+                        cxl_telemetry::counter_add("cxlporter", "restores", None, 1);
+                        cxl_telemetry::timer_record(
+                            "cxlporter",
+                            "startup.latency",
+                            Some(node as u32),
+                            container_cost + r.restore_latency,
+                        );
+                    }
                     Some((id, container_cost + r.restore_latency))
                 }
                 Err(_) => {
@@ -729,7 +788,15 @@ impl<M: RemoteFork> CxlPorter<M> {
                 now,
             );
             let (container, container_cost) = self.create_container(node)?;
-            match faas::deploy_cold(&mut self.cluster.nodes[node], spec) {
+            cxl_telemetry::span_open(
+                "cxlporter.cold_deploy",
+                node as u32,
+                self.cluster.nodes[node].now(),
+                &[],
+            );
+            let deployed = faas::deploy_cold(&mut self.cluster.nodes[node], spec);
+            cxl_telemetry::span_close(node as u32, self.cluster.nodes[node].now());
+            match deployed {
                 Ok((pid, init)) => {
                     let mut container = container;
                     container.attach_process(&spec.name, pid);
@@ -747,6 +814,15 @@ impl<M: RemoteFork> CxlPorter<M> {
                         cold_started: true,
                     });
                     self.report.full_cold += 1;
+                    if cxl_telemetry::is_armed() {
+                        cxl_telemetry::counter_add("cxlporter", "full_cold", None, 1);
+                        cxl_telemetry::timer_record(
+                            "cxlporter",
+                            "startup.latency",
+                            Some(node as u32),
+                            container_cost + init.total,
+                        );
+                    }
                     Some((id, container_cost + init.total))
                 }
                 Err(_) => {

@@ -60,11 +60,30 @@ pub struct InitReport {
 /// Propagates OS errors; [`OsError::OutOfMemory`] if the node cannot hold
 /// the footprint.
 pub fn deploy_cold(node: &mut Node, spec: &FunctionSpec) -> Result<(Pid, InitReport), OsError> {
+    let t0 = node.now();
     let layout = FunctionLayout::for_spec(spec);
     layout.install_files(spec, node.rootfs());
     let pid = node.spawn(&spec.name)?;
     match deploy_cold_inner(node, spec, &layout, pid) {
-        Ok(report) => Ok((pid, report)),
+        Ok(report) => {
+            if cxl_telemetry::is_armed() {
+                let track = node.id().0;
+                cxl_telemetry::record_span(
+                    "faas.deploy_cold",
+                    track,
+                    t0,
+                    node.now(),
+                    &[("pages_touched", report.pages_touched)],
+                );
+                cxl_telemetry::timer_record(
+                    "faas",
+                    "deploy_cold.latency",
+                    Some(track),
+                    report.total,
+                );
+            }
+            Ok((pid, report))
+        }
         Err(e) => {
             // Roll back the half-built process so its frames return to the
             // node (the memory-constrained autoscaler runs rely on this).
@@ -139,6 +158,7 @@ pub fn run_invocation(
     spec: &FunctionSpec,
     invocation_idx: u64,
 ) -> Result<InvocationResult, OsError> {
+    let t0 = node.now();
     let layout = FunctionLayout::for_spec(spec);
     let mut r = InvocationResult::default();
 
@@ -186,6 +206,17 @@ pub fn run_invocation(
     node.clock_mut().advance(compute);
     r.compute = compute;
     r.total += compute;
+    if cxl_telemetry::is_armed() {
+        let track = node.id().0;
+        cxl_telemetry::record_span(
+            "faas.invocation",
+            track,
+            t0,
+            node.now(),
+            &[("faults", r.faults)],
+        );
+        cxl_telemetry::timer_record("faas", "invocation.latency", Some(track), r.total);
+    }
     Ok(r)
 }
 

@@ -357,6 +357,36 @@ impl Node {
             self.counters
                 .add("cxl_transient_retry", u64::from(outcome.retries));
         }
+        if cxl_telemetry::is_armed() {
+            let node = self.id.0;
+            if let Some(kind) = outcome.fault {
+                cxl_telemetry::counter_add("node_os", kind.counter_name(), Some(node), 1);
+                cxl_telemetry::timer_record(
+                    "node_os",
+                    "fault.latency",
+                    Some(node),
+                    outcome.fault_cost,
+                );
+            }
+            if outcome.retries > 0 {
+                cxl_telemetry::counter_add(
+                    "node_os",
+                    "cxl_transient_retry",
+                    Some(node),
+                    u64::from(outcome.retries),
+                );
+            }
+            cxl_telemetry::counter_add(
+                "node_os",
+                if outcome.cache_hit {
+                    "llc_hit"
+                } else {
+                    "llc_miss"
+                },
+                Some(node),
+                1,
+            );
+        }
         Ok(outcome)
     }
 
@@ -385,6 +415,8 @@ impl Node {
         );
         self.clock.advance(cost);
         self.counters.incr("local_fork");
+        cxl_telemetry::counter_add("node_os", "local_fork", Some(self.id.0), 1);
+        cxl_telemetry::timer_record("node_os", "local_fork.latency", Some(self.id.0), cost);
         Ok((pid, cost))
     }
 

@@ -299,6 +299,38 @@ mod tests {
     }
 
     #[test]
+    fn merged_percentiles_equal_single_histogram() {
+        // Per-node histograms folded with `merge` must report the exact
+        // same percentiles as recording every sample into one histogram
+        // directly — merging moves samples, it does not approximate.
+        let mut merged = LatencyHistogram::new();
+        let mut single = LatencyHistogram::new();
+        let mut node = LatencyHistogram::new();
+        for i in 0u64..200 {
+            // Deterministic, interleaved, non-monotonic sample stream
+            // split across 4 "nodes".
+            let d = SimDuration::from_nanos((i * 7919) % 1000 + 1);
+            single.record(d);
+            node.record(d);
+            if i % 50 == 49 {
+                merged.merge(&node);
+                node = LatencyHistogram::new();
+            }
+        }
+        assert_eq!(merged.len(), single.len());
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            assert_eq!(
+                merged.percentile(q),
+                single.percentile(q),
+                "quantile {q} drifted after merge"
+            );
+        }
+        assert_eq!(merged.mean(), single.mean());
+        assert_eq!(merged.min(), single.min());
+        assert_eq!(merged.max(), single.max());
+    }
+
+    #[test]
     fn histogram_merge_combines_samples() {
         let mut a = LatencyHistogram::new();
         let mut b = LatencyHistogram::new();
