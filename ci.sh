@@ -24,6 +24,15 @@ cargo test --workspace --quiet
 echo '== test (--features check) =='
 cargo test --workspace --quiet --features check
 
+echo '== sharded-device audits + lockdep lint (both feature states) =='
+# Drives batched traffic across the sharded page pool, reconciles the
+# per-shard counters against the live slab, and lints the observed lock
+# order (regions -> shardNN, ascending) for cycles. The default-feature
+# pass proves the audits hold with lockdep compiled out; the check pass
+# proves the recorded edge graph is a DAG (DESIGN.md §10).
+cargo test --quiet -p cxl-check --test sharded_device_lint
+cargo test --quiet -p cxl-check --features check --test sharded_device_lint
+
 echo '== fault injection sweep (--features check, 3 seeds) =='
 for seed in 7 1984 4242; do
     echo "-- CXLFAULT_SEED=$seed"

@@ -127,15 +127,15 @@ impl CxlForkCheckpoint {
 }
 
 /// Encodes the global state (open fds) for light serialization.
-pub(crate) fn encode_global_state(fds: &[FileDescriptor]) -> Vec<u8> {
+pub(crate) fn encode_global_state(fds: &[FileDescriptor]) -> Result<Vec<u8>, RforkError> {
     let mut w = ImageWriter::new(GLOBAL_STATE_MAGIC);
     w.put_u32(fds.len() as u32);
     for fd in fds {
-        w.put_str(&fd.path);
+        w.put_str(&fd.path)?;
         w.put_u64(fd.offset);
         w.put_bool(fd.writable);
     }
-    w.into_bytes()
+    Ok(w.into_bytes())
 }
 
 /// Decodes the global-state record.
@@ -239,106 +239,175 @@ pub(crate) fn take_checkpoint(
     );
     let region = guard.id();
 
-    let mut leaves = Vec::with_capacity(src_leaves.len());
-    let mut backing = CxlBacking::new();
-    let mut data_pages = 0u64;
-    let mut dirty_pages = 0u64;
-    let mut accessed_pages = 0u64;
-    let mut rebased_pointers = 0u64;
-    let mut retries = 0u64;
-    let mut retry_backoff = SimDuration::ZERO;
-
-    for src in &src_leaves {
-        let mut ckpt_leaf = PtLeaf::new();
+    // ---- Enumerate every page to copy, in leaf/slot order, so the
+    // contents move in one batched read + alloc + write per checkpoint:
+    // the fabric round-trip is paid once per batch and the remaining
+    // pages pipeline behind it (§4.1 streaming non-temporal copy).
+    struct PageEntry {
+        leaf_pos: usize,
+        slot: usize,
+        vpn: VirtPageNum,
+        pte: Pte,
+    }
+    enum PageSource {
+        Local(cxl_mem::PageData),
+        Device(CxlPageId),
+    }
+    let mut entries: Vec<PageEntry> = Vec::new();
+    let mut sources: Vec<PageSource> = Vec::new();
+    for (leaf_pos, src) in src_leaves.iter().enumerate() {
         for (slot, pte) in src.harvested.iter_populated() {
             if !pte.is_present() {
                 continue; // armed entries re-arm against the new checkpoint via backing
             }
             let vpn = VirtPageNum((src.leaf_index << 9) | slot as u64);
-            // Copy the page content to a fresh device page.
-            let data = match pte.target().expect("present pte") {
-                PhysAddr::Local(pfn) => node.frames().data(pfn).clone(),
-                PhysAddr::Cxl(page) => {
-                    dev_retry("checkpoint_read", &mut retries, &mut retry_backoff, || {
-                        device.read_page(page, node_id)
-                    })?
+            sources.push(match pte.target().expect("present pte") {
+                PhysAddr::Local(pfn) => PageSource::Local(node.frames().data(pfn).clone()),
+                PhysAddr::Cxl(page) => PageSource::Device(page),
+            });
+            entries.push(PageEntry {
+                leaf_pos,
+                slot,
+                vpn,
+                pte,
+            });
+        }
+    }
+
+    let mut retries = 0u64;
+    let mut retry_backoff = SimDuration::ZERO;
+
+    // One batched read covers every source page still resident on the
+    // device (e.g. re-checkpointing a restored process).
+    let dev_srcs: Vec<CxlPageId> = sources
+        .iter()
+        .filter_map(|s| match s {
+            PageSource::Device(p) => Some(*p),
+            PageSource::Local(_) => None,
+        })
+        .collect();
+    let dev_data = if dev_srcs.is_empty() {
+        Vec::new()
+    } else {
+        dev_retry("checkpoint_read", &mut retries, &mut retry_backoff, || {
+            device.read_pages(&dev_srcs, node_id)
+        })?
+    };
+
+    // One batched alloc for the data pages, then one batched write. The
+    // write pairs are built once and reused verbatim across transient
+    // retry attempts, so each attempt is exactly one batch op plus the
+    // policy's backoff — never a rebuilt partial.
+    let dsts = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
+        device.alloc_batch(region, entries.len() as u64)
+    })?;
+    let mut dev_iter = dev_data.into_iter();
+    let pairs: Vec<(CxlPageId, cxl_mem::PageData)> = sources
+        .into_iter()
+        .zip(dsts.iter().copied())
+        .map(|(src, dst)| {
+            let data = match src {
+                PageSource::Local(d) => d,
+                PageSource::Device(_) => {
+                    dev_iter.next().expect("one read result per device source")
                 }
             };
-            let dst = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
-                device.alloc_page(region)
-            })?;
-            dev_retry("checkpoint_copy", &mut retries, &mut retry_backoff, || {
-                device.write_page(dst, data.clone(), node_id)
-            })?;
-            data_pages += 1;
-
-            // REBASE: rewrite the entry to the machine-independent CXL
-            // page number, read-only + CoW + checkpoint-pinned, keeping
-            // the FILE / ACCESSED / DIRTY record bits.
-            let mut flags = PteFlags::PRESENT | PteFlags::COW | PteFlags::CKPT_PIN;
-            if pte.flags().contains(PteFlags::FILE) {
-                flags |= PteFlags::FILE;
-            }
-            if pte.is_accessed() {
-                flags |= PteFlags::ACCESSED;
-                accessed_pages += 1;
-            }
-            if pte.is_dirty() {
-                flags |= PteFlags::DIRTY;
-                dirty_pages += 1;
-            }
-            ckpt_leaf.set(slot, Pte::mapped(PhysAddr::Cxl(dst), flags));
-            rebased_pointers += 1;
-
-            backing.insert(
-                vpn,
-                BackingPage {
-                    source: BackingSource::Device(dst),
-                    accessed: pte.is_accessed(),
-                    dirty: pte.is_dirty(),
-                    file_backed: pte.flags().contains(PteFlags::FILE),
-                },
-            );
-        }
-        if ckpt_leaf.populated_count() == 0 {
-            continue;
-        }
-        // One device page physically stores the 512-entry leaf.
-        let leaf_backing = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
-            device.alloc_page(region)
+            (dst, data)
+        })
+        .collect();
+    if !pairs.is_empty() {
+        dev_retry("checkpoint_copy", &mut retries, &mut retry_backoff, || {
+            device.write_pages(&pairs, node_id)
         })?;
-        leaves.push(CkptLeaf {
-            leaf_index: src.leaf_index,
-            leaf: Arc::new(ckpt_leaf),
-            backing: leaf_backing,
-        });
     }
+
+    // REBASE: rewrite every copied entry to its machine-independent CXL
+    // page number, read-only + CoW + checkpoint-pinned, keeping the
+    // FILE / ACCESSED / DIRTY record bits.
+    let mut backing = CxlBacking::new();
+    let data_pages = entries.len() as u64;
+    let mut dirty_pages = 0u64;
+    let mut accessed_pages = 0u64;
+    let mut rebased_pointers = 0u64;
+    let mut ckpt_leaves: Vec<PtLeaf> = (0..src_leaves.len()).map(|_| PtLeaf::new()).collect();
+    for (e, dst) in entries.iter().zip(dsts.iter().copied()) {
+        let mut flags = PteFlags::PRESENT | PteFlags::COW | PteFlags::CKPT_PIN;
+        if e.pte.flags().contains(PteFlags::FILE) {
+            flags |= PteFlags::FILE;
+        }
+        if e.pte.is_accessed() {
+            flags |= PteFlags::ACCESSED;
+            accessed_pages += 1;
+        }
+        if e.pte.is_dirty() {
+            flags |= PteFlags::DIRTY;
+            dirty_pages += 1;
+        }
+        ckpt_leaves[e.leaf_pos].set(e.slot, Pte::mapped(PhysAddr::Cxl(dst), flags));
+        rebased_pointers += 1;
+
+        backing.insert(
+            e.vpn,
+            BackingPage {
+                source: BackingSource::Device(dst),
+                accessed: e.pte.is_accessed(),
+                dirty: e.pte.is_dirty(),
+                file_backed: e.pte.flags().contains(PteFlags::FILE),
+            },
+        );
+    }
+
+    // One device page physically stores each populated 512-entry leaf.
+    let populated: Vec<(u64, PtLeaf)> = src_leaves
+        .iter()
+        .zip(ckpt_leaves)
+        .filter(|(_, l)| l.populated_count() > 0)
+        .map(|(src, l)| (src.leaf_index, l))
+        .collect();
+    let leaf_backings = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
+        device.alloc_batch(region, populated.len() as u64)
+    })?;
+    let leaves: Vec<CkptLeaf> = populated
+        .into_iter()
+        .zip(leaf_backings)
+        .map(|((leaf_index, leaf), backing)| CkptLeaf {
+            leaf_index,
+            leaf: Arc::new(leaf),
+            backing,
+        })
+        .collect();
 
     // VMA blocks: one device page each, plus a rebased pointer per VMA.
-    let mut vma_blocks = Vec::with_capacity(vma_block_images.len());
+    let vma_backings = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
+        device.alloc_batch(region, vma_block_images.len() as u64)
+    })?;
     let mut vma_count = 0usize;
-    for block in vma_block_images {
-        let backing_page = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
-            device.alloc_page(region)
-        })?;
-        vma_count += block.len();
-        rebased_pointers += block.len() as u64;
-        vma_blocks.push((Arc::new(block), backing_page));
-    }
+    let vma_blocks: Vec<(Arc<VmaBlock>, CxlPageId)> = vma_block_images
+        .into_iter()
+        .zip(vma_backings)
+        .map(|(block, backing_page)| {
+            vma_count += block.len();
+            rebased_pointers += block.len() as u64;
+            (Arc::new(block), backing_page)
+        })
+        .collect();
 
     // Task image: one device page.
     let task_backing = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
-        device.alloc_page(region)
+        device.alloc_batch(region, 1)
     })?;
     let _ = task_backing;
 
     // Global state: light serialization of fd paths + permissions.
-    let global_bytes = encode_global_state(&fds);
+    let global_bytes = encode_global_state(&fds)?;
 
-    // ---- Cost model (§4.1, §8): streaming non-temporal copies + rebase,
-    // plus whatever backoff the transient-fault retries accrued.
-    let copied_bytes = (data_pages + leaves.len() as u64 + vma_blocks.len() as u64 + 1) * PAGE_SIZE;
-    let copy_cost = model.cxl_write_copy(copied_bytes);
+    // ---- Cost model (§4.1, §8): one pipelined streaming transfer for
+    // every checkpointed page (data + leaf + VMA + task), plus rebase,
+    // plus whatever backoff the transient-fault retries accrued. A
+    // one-page checkpoint costs exactly the scalar write path.
+    let copied_pages = data_pages + leaves.len() as u64 + vma_blocks.len() as u64 + 1;
+    let copied_bytes = copied_pages * PAGE_SIZE;
+    let copy_cost = model.cxl_batch_write(copied_pages);
     let rebase_cost = SimDuration::from_nanos(model.rebase_pointer_ns) * rebased_pointers;
     let serialize_cost = model.serialize(global_bytes.len() as u64);
     let cost = copy_cost + rebase_cost + serialize_cost + retry_backoff;
@@ -418,13 +487,13 @@ mod tests {
                 writable: false,
             },
         ];
-        let bytes = encode_global_state(&fds);
+        let bytes = encode_global_state(&fds).unwrap();
         assert_eq!(decode_global_state(&bytes).unwrap(), fds);
     }
 
     #[test]
     fn corrupt_global_state_rejected() {
-        let bytes = encode_global_state(&[]);
+        let bytes = encode_global_state(&[]).unwrap();
         assert!(decode_global_state(&bytes[..3]).is_err());
     }
 }

@@ -765,6 +765,52 @@ mod tests {
     }
 
     #[test]
+    fn batch_retry_backoff_is_charged_exactly_once_per_attempt() {
+        // Regression guard for the batched copy path: a transient fault
+        // retries the *whole batch*, but the modelled copy time is paid
+        // once and every attempt adds exactly one backoff step. The cost
+        // delta between a faulted and a clean checkpoint of the same
+        // process must therefore be the policy's backoff ladder alone —
+        // a re-charged batch (or a per-page retry loop sneaking back in)
+        // would show up as a larger delta.
+        let mut c = cluster(1);
+        let pid = build_process(&mut c.nodes[0]);
+        let clean = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+
+        let policy = cxl_fault::BackoffPolicy::default();
+        for transients in [1u32, 2, 3] {
+            // Seeded, deterministic schedule: the first `transients` write
+            // consults fail, so each retry attempt trips the next one.
+            let inj = Arc::new(cxl_fault::Injector::from_schedule(
+                cxl_fault::FaultSchedule::new().transient_after(
+                    cxl_mem::DeviceOp::Write,
+                    0,
+                    transients,
+                ),
+            ));
+            inj.arm(&c.device);
+            let faulted = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+            c.device.set_fault_hook(None);
+
+            // Expected ladder: base, base*m, base*m^2, ... capped.
+            let mut expected = simclock::SimDuration::ZERO;
+            let mut step = policy.base;
+            for _ in 0..transients {
+                expected += if step > policy.cap { policy.cap } else { step };
+                step = simclock::SimDuration::from_nanos(
+                    step.as_nanos().saturating_mul(u64::from(policy.multiplier)),
+                );
+            }
+            assert_eq!(
+                faulted.meta().checkpoint_cost,
+                clean.meta().checkpoint_cost + expected,
+                "{transients} transient(s): cost delta must be backoff alone"
+            );
+            assert_eq!(faulted.data_pages, clean.data_pages);
+        }
+    }
+
+    #[test]
     fn checkpoint_gives_up_cleanly_when_the_link_stays_down() {
         let mut c = cluster(1);
         let pid = build_process(&mut c.nodes[0]);
@@ -796,8 +842,11 @@ mod tests {
         let mut c = cluster(1);
         let pid = build_process(&mut c.nodes[0]);
         let used_before = c.device.used_pages();
+        // The batched checkpoint makes one alloc request per batch (data,
+        // leaves, VMA blocks, task), so exhaust the device on the second
+        // one — mid-checkpoint, after the data pages already landed.
         let inj = Arc::new(cxl_fault::Injector::from_schedule(
-            cxl_fault::FaultSchedule::new().alloc_exhausted_after(5, 1),
+            cxl_fault::FaultSchedule::new().alloc_exhausted_after(1, 1),
         ));
         inj.arm(&c.device);
         let err = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap_err();

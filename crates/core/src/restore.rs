@@ -160,38 +160,26 @@ fn attach_state(
             // paper evaluated and rejected, copied to local memory right
             // now — and the rest stay mapped in CXL.
             let mut dirs_created = 0u64;
-            let mut sync_prefetched = 0u64;
             let mut install: Vec<(u64, PtLeaf)> = Vec::with_capacity(checkpoint.leaves.len());
+            // Hot entries to sync-prefetch: (leaf position in `install`,
+            // slot, pte, device page). Deferred so the whole hot set moves
+            // in one batched device read.
+            let mut hot_fills: Vec<(usize, usize, Pte, cxl_mem::CxlPageId)> = Vec::new();
             for ckpt_leaf in &checkpoint.leaves {
                 let mut local = PtLeaf::new();
                 for (slot, pte) in ckpt_leaf.leaf.iter_populated() {
                     let hot = pte.is_accessed() || ckpt_leaf.leaf.hot_bits().get(slot);
                     let target = pte.target().expect("checkpoint entries are mapped");
-                    let new = if hot && options.sync_hot_prefetch {
+                    if hot && options.sync_hot_prefetch {
                         // Copy the hot page to local memory during the
                         // restore itself (inflates restore latency).
                         let PhysAddr::Cxl(page) = target else {
                             unreachable!("checkpoint targets are CXL pages")
                         };
-                        let data = dev_retry(
-                            "restore_prefetch",
-                            &mut retries,
-                            &mut retry_backoff,
-                            || device.read_page(page, node_id),
-                        )?;
-                        let pfn = node
-                            .with_process_ctx(pid, |p, ctx| {
-                                let pfn = ctx.frames.alloc(data)?;
-                                p.mm.note_private_page();
-                                Ok::<_, node_os::OsError>(pfn)
-                            })
-                            .map_err(RforkError::from)?
-                            .map_err(RforkError::from)?;
-                        sync_prefetched += 1;
-                        cost += model.prefetch_page();
-                        pte.without_flags(PteFlags::CKPT_PIN)
-                            .retarget(PhysAddr::Local(pfn))
-                    } else if hot {
+                        hot_fills.push((install.len(), slot, pte, page));
+                        continue;
+                    }
+                    let new = if hot {
                         Pte::armed(
                             target,
                             pte.flags()
@@ -205,13 +193,44 @@ fn attach_state(
                 }
                 install.push((ckpt_leaf.leaf_index, local));
             }
+            // One pipelined batch read for the whole hot set, then one
+            // frame-allocation sweep; a batch of one costs exactly the
+            // old per-page prefetch.
+            if !hot_fills.is_empty() {
+                let hot_pages: Vec<cxl_mem::CxlPageId> =
+                    hot_fills.iter().map(|(_, _, _, page)| *page).collect();
+                let hot_data =
+                    dev_retry("restore_prefetch", &mut retries, &mut retry_backoff, || {
+                        device.read_pages(&hot_pages, node_id)
+                    })?;
+                let pfns = node
+                    .with_process_ctx(pid, |p, ctx| {
+                        hot_data
+                            .into_iter()
+                            .map(|data| {
+                                let pfn = ctx.frames.alloc(data)?;
+                                p.mm.note_private_page();
+                                Ok(pfn)
+                            })
+                            .collect::<Result<Vec<_>, node_os::OsError>>()
+                    })
+                    .map_err(RforkError::from)?
+                    .map_err(RforkError::from)?;
+                for ((leaf_pos, slot, pte, _), pfn) in hot_fills.iter().zip(pfns) {
+                    install[*leaf_pos].1.set(
+                        *slot,
+                        pte.without_flags(PteFlags::CKPT_PIN)
+                            .retarget(PhysAddr::Local(pfn)),
+                    );
+                }
+                cost += model.prefetch_pages(hot_fills.len() as u64);
+            }
             node.with_process_ctx(pid, |p, _| {
                 for (leaf_index, local) in install {
                     dirs_created += p.mm.page_table.install_local_leaf(leaf_index, local);
                 }
                 p.mm.set_policy(CxlTierPolicy::Hybrid);
             })?;
-            let _ = sync_prefetched;
             // Each materialized leaf costs one CXL leaf read.
             cost += model.cxl_copy(checkpoint.leaves.len() as u64 * cxl_mem::PAGE_SIZE);
             cost += SimDuration::from_nanos(model.pt_upper_alloc_ns) * dirs_created;
@@ -223,42 +242,47 @@ fn attach_state(
     // ---- Optional dirty-page prefetch (§4.2.1). ----
     let mut prefetched = 0u64;
     if options.prefetch_dirty && options.policy != TierPolicy::MigrateOnAccess {
-        let dirty: Vec<(VirtPageNum, PhysAddr)> = checkpoint
+        let dirty: Vec<(VirtPageNum, cxl_mem::CxlPageId)> = checkpoint
             .iter_pages()
             .filter(|(_, pte)| pte.is_dirty())
-            .map(|(vpn, pte)| (vpn, pte.target().expect("checkpoint entries are mapped")))
+            .map(|(vpn, pte)| {
+                let PhysAddr::Cxl(page) = pte.target().expect("checkpoint entries are mapped")
+                else {
+                    unreachable!("checkpoint targets are CXL pages")
+                };
+                (vpn, page)
+            })
             .collect();
-        for (vpn, target) in dirty {
-            let PhysAddr::Cxl(page) = target else {
-                unreachable!("checkpoint targets are CXL pages")
-            };
+        if !dirty.is_empty() {
+            // One batched device read for the whole dirty set, then one
+            // fill sweep installing the mappings. A single dirty page
+            // costs exactly the old per-page path.
+            let dirty_pages: Vec<cxl_mem::CxlPageId> = dirty.iter().map(|(_, p)| *p).collect();
             let data = dev_retry("restore_prefetch", &mut retries, &mut retry_backoff, || {
-                device.read_page(page, node_id)
+                device.read_pages(&dirty_pages, node_id)
             })?;
-            let leaf_cows_before = node.process(pid)?.mm.page_table.leaf_cow_events();
-            let installed = node.with_process_ctx(pid, |p, ctx| -> Result<(), RforkError> {
-                let pfn = ctx.frames.alloc(data).map_err(RforkError::from)?;
-                p.mm.install_mapping(
-                    vpn,
-                    PhysAddr::Local(pfn),
+            let filled = node.with_process_ctx(pid, |p, ctx| {
+                p.mm.fill_pages(
+                    dirty.iter().map(|(vpn, _)| *vpn).zip(data),
                     PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::DIRTY,
-                    true,
-                );
-                Ok(())
+                    ctx,
+                )
             })?;
-            if let Err(e) = installed {
-                // Roll back the half-restored process (memory-constrained
-                // nodes can run out of frames mid-prefetch).
-                let _ = node.kill(pid);
-                return Err(e);
-            }
-            prefetched += 1;
-            cost += model.prefetch_page();
-            // Installing the mapping may have leaf-CoW'd an attached leaf.
-            let leaf_cows_after = node.process(pid)?.mm.page_table.leaf_cow_events();
-            if leaf_cows_after > leaf_cows_before {
-                cost += model.cxl_copy(cxl_mem::PAGE_SIZE);
-            }
+            let filled = match filled {
+                Ok(f) => f,
+                Err(e) => {
+                    // Roll back the half-restored process (memory-
+                    // constrained nodes can run out of frames
+                    // mid-prefetch).
+                    let _ = node.kill(pid);
+                    return Err(RforkError::from(e));
+                }
+            };
+            prefetched = filled.installed;
+            cost += model.prefetch_pages(filled.installed);
+            // Installing a mapping may leaf-CoW an attached leaf: one
+            // local copy of the 4 KiB leaf each.
+            cost += model.cxl_copy(cxl_mem::PAGE_SIZE) * filled.leaf_cows;
         }
     }
 

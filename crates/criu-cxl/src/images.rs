@@ -34,9 +34,14 @@ impl CoreImage {
     }
 
     /// Encodes to image bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::OversizedRecord`] if a string field exceeds the wire
+    /// format's length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, RforkError> {
         let mut w = ImageWriter::new(CORE_MAGIC);
-        w.put_str(&self.comm);
+        w.put_str(&self.comm)?;
         for r in self.regs.gpr {
             w.put_u64(r);
         }
@@ -46,11 +51,11 @@ impl CoreImage {
         w.put_u64(self.mount_ns);
         w.put_u32(self.fds.len() as u32);
         for fd in &self.fds {
-            w.put_str(&fd.path);
+            w.put_str(&fd.path)?;
             w.put_u64(fd.offset);
             w.put_bool(fd.writable);
         }
-        w.into_bytes()
+        Ok(w.into_bytes())
     }
 
     /// Decodes from image bytes.
@@ -106,7 +111,12 @@ pub struct MmImage {
 
 impl MmImage {
     /// Encodes to image bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::OversizedRecord`] if a string field exceeds the wire
+    /// format's length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, RforkError> {
         let mut w = ImageWriter::new(MM_MAGIC);
         w.put_u32(self.vmas.len() as u32);
         for v in &self.vmas {
@@ -115,7 +125,7 @@ impl MmImage {
             w.put_bool(v.prot.read);
             w.put_bool(v.prot.write);
             w.put_bool(v.prot.exec);
-            w.put_str(&v.label);
+            w.put_str(&v.label)?;
             match &v.kind {
                 VmaKind::Anonymous => w.put_u16(0),
                 VmaKind::SharedAnonymous => w.put_u16(2),
@@ -124,12 +134,12 @@ impl MmImage {
                     file_start_page,
                 } => {
                     w.put_u16(1);
-                    w.put_str(path);
+                    w.put_str(path)?;
                     w.put_u64(*file_start_page);
                 }
             }
         }
-        w.into_bytes()
+        Ok(w.into_bytes())
     }
 
     /// Decodes from image bytes.
@@ -237,7 +247,7 @@ mod tests {
             writable: true,
         });
         let img = CoreImage::capture(&task);
-        let decoded = CoreImage::decode(&img.encode()).unwrap();
+        let decoded = CoreImage::decode(&img.encode().unwrap()).unwrap();
         assert_eq!(decoded, img);
         assert_eq!(decoded.regs, Registers::seeded(9));
         assert_eq!(decoded.restore_fds().open_count(), 1);
@@ -251,7 +261,7 @@ mod tests {
                 Vma::file(100, 120, Protection::read_exec(), "/lib/a.so", 3),
             ],
         };
-        let decoded = MmImage::decode(&img.encode()).unwrap();
+        let decoded = MmImage::decode(&img.encode().unwrap()).unwrap();
         assert_eq!(decoded, img);
     }
 
@@ -283,7 +293,7 @@ mod tests {
         w.put_bool(true);
         w.put_bool(true);
         w.put_bool(false);
-        w.put_str("x");
+        w.put_str("x").unwrap();
         w.put_u16(9); // bogus kind
         assert!(matches!(
             MmImage::decode(&w.into_bytes()),
@@ -300,6 +310,6 @@ mod tests {
             pid_ns: 0,
             mount_ns: 0,
         };
-        assert!(MmImage::decode(&core.encode()).is_err());
+        assert!(MmImage::decode(&core.encode().unwrap()).is_err());
     }
 }

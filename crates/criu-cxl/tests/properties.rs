@@ -66,7 +66,7 @@ proptest! {
             pid_ns,
             mount_ns,
         };
-        prop_assert_eq!(CoreImage::decode(&img.encode()).unwrap(), img);
+        prop_assert_eq!(CoreImage::decode(&img.encode().unwrap()).unwrap(), img);
     }
 
     #[test]
@@ -74,7 +74,7 @@ proptest! {
         // Disjointness is the tree's invariant, not the image's — the
         // codec must round-trip anything.
         let img = MmImage { vmas };
-        prop_assert_eq!(MmImage::decode(&img.encode()).unwrap(), img);
+        prop_assert_eq!(MmImage::decode(&img.encode().unwrap()).unwrap(), img);
     }
 
     #[test]
@@ -115,7 +115,7 @@ proptest! {
             pid_ns: 1,
             mount_ns: 2,
         };
-        let bytes = img.encode();
+        let bytes = img.encode().unwrap();
         let cut = cut.index(bytes.len().max(2) - 1);
         if cut < bytes.len() {
             if let Ok(decoded) = CoreImage::decode(&bytes[..cut]) {
@@ -134,7 +134,7 @@ proptest! {
     #[test]
     fn magic_flips_are_rejected(byte in 0usize..4, xor in 1u8..=255) {
         let img = MmImage { vmas: vec![] };
-        let mut bytes = img.encode();
+        let mut bytes = img.encode().unwrap();
         bytes[byte] ^= xor;
         prop_assert!(MmImage::decode(&bytes).is_err());
     }

@@ -217,8 +217,10 @@ pub fn audit_node(node: &Node) -> Vec<Violation> {
 }
 
 /// Audits the device's internal accounting: the `used_pages` counter
-/// against the page slab, and every region's page count against the slab
-/// pages that name it as owner.
+/// against the page slab, every region's page count against the slab
+/// pages that name it as owner, and every page-pool shard's counter
+/// against the live pages bucketed into its offset range (the per-shard
+/// counters must also sum to the device-wide counter).
 pub fn audit_device(device: &CxlDevice) -> Vec<Violation> {
     let mut out = Vec::new();
     let live = device.live_pages();
@@ -230,6 +232,34 @@ pub fn audit_device(device: &CxlDevice) -> Vec<Violation> {
             counted,
             live: live.len() as u64,
         });
+    }
+
+    // Bucket every live page into the shard whose offset range contains
+    // it; each shard's own counter must agree with its bucket, and the
+    // counters must sum back to the device-wide ledger.
+    let shards = device.shard_usage();
+    let mut per_shard: Vec<u64> = vec![0; shards.len()];
+    for (page, _) in &live {
+        if let Some(i) = shards
+            .iter()
+            .position(|s| page.0 >= s.base_page && page.0 < s.base_page + s.capacity_pages)
+        {
+            per_shard[i] += 1;
+        }
+    }
+    for (shard, bucketed) in shards.iter().zip(&per_shard) {
+        if shard.used_pages != *bucketed {
+            out.push(Violation::ShardAccounting {
+                shard: shard.index,
+                base_page: shard.base_page,
+                counted: shard.used_pages,
+                live: *bucketed,
+            });
+        }
+    }
+    let shard_sum: u64 = shards.iter().map(|s| s.used_pages).sum();
+    if shard_sum != counted {
+        out.push(Violation::ShardSumSkew { counted, shard_sum });
     }
 
     let mut per_region: BTreeMap<RegionId, u64> = BTreeMap::new();
@@ -479,6 +509,31 @@ mod tests {
         assert_eq!(audit_device(&device), Vec::new());
         // The committed checkpoint survived reclamation.
         assert_eq!(device.region_committed(published), Some(true));
+    }
+
+    #[test]
+    fn sharded_device_books_balance_through_batch_churn() {
+        // The shard audit reconciles per-shard counters against live
+        // pages bucketed by offset range, across allocation, partial
+        // frees and region destruction.
+        let device = CxlDevice::with_shards(64, 8);
+        let a = device.create_region("ckpt:a");
+        let b = device.create_region("ckpt:b");
+        let pa = device.alloc_batch(a, 23).unwrap();
+        let _pb = device.alloc_batch(b, 17).unwrap();
+        assert!(
+            device
+                .shard_usage()
+                .iter()
+                .filter(|s| s.used_pages > 0)
+                .count()
+                > 1
+        );
+        assert_eq!(audit_device(&device), Vec::new());
+        device.free_batch(&pa[3..11]).unwrap();
+        assert_eq!(audit_device(&device), Vec::new());
+        device.destroy_region(b).unwrap();
+        assert_eq!(audit_device(&device), Vec::new());
     }
 
     #[test]

@@ -171,6 +171,27 @@ pub enum Violation {
         /// Live slab pages owned by the region.
         live: u64,
     },
+    /// A page-pool shard's `used_pages` counter disagrees with the live
+    /// slab pages whose global ids fall inside its offset range.
+    ShardAccounting {
+        /// Shard index (ascending offset ranges).
+        shard: usize,
+        /// First global page id the shard owns.
+        base_page: u64,
+        /// What the shard's counter records.
+        counted: u64,
+        /// Live slab pages bucketed into the shard's range.
+        live: u64,
+    },
+    /// The per-shard `used_pages` counters do not sum to the device-wide
+    /// `used_pages` counter — the region-table books and the shard books
+    /// have diverged.
+    ShardSumSkew {
+        /// What the device-wide `used_pages()` counter reports.
+        counted: u64,
+        /// Sum of the per-shard counters.
+        shard_sum: u64,
+    },
     /// A live device page whose owning region is gone from the region map
     /// — unreclaimable device memory.
     OrphanCxlPage {
@@ -314,6 +335,20 @@ impl fmt::Display for Violation {
                 f,
                 "device: {region} records {counted} pages but owns {live} live slab pages"
             ),
+            Violation::ShardAccounting {
+                shard,
+                base_page,
+                counted,
+                live,
+            } => write!(
+                f,
+                "device: shard {shard} (base page {base_page}) records {counted} used pages \
+                 but {live} live pages fall in its range"
+            ),
+            Violation::ShardSumSkew { counted, shard_sum } => write!(
+                f,
+                "device: used_pages says {counted} but the shard counters sum to {shard_sum}"
+            ),
             Violation::OrphanCxlPage { page, region } => write!(
                 f,
                 "device: live page {page} names destroyed {region} as owner"
@@ -379,5 +414,23 @@ mod tests {
             cycle: vec!["a", "b"],
         };
         assert_eq!(c.to_string(), "lock-order cycle: a -> b -> a");
+
+        let s = Violation::ShardAccounting {
+            shard: 3,
+            base_page: 24,
+            counted: 5,
+            live: 4,
+        }
+        .to_string();
+        assert!(s.contains("shard 3"), "{s}");
+        assert!(s.contains("records 5"), "{s}");
+        assert!(s.contains("4 live pages"), "{s}");
+        let s = Violation::ShardSumSkew {
+            counted: 9,
+            shard_sum: 8,
+        }
+        .to_string();
+        assert!(s.contains("says 9"), "{s}");
+        assert!(s.contains("sum to 8"), "{s}");
     }
 }

@@ -1,6 +1,23 @@
 //! The shared CXL memory device.
+//!
+//! # Sharding
+//!
+//! The page pool is partitioned into up to [`MAX_SHARDS`] *shards* by
+//! contiguous page-offset range: shard `i` owns global page ids
+//! `[i * pages_per_shard, (i+1) * pages_per_shard)`. Each shard keeps its
+//! own slot slab, recycled-slot free list, and traffic counters behind its
+//! own [`TrackedRwLock`], so data-path reads and writes to different
+//! offset ranges never contend — and lockdep still sees every
+//! acquisition, per shard class.
+//!
+//! The region table (and with it the device-wide `used_pages` counter)
+//! lives behind a separate lock that doubles as the allocation
+//! serialization point. The lock order is strictly
+//! `cxl_mem.device.regions` → `cxl_mem.device.shardNN` (ascending shard
+//! index, one shard at a time); data-path page reads/writes take only the
+//! owning shard's lock.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -15,9 +32,38 @@ use crate::{CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
 /// Telemetry layer name for device metrics (`cxl_mem.reads{node=}` …).
 /// Counters mirror [`CxlDeviceStats`] exactly — same increment sites,
 /// same units — so telemetry can be reconciled against device stats as a
-/// second witness. Lock order: telemetry is recorded while the device
-/// state lock is held and never calls back into the device.
+/// second witness. Lock order: telemetry is recorded while a device
+/// lock is held and never calls back into the device.
 const TELEMETRY_LAYER: &str = "cxl_mem";
+
+/// Upper bound on the shard count. Lockdep tracks lock *classes* as
+/// `&'static str` names, so every possible shard needs a pre-declared
+/// class; sixteen is plenty for a simulated device.
+pub const MAX_SHARDS: usize = 16;
+
+/// Default shard count used by [`CxlDevice::new`] /
+/// [`CxlDevice::with_capacity_mib`].
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// One lockdep class per possible shard (see [`MAX_SHARDS`]).
+static SHARD_CLASSES: [&str; MAX_SHARDS] = [
+    "cxl_mem.device.shard00",
+    "cxl_mem.device.shard01",
+    "cxl_mem.device.shard02",
+    "cxl_mem.device.shard03",
+    "cxl_mem.device.shard04",
+    "cxl_mem.device.shard05",
+    "cxl_mem.device.shard06",
+    "cxl_mem.device.shard07",
+    "cxl_mem.device.shard08",
+    "cxl_mem.device.shard09",
+    "cxl_mem.device.shard10",
+    "cxl_mem.device.shard11",
+    "cxl_mem.device.shard12",
+    "cxl_mem.device.shard13",
+    "cxl_mem.device.shard14",
+    "cxl_mem.device.shard15",
+];
 
 /// The fabric-attached CXL memory device, shared by all nodes.
 ///
@@ -25,7 +71,9 @@ const TELEMETRY_LAYER: &str = "cxl_mem";
 /// [`std::sync::Arc`] and hand one handle to each simulated node. Every
 /// access records per-node counters so experiments can report locality and
 /// traffic; latency is charged by callers via
-/// [`simclock::LatencyModel`].
+/// [`simclock::LatencyModel`] (scalar ops via the per-page costs, the
+/// `*_batch`/`*_pages` ops via the batched `cxl_batch_read` /
+/// `cxl_batch_write` costs).
 ///
 /// # Example
 ///
@@ -35,8 +83,9 @@ const TELEMETRY_LAYER: &str = "cxl_mem";
 /// # fn main() -> Result<(), cxl_mem::CxlError> {
 /// let dev = CxlDevice::with_capacity_mib(16);
 /// let region = dev.create_region("ckpt");
-/// let pages = dev.alloc_pages(region, 4)?;
-/// dev.write_page(pages[0], PageData::pattern(1), NodeId(0))?;
+/// let pages = dev.alloc_batch(region, 4)?;
+/// let writes: Vec<_> = pages.iter().map(|&p| (p, PageData::pattern(1))).collect();
+/// dev.write_pages(&writes, NodeId(0))?;
 /// assert_eq!(dev.read_page(pages[0], NodeId(1))?, PageData::pattern(1));
 /// assert_eq!(dev.used_pages(), 4);
 /// dev.destroy_region(region)?;
@@ -47,24 +96,52 @@ const TELEMETRY_LAYER: &str = "cxl_mem";
 #[derive(Debug)]
 pub struct CxlDevice {
     capacity_pages: u64,
-    state: TrackedRwLock<DeviceState>,
+    /// Pages owned by each shard except possibly the last (offset-range
+    /// partition stride); always ≥ 1 when any shard exists.
+    pages_per_shard: u64,
+    shards: Vec<PageShard>,
+    /// Region table plus the device-wide `used_pages` counter. Taking
+    /// this write lock is what serializes allocation, freeing and region
+    /// destruction; page liveness cannot change while it is held.
+    regions: TrackedRwLock<RegionTable>,
     /// Fault-injection hook (see [`crate::FaultHook`]). Kept outside the
-    /// state lock: the hook fires *before* state is touched, and an armed
+    /// state locks: the hook fires *before* state is touched, and an armed
     /// flag keeps the unhooked fast path to one relaxed atomic load.
     hook: RwLock<Option<Arc<dyn FaultHook>>>,
     hook_armed: AtomicBool,
 }
 
+/// One offset-range shard of the page pool.
+#[derive(Debug)]
+struct PageShard {
+    /// First global page id owned by this shard.
+    base: u64,
+    /// Pages owned by this shard.
+    capacity: u64,
+    state: TrackedRwLock<ShardState>,
+}
+
 #[derive(Debug, Default)]
-struct DeviceState {
-    /// Slab of page slots; `None` marks a freed slot awaiting reuse.
-    pages: Vec<Option<PageSlot>>,
-    /// Recycled slot indexes.
+struct ShardState {
+    /// Slab of page slots, indexed by *shard-local* offset; `None` marks
+    /// a freed slot awaiting reuse.
+    slots: Vec<Option<PageSlot>>,
+    /// Recycled shard-local slot indexes (LIFO).
     free: Vec<u64>,
-    used_pages: u64,
+    used: u64,
+    /// Per-shard traffic counters; [`CxlDevice::stats`] merges them, so
+    /// device-wide totals stay increment-exact.
+    stats: CxlDeviceStats,
+}
+
+#[derive(Debug, Default)]
+struct RegionTable {
     regions: BTreeMap<RegionId, Region>,
     next_region: u64,
-    stats: CxlDeviceStats,
+    /// Device-wide allocated-page count. Mutated only under this table's
+    /// write lock, which makes the capacity check + shard sweep in
+    /// [`CxlDevice::alloc_batch`] atomic.
+    used_pages: u64,
 }
 
 #[derive(Debug)]
@@ -110,6 +187,23 @@ impl CxlDeviceStats {
     pub fn total_writes(&self) -> u64 {
         self.writes.values().sum()
     }
+
+    /// Adds every counter from `other` into `self` (used to fold
+    /// per-shard counters into the device-wide view).
+    pub fn merge(&mut self, other: &CxlDeviceStats) {
+        for (node, v) in &other.reads {
+            *self.reads.entry(*node).or_insert(0) += v;
+        }
+        for (node, v) in &other.bytes_written {
+            *self.bytes_written.entry(*node).or_insert(0) += v;
+        }
+        for (node, v) in &other.bytes_read {
+            *self.bytes_read.entry(*node).or_insert(0) += v;
+        }
+        for (node, v) in &other.writes {
+            *self.writes.entry(*node).or_insert(0) += v;
+        }
+    }
 }
 
 /// Usage summary for one region.
@@ -121,6 +215,20 @@ pub struct RegionUsage {
     pub pages: u64,
     /// Live bytes (pages × 4 KiB).
     pub bytes: u64,
+}
+
+/// Usage summary for one page-pool shard, as reported by
+/// [`CxlDevice::shard_usage`] for the `cxl-check` shard-accounting audit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardUsage {
+    /// Shard index (ascending offset ranges).
+    pub index: usize,
+    /// First global page id owned by the shard.
+    pub base_page: u64,
+    /// Pages owned by the shard.
+    pub capacity_pages: u64,
+    /// Pages currently allocated in the shard.
+    pub used_pages: u64,
 }
 
 /// Summary of one *uncommitted* (staging) region, as reported by
@@ -140,11 +248,36 @@ pub struct StagingRegion {
 }
 
 impl CxlDevice {
-    /// Creates a device with a capacity given in pages.
+    /// Creates a device with a capacity given in pages and the default
+    /// shard count ([`DEFAULT_SHARDS`]).
     pub fn new(capacity_pages: u64) -> Self {
+        CxlDevice::with_shards(capacity_pages, DEFAULT_SHARDS)
+    }
+
+    /// Creates a device with an explicit shard count (clamped to
+    /// `1..=`[`MAX_SHARDS`]). Shards partition the page-id space into
+    /// contiguous offset ranges of `capacity_pages.div_ceil(shards)`
+    /// pages; a small device may end up with fewer (non-empty) shards
+    /// than requested.
+    pub fn with_shards(capacity_pages: u64, shards: usize) -> Self {
+        let requested = shards.clamp(1, MAX_SHARDS) as u64;
+        let pages_per_shard = capacity_pages.div_ceil(requested).max(1);
+        let count = capacity_pages.div_ceil(pages_per_shard);
+        let shards = (0..count)
+            .map(|i| {
+                let base = i * pages_per_shard;
+                PageShard {
+                    base,
+                    capacity: pages_per_shard.min(capacity_pages - base),
+                    state: TrackedRwLock::new(SHARD_CLASSES[i as usize], ShardState::default()),
+                }
+            })
+            .collect();
         CxlDevice {
             capacity_pages,
-            state: TrackedRwLock::new("cxl_mem.device", DeviceState::default()),
+            pages_per_shard,
+            shards,
+            regions: TrackedRwLock::new("cxl_mem.device.regions", RegionTable::default()),
             hook: RwLock::new(None),
             hook_armed: AtomicBool::new(false),
         }
@@ -181,9 +314,24 @@ impl CxlDevice {
         self.capacity_pages
     }
 
+    /// Number of page-pool shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maps a global page id to `(shard index, shard-local index)`, or
+    /// `None` if the id is outside the device.
+    fn shard_of(&self, page: CxlPageId) -> Option<(usize, u64)> {
+        if page.0 >= self.capacity_pages {
+            return None;
+        }
+        let s = (page.0 / self.pages_per_shard) as usize;
+        Some((s, page.0 - self.shards[s].base))
+    }
+
     /// Currently allocated pages.
     pub fn used_pages(&self) -> u64 {
-        self.state.read().used_pages
+        self.regions.read().used_pages
     }
 
     /// Currently free pages.
@@ -197,6 +345,24 @@ impl CxlDevice {
             return 1.0;
         }
         self.used_pages() as f64 / self.capacity_pages as f64
+    }
+
+    /// Per-shard usage summary (the `used_pages` values sum to
+    /// [`CxlDevice::used_pages`]; the `cxl-check` shard audit verifies
+    /// exactly that). Taken under the region-table lock, so the snapshot
+    /// is consistent.
+    pub fn shard_usage(&self) -> Vec<ShardUsage> {
+        let _pin = self.regions.read();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| ShardUsage {
+                index,
+                base_page: shard.base,
+                capacity_pages: shard.capacity,
+                used_pages: shard.state.read().used,
+            })
+            .collect()
     }
 
     /// Creates a new (empty) region.
@@ -221,10 +387,10 @@ impl CxlDevice {
         owner: Option<NodeId>,
         epoch: u64,
     ) -> RegionId {
-        let mut st = self.state.write();
-        let id = RegionId(st.next_region);
-        st.next_region += 1;
-        st.regions.insert(
+        let mut rt = self.regions.write();
+        let id = RegionId(rt.next_region);
+        rt.next_region += 1;
+        rt.regions.insert(
             id,
             Region {
                 name: name.to_owned(),
@@ -244,8 +410,8 @@ impl CxlDevice {
     ///
     /// [`CxlError::BadRegion`] if the region does not exist.
     pub fn commit_region(&self, region: RegionId) -> Result<(), CxlError> {
-        let mut st = self.state.write();
-        let r = st
+        let mut rt = self.regions.write();
+        let r = rt
             .regions
             .get_mut(&region)
             .ok_or(CxlError::BadRegion(region))?;
@@ -255,15 +421,15 @@ impl CxlDevice {
 
     /// Whether `region` has been committed (`None` if it does not exist).
     pub fn region_committed(&self, region: RegionId) -> Option<bool> {
-        let st = self.state.read();
-        st.regions.get(&region).map(|r| r.committed)
+        let rt = self.regions.read();
+        rt.regions.get(&region).map(|r| r.committed)
     }
 
     /// Lists every *uncommitted* staging region, for orphan reclamation
     /// and the `cxl-check` staging audit.
     pub fn staging_regions(&self) -> Vec<StagingRegion> {
-        let st = self.state.read();
-        st.regions
+        let rt = self.regions.read();
+        rt.regions
             .iter()
             .filter(|(_, r)| !r.committed)
             .map(|(id, r)| StagingRegion {
@@ -283,28 +449,43 @@ impl CxlDevice {
     /// [`CxlError::OutOfDeviceMemory`] if the device is full;
     /// [`CxlError::BadRegion`] if the region does not exist.
     pub fn alloc_page(&self, region: RegionId) -> Result<CxlPageId, CxlError> {
-        Ok(self.alloc_pages(region, 1)?[0])
+        Ok(self.alloc_batch(region, 1)?[0])
     }
 
-    /// Allocates `n` zeroed pages into `region`.
+    /// Allocates `n` zeroed pages into `region`. Alias for
+    /// [`CxlDevice::alloc_batch`], kept for the scalar-era callers.
     ///
-    /// All-or-nothing: on failure no pages are allocated.
+    /// # Errors
+    ///
+    /// Same as [`CxlDevice::alloc_batch`].
+    pub fn alloc_pages(&self, region: RegionId, n: u64) -> Result<Vec<CxlPageId>, CxlError> {
+        self.alloc_batch(region, n)
+    }
+
+    /// Allocates `n` zeroed pages into `region` as one batch.
+    ///
+    /// All-or-nothing: on failure no pages are allocated. Shards are
+    /// filled first-fit in ascending offset order, recycling freed slots
+    /// (LIFO) before extending a shard's slab — which keeps page-id
+    /// sequences identical to the pre-shard allocator for alloc-only
+    /// workloads. The fault hook is consulted once per *batch* (exactly
+    /// as the scalar-era `alloc_pages` consulted it once per call).
     ///
     /// # Errors
     ///
     /// [`CxlError::OutOfDeviceMemory`] if fewer than `n` pages are free;
     /// [`CxlError::BadRegion`] if the region does not exist.
-    pub fn alloc_pages(&self, region: RegionId, n: u64) -> Result<Vec<CxlPageId>, CxlError> {
+    pub fn alloc_batch(&self, region: RegionId, n: u64) -> Result<Vec<CxlPageId>, CxlError> {
         // Allocations are not attributed to a node at this layer; the
         // sentinel id keeps the hook signature uniform.
         if let Some(err) = self.injected(DeviceOp::Alloc, None, NodeId(u32::MAX)) {
             return Err(err);
         }
-        let mut st = self.state.write();
-        if !st.regions.contains_key(&region) {
+        let mut rt = self.regions.write();
+        if !rt.regions.contains_key(&region) {
             return Err(CxlError::BadRegion(region));
         }
-        let available = self.capacity_pages - st.used_pages;
+        let available = self.capacity_pages - rt.used_pages;
         if n > available {
             return Err(CxlError::OutOfDeviceMemory {
                 requested: n,
@@ -312,27 +493,36 @@ impl CxlDevice {
             });
         }
         let mut out = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            let idx = match st.free.pop() {
-                Some(idx) => {
-                    st.pages[idx as usize] = Some(PageSlot {
+        let mut remaining = n;
+        for shard in &self.shards {
+            if remaining == 0 {
+                break;
+            }
+            let mut st = shard.state.write();
+            while remaining > 0 {
+                let local = if let Some(l) = st.free.pop() {
+                    st.slots[l as usize] = Some(PageSlot {
                         data: PageData::zeroed(),
                         region,
                     });
-                    idx
-                }
-                None => {
-                    st.pages.push(Some(PageSlot {
+                    l
+                } else if (st.slots.len() as u64) < shard.capacity {
+                    st.slots.push(Some(PageSlot {
                         data: PageData::zeroed(),
                         region,
                     }));
-                    (st.pages.len() - 1) as u64
-                }
-            };
-            out.push(CxlPageId(idx));
+                    (st.slots.len() - 1) as u64
+                } else {
+                    break;
+                };
+                st.used += 1;
+                out.push(CxlPageId(shard.base + local));
+                remaining -= 1;
+            }
         }
-        st.used_pages += n;
-        if let Some(r) = st.regions.get_mut(&region) {
+        debug_assert_eq!(remaining, 0, "capacity check vs shard sweep drifted");
+        rt.used_pages += n;
+        if let Some(r) = rt.regions.get_mut(&region) {
             r.pages += n;
         }
         cxl_telemetry::counter_add(TELEMETRY_LAYER, "pages_allocated", None, n);
@@ -344,10 +534,10 @@ impl CxlDevice {
     ///
     /// # Errors
     ///
-    /// Same as [`CxlDevice::alloc_pages`].
+    /// Same as [`CxlDevice::alloc_batch`].
     pub fn alloc_bytes(&self, region: RegionId, bytes: u64) -> Result<Vec<CxlPageId>, CxlError> {
         let pages = bytes.div_ceil(PAGE_SIZE);
-        self.alloc_pages(region, pages)
+        self.alloc_batch(region, pages)
     }
 
     /// Frees one page.
@@ -356,22 +546,71 @@ impl CxlDevice {
     ///
     /// [`CxlError::BadPage`] if the page is not live.
     pub fn free_page(&self, page: CxlPageId) -> Result<(), CxlError> {
-        if let Some(err) = self.injected(DeviceOp::Free, Some(page), NodeId(u32::MAX)) {
-            return Err(err);
+        self.free_batch(std::slice::from_ref(&page)).map(|_| ())
+    }
+
+    /// Frees a batch of pages, returning how many were freed (always
+    /// `pages.len()` on success).
+    ///
+    /// All-or-nothing: every page must be live and listed exactly once,
+    /// or nothing is freed. The fault hook is consulted once per page in
+    /// input order — the same consult sequence the scalar-era per-page
+    /// loop produced, so seeded fault schedules fire identically.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] on the first dead, duplicate or
+    /// out-of-range page.
+    pub fn free_batch(&self, pages: &[CxlPageId]) -> Result<u64, CxlError> {
+        for &p in pages {
+            if let Some(err) = self.injected(DeviceOp::Free, Some(p), NodeId(u32::MAX)) {
+                return Err(err);
+            }
         }
-        let mut st = self.state.write();
-        let slot = st
-            .pages
-            .get_mut(page.0 as usize)
-            .and_then(Option::take)
-            .ok_or(CxlError::BadPage(page))?;
-        st.free.push(page.0);
-        st.used_pages -= 1;
-        if let Some(r) = st.regions.get_mut(&slot.region) {
-            r.pages -= 1;
+        if pages.is_empty() {
+            return Ok(0);
         }
-        cxl_telemetry::counter_add(TELEMETRY_LAYER, "pages_freed", None, 1);
-        Ok(())
+        let mut by_shard: BTreeMap<usize, Vec<(u64, CxlPageId)>> = BTreeMap::new();
+        let mut seen = BTreeSet::new();
+        for &p in pages {
+            let (s, l) = self.shard_of(p).ok_or(CxlError::BadPage(p))?;
+            if !seen.insert(p) {
+                return Err(CxlError::BadPage(p));
+            }
+            by_shard.entry(s).or_default().push((l, p));
+        }
+        let mut rt = self.regions.write();
+        // Validate-then-free in two sweeps. Holding the region-table
+        // write lock pins page liveness (alloc/free/destroy all need it),
+        // so the validation verdict cannot go stale between sweeps, and
+        // each sweep takes only one shard lock at a time, in ascending
+        // order.
+        for (&s, locals) in &by_shard {
+            let st = self.shards[s].state.read();
+            for &(l, p) in locals {
+                if st.slots.get(l as usize).and_then(Option::as_ref).is_none() {
+                    return Err(CxlError::BadPage(p));
+                }
+            }
+        }
+        let mut freed = 0u64;
+        for (&s, locals) in &by_shard {
+            let mut st = self.shards[s].state.write();
+            for &(l, _) in locals {
+                let slot = st.slots[l as usize]
+                    .take()
+                    .expect("liveness pinned under the region-table lock");
+                st.free.push(l);
+                st.used -= 1;
+                if let Some(r) = rt.regions.get_mut(&slot.region) {
+                    r.pages -= 1;
+                }
+                freed += 1;
+            }
+        }
+        rt.used_pages -= freed;
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "pages_freed", None, freed);
+        Ok(freed)
     }
 
     /// Destroys a region, freeing all its pages. Returns the number of pages
@@ -381,22 +620,28 @@ impl CxlDevice {
     ///
     /// [`CxlError::BadRegion`] if the region does not exist.
     pub fn destroy_region(&self, region: RegionId) -> Result<u64, CxlError> {
-        let mut st = self.state.write();
-        let info = st
+        let mut rt = self.regions.write();
+        let info = rt
             .regions
             .remove(&region)
             .ok_or(CxlError::BadRegion(region))?;
         let mut freed = 0;
-        for idx in 0..st.pages.len() {
-            let belongs = matches!(&st.pages[idx], Some(slot) if slot.region == region);
-            if belongs {
-                st.pages[idx] = None;
-                st.free.push(idx as u64);
-                freed += 1;
+        for shard in &self.shards {
+            let mut st = shard.state.write();
+            let ShardState {
+                slots, free, used, ..
+            } = &mut *st;
+            for (l, slot) in slots.iter_mut().enumerate() {
+                if matches!(slot, Some(s) if s.region == region) {
+                    *slot = None;
+                    free.push(l as u64);
+                    *used -= 1;
+                    freed += 1;
+                }
             }
         }
         debug_assert_eq!(freed, info.pages, "region page accounting drifted");
-        st.used_pages -= freed;
+        rt.used_pages -= freed;
         cxl_telemetry::counter_add(TELEMETRY_LAYER, "pages_freed", None, freed);
         Ok(freed)
     }
@@ -407,8 +652,8 @@ impl CxlDevice {
     ///
     /// [`CxlError::BadRegion`] if the region does not exist.
     pub fn region_usage(&self, region: RegionId) -> Result<RegionUsage, CxlError> {
-        let st = self.state.read();
-        let r = st.regions.get(&region).ok_or(CxlError::BadRegion(region))?;
+        let rt = self.regions.read();
+        let r = rt.regions.get(&region).ok_or(CxlError::BadRegion(region))?;
         Ok(RegionUsage {
             name: r.name.clone(),
             pages: r.pages,
@@ -418,8 +663,8 @@ impl CxlDevice {
 
     /// Lists all live regions with their usage.
     pub fn regions(&self) -> Vec<(RegionId, RegionUsage)> {
-        let st = self.state.read();
-        st.regions
+        let rt = self.regions.read();
+        rt.regions
             .iter()
             .map(|(id, r)| {
                 (
@@ -436,24 +681,31 @@ impl CxlDevice {
 
     /// Lists every live page with its owning region, for cross-layer
     /// auditing (`cxl-check` validates that region page counts, the used
-    /// counter, and per-page ownership all agree).
+    /// counter, per-shard counts and per-page ownership all agree).
+    /// Taken under the region-table lock so the sweep over shards sees a
+    /// consistent liveness snapshot.
     pub fn live_pages(&self) -> Vec<(CxlPageId, RegionId)> {
-        let st = self.state.read();
-        st.pages
-            .iter()
-            .enumerate()
-            .filter_map(|(i, slot)| slot.as_ref().map(|s| (CxlPageId(i as u64), s.region)))
-            .collect()
+        let _pin = self.regions.read();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let st = shard.state.read();
+            out.extend(st.slots.iter().enumerate().filter_map(|(l, slot)| {
+                slot.as_ref()
+                    .map(|s| (CxlPageId(shard.base + l as u64), s.region))
+            }));
+        }
+        out
     }
 
     /// Returns the region owning `page`, or `None` if the page is not
     /// live (freed, or never allocated).
     pub fn page_region(&self, page: CxlPageId) -> Option<RegionId> {
-        let st = self.state.read();
-        st.pages
-            .get(page.0 as usize)
+        let (s, l) = self.shard_of(page)?;
+        let st = self.shards[s].state.read();
+        st.slots
+            .get(l as usize)
             .and_then(Option::as_ref)
-            .map(|s| s.region)
+            .map(|slot| slot.region)
     }
 
     /// Reads `buf.len()` bytes at `offset` within `page`, on behalf of
@@ -476,11 +728,12 @@ impl CxlDevice {
         if let Some(err) = self.injected(DeviceOp::Read, Some(page), node) {
             return Err(err);
         }
-        let mut st = self.state.write();
+        let (s, l) = self.shard_of(page).ok_or(CxlError::BadPage(page))?;
+        let mut st = self.shards[s].state.write();
         let len = buf.len() as u64;
         let slot = st
-            .pages
-            .get(page.0 as usize)
+            .slots
+            .get(l as usize)
             .and_then(Option::as_ref)
             .ok_or(CxlError::BadPage(page))?;
         slot.data.read(offset, buf);
@@ -510,10 +763,11 @@ impl CxlDevice {
         if let Some(err) = self.injected(DeviceOp::Write, Some(page), node) {
             return Err(err);
         }
-        let mut st = self.state.write();
+        let (s, l) = self.shard_of(page).ok_or(CxlError::BadPage(page))?;
+        let mut st = self.shards[s].state.write();
         let slot = st
-            .pages
-            .get_mut(page.0 as usize)
+            .slots
+            .get_mut(l as usize)
             .and_then(Option::as_mut)
             .ok_or(CxlError::BadPage(page))?;
         slot.data.write(offset, data);
@@ -530,7 +784,9 @@ impl CxlDevice {
     }
 
     /// Replaces the full contents of `page` (the checkpoint bulk-copy path,
-    /// modelling non-temporal stores, §8).
+    /// modelling non-temporal stores, §8). Scalar form of
+    /// [`CxlDevice::write_pages`] — a batch of one, with identical
+    /// counter increments.
     ///
     /// # Errors
     ///
@@ -541,45 +797,120 @@ impl CxlDevice {
         data: PageData,
         node: NodeId,
     ) -> Result<(), CxlError> {
-        if let Some(err) = self.injected(DeviceOp::Write, Some(page), node) {
-            return Err(err);
+        self.write_pages(&[(page, data)], node)
+    }
+
+    /// Replaces the full contents of every `(page, data)` pair as one
+    /// batched transfer. Counters advance by exactly the same amounts as
+    /// the equivalent sequence of scalar [`CxlDevice::write_page`] calls
+    /// (grouped per shard), and the fault hook is consulted once per page
+    /// in input order before any data moves. Callers charge
+    /// `LatencyModel::cxl_batch_write(pairs.len())` for the transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if any page is not live; earlier pages in
+    /// the batch may already have been written (exactly like a failed
+    /// scalar loop), but no counters are recorded for a shard whose
+    /// sweep failed.
+    pub fn write_pages(
+        &self,
+        writes: &[(CxlPageId, PageData)],
+        node: NodeId,
+    ) -> Result<(), CxlError> {
+        for (p, _) in writes {
+            if let Some(err) = self.injected(DeviceOp::Write, Some(*p), node) {
+                return Err(err);
+            }
         }
-        let mut st = self.state.write();
-        let slot = st
-            .pages
-            .get_mut(page.0 as usize)
-            .and_then(Option::as_mut)
-            .ok_or(CxlError::BadPage(page))?;
-        slot.data = data;
-        *st.stats.writes.entry(node).or_insert(0) += 1;
-        *st.stats.bytes_written.entry(node).or_insert(0) += PAGE_SIZE;
-        cxl_telemetry::counter_add(TELEMETRY_LAYER, "writes", Some(node.0), 1);
-        cxl_telemetry::counter_add(TELEMETRY_LAYER, "bytes_written", Some(node.0), PAGE_SIZE);
+        let mut by_shard: BTreeMap<usize, Vec<(u64, usize)>> = BTreeMap::new();
+        for (pos, (p, _)) in writes.iter().enumerate() {
+            let (s, l) = self.shard_of(*p).ok_or(CxlError::BadPage(*p))?;
+            by_shard.entry(s).or_default().push((l, pos));
+        }
+        for (&s, entries) in &by_shard {
+            let mut st = self.shards[s].state.write();
+            for &(l, pos) in entries {
+                let (p, data) = &writes[pos];
+                let slot = st
+                    .slots
+                    .get_mut(l as usize)
+                    .and_then(Option::as_mut)
+                    .ok_or(CxlError::BadPage(*p))?;
+                slot.data = data.clone();
+            }
+            let k = entries.len() as u64;
+            *st.stats.writes.entry(node).or_insert(0) += k;
+            *st.stats.bytes_written.entry(node).or_insert(0) += k * PAGE_SIZE;
+            cxl_telemetry::counter_add(TELEMETRY_LAYER, "writes", Some(node.0), k);
+            cxl_telemetry::counter_add(
+                TELEMETRY_LAYER,
+                "bytes_written",
+                Some(node.0),
+                k * PAGE_SIZE,
+            );
+        }
         Ok(())
     }
 
     /// Returns a copy of the full contents of `page` (the CoW-fault /
-    /// migrate-on-access pull path).
+    /// migrate-on-access pull path). Scalar form of
+    /// [`CxlDevice::read_pages`] — a batch of one, with identical
+    /// counter increments.
     ///
     /// # Errors
     ///
     /// [`CxlError::BadPage`] if the page is not live.
     pub fn read_page(&self, page: CxlPageId, node: NodeId) -> Result<PageData, CxlError> {
-        if let Some(err) = self.injected(DeviceOp::Read, Some(page), node) {
-            return Err(err);
+        let mut out = self.read_pages(std::slice::from_ref(&page), node)?;
+        Ok(out.remove(0))
+    }
+
+    /// Reads the full contents of every page as one batched transfer,
+    /// returning the copies **in input order**. Counters advance by
+    /// exactly the same amounts as the equivalent sequence of scalar
+    /// [`CxlDevice::read_page`] calls (grouped per shard), and the fault
+    /// hook is consulted once per page in input order before any data
+    /// moves. Callers charge `LatencyModel::cxl_batch_read(pages.len())`
+    /// for the transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if any page is not live; no counters are
+    /// recorded for a shard whose sweep failed.
+    pub fn read_pages(&self, pages: &[CxlPageId], node: NodeId) -> Result<Vec<PageData>, CxlError> {
+        for &p in pages {
+            if let Some(err) = self.injected(DeviceOp::Read, Some(p), node) {
+                return Err(err);
+            }
         }
-        let mut st = self.state.write();
-        let slot = st
-            .pages
-            .get(page.0 as usize)
-            .and_then(Option::as_ref)
-            .ok_or(CxlError::BadPage(page))?;
-        let data = slot.data.clone();
-        *st.stats.reads.entry(node).or_insert(0) += 1;
-        *st.stats.bytes_read.entry(node).or_insert(0) += PAGE_SIZE;
-        cxl_telemetry::counter_add(TELEMETRY_LAYER, "reads", Some(node.0), 1);
-        cxl_telemetry::counter_add(TELEMETRY_LAYER, "bytes_read", Some(node.0), PAGE_SIZE);
-        Ok(data)
+        let mut by_shard: BTreeMap<usize, Vec<(u64, usize)>> = BTreeMap::new();
+        for (pos, &p) in pages.iter().enumerate() {
+            let (s, l) = self.shard_of(p).ok_or(CxlError::BadPage(p))?;
+            by_shard.entry(s).or_default().push((l, pos));
+        }
+        let mut out: Vec<Option<PageData>> = pages.iter().map(|_| None).collect();
+        for (&s, entries) in &by_shard {
+            let mut st = self.shards[s].state.write();
+            for &(l, pos) in entries {
+                let data = st
+                    .slots
+                    .get(l as usize)
+                    .and_then(Option::as_ref)
+                    .map(|slot| slot.data.clone())
+                    .ok_or(CxlError::BadPage(pages[pos]))?;
+                out[pos] = Some(data);
+            }
+            let k = entries.len() as u64;
+            *st.stats.reads.entry(node).or_insert(0) += k;
+            *st.stats.bytes_read.entry(node).or_insert(0) += k * PAGE_SIZE;
+            cxl_telemetry::counter_add(TELEMETRY_LAYER, "reads", Some(node.0), k);
+            cxl_telemetry::counter_add(TELEMETRY_LAYER, "bytes_read", Some(node.0), k * PAGE_SIZE);
+        }
+        Ok(out
+            .into_iter()
+            .map(|d| d.expect("every input position visited in the shard sweep"))
+            .collect())
     }
 
     /// Content fingerprint of a page, for immutability assertions in tests.
@@ -588,10 +919,11 @@ impl CxlDevice {
     ///
     /// [`CxlError::BadPage`] if the page is not live.
     pub fn fingerprint(&self, page: CxlPageId) -> Result<u64, CxlError> {
-        let st = self.state.read();
+        let (s, l) = self.shard_of(page).ok_or(CxlError::BadPage(page))?;
+        let st = self.shards[s].state.read();
         let slot = st
-            .pages
-            .get(page.0 as usize)
+            .slots
+            .get(l as usize)
             .and_then(Option::as_ref)
             .ok_or(CxlError::BadPage(page))?;
         Ok(slot.data.fingerprint())
@@ -627,14 +959,22 @@ impl CxlDevice {
         }
     }
 
-    /// Snapshot of the traffic counters.
+    /// Snapshot of the traffic counters, merged across shards. Totals are
+    /// increment-exact: every scalar or batch operation advanced exactly
+    /// one shard's counters by the amounts the scalar path always used.
     pub fn stats(&self) -> CxlDeviceStats {
-        self.state.read().stats.clone()
+        let mut merged = CxlDeviceStats::default();
+        for shard in &self.shards {
+            merged.merge(&shard.state.read().stats);
+        }
+        merged
     }
 
     /// Resets all traffic counters (between experiment phases).
     pub fn reset_stats(&self) {
-        self.state.write().stats = CxlDeviceStats::default();
+        for shard in &self.shards {
+            shard.state.write().stats = CxlDeviceStats::default();
+        }
     }
 }
 
@@ -832,6 +1172,133 @@ mod tests {
     }
 
     #[test]
+    fn sharded_layout_partitions_capacity() {
+        let d = CxlDevice::with_shards(64, 8);
+        assert_eq!(d.shard_count(), 8);
+        let su = d.shard_usage();
+        assert_eq!(su.iter().map(|s| s.capacity_pages).sum::<u64>(), 64);
+        let mut next = 0;
+        for s in &su {
+            assert_eq!(s.base_page, next, "shard ranges must be contiguous");
+            next += s.capacity_pages;
+        }
+        // Uneven capacity still partitions exactly, possibly with fewer
+        // shards than requested.
+        let d = CxlDevice::with_shards(10, 8);
+        let su = d.shard_usage();
+        assert_eq!(su.iter().map(|s| s.capacity_pages).sum::<u64>(), 10);
+        assert!(su.len() <= 8);
+        // Single shard degenerates to the pre-shard layout.
+        assert_eq!(CxlDevice::with_shards(64, 1).shard_count(), 1);
+        // Requested counts are clamped to the class table.
+        assert!(CxlDevice::with_shards(1 << 20, 10_000).shard_count() <= MAX_SHARDS);
+    }
+
+    #[test]
+    fn batch_ops_round_trip_across_shards_in_input_order() {
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let pages = d.alloc_batch(r, 20).unwrap(); // spans three shards
+        assert_eq!(d.used_pages(), 20);
+        // Request order deliberately interleaves shards.
+        let mut order: Vec<CxlPageId> = Vec::new();
+        for i in 0..10 {
+            order.push(pages[19 - i]);
+            order.push(pages[i]);
+        }
+        let writes: Vec<(CxlPageId, PageData)> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, PageData::pattern(i as u64)))
+            .collect();
+        d.write_pages(&writes, NodeId(0)).unwrap();
+        let datas = d.read_pages(&order, NodeId(1)).unwrap();
+        assert_eq!(datas.len(), order.len());
+        for (i, data) in datas.iter().enumerate() {
+            assert_eq!(*data, PageData::pattern(i as u64), "batch slot {i}");
+        }
+    }
+
+    #[test]
+    fn batch_stats_match_scalar_increments_exactly() {
+        let batch = CxlDevice::with_shards(64, 8);
+        let scalar = CxlDevice::with_shards(64, 8);
+        let rb = batch.create_region("r");
+        let rs = scalar.create_region("r");
+        let pb = batch.alloc_batch(rb, 12).unwrap();
+        let ps: Vec<_> = (0..12).map(|_| scalar.alloc_page(rs).unwrap()).collect();
+        assert_eq!(pb, ps, "batch and scalar allocation orders agree");
+        let writes: Vec<_> = pb.iter().map(|&p| (p, PageData::pattern(9))).collect();
+        batch.write_pages(&writes, NodeId(2)).unwrap();
+        batch.read_pages(&pb, NodeId(3)).unwrap();
+        for &p in &ps {
+            scalar
+                .write_page(p, PageData::pattern(9), NodeId(2))
+                .unwrap();
+            scalar.read_page(p, NodeId(3)).unwrap();
+        }
+        assert_eq!(
+            batch.stats(),
+            scalar.stats(),
+            "counters must stay increment-exact"
+        );
+    }
+
+    #[test]
+    fn free_batch_is_all_or_nothing() {
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let pages = d.alloc_batch(r, 10).unwrap();
+        let mut doomed = pages.clone();
+        doomed.push(CxlPageId(63)); // never allocated
+        assert_eq!(
+            d.free_batch(&doomed).unwrap_err(),
+            CxlError::BadPage(CxlPageId(63))
+        );
+        assert_eq!(d.used_pages(), 10, "failed batch free must free nothing");
+        // Duplicates are rejected before any page is freed.
+        let dup = [pages[0], pages[1], pages[0]];
+        assert_eq!(d.free_batch(&dup).unwrap_err(), CxlError::BadPage(pages[0]));
+        assert_eq!(d.used_pages(), 10);
+        assert_eq!(d.free_batch(&pages).unwrap(), 10);
+        assert_eq!(d.used_pages(), 0);
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let d = CxlDevice::with_shards(16, 4);
+        let r = d.create_region("r");
+        assert!(d.alloc_batch(r, 0).unwrap().is_empty());
+        assert!(d.read_pages(&[], NodeId(0)).unwrap().is_empty());
+        d.write_pages(&[], NodeId(0)).unwrap();
+        assert_eq!(d.free_batch(&[]).unwrap(), 0);
+        assert_eq!(d.stats(), CxlDeviceStats::default());
+        assert_eq!(d.used_pages(), 0);
+    }
+
+    #[test]
+    fn shard_usage_reconciles_with_used_pages() {
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let pages = d.alloc_batch(r, 23).unwrap();
+        d.free_batch(&pages[5..9]).unwrap();
+        let su = d.shard_usage();
+        assert_eq!(
+            su.iter().map(|s| s.used_pages).sum::<u64>(),
+            d.used_pages(),
+            "per-shard used counts must sum to the device total"
+        );
+        // Every live page falls inside exactly one shard's offset range.
+        for (p, _) in d.live_pages() {
+            let owners = su
+                .iter()
+                .filter(|s| p.0 >= s.base_page && p.0 < s.base_page + s.capacity_pages)
+                .count();
+            assert_eq!(owners, 1, "page {p:?} must map to exactly one shard");
+        }
+    }
+
+    #[test]
     fn staged_regions_commit_atomically() {
         let d = dev();
         let r = d.create_region_staged("staging", NodeId(3), 7);
@@ -910,5 +1377,24 @@ mod tests {
         assert!(d.read_page(p, NodeId(0)).is_ok(), "hook fires once");
         d.set_fault_hook(None);
         assert!(d.read_page(p, NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn fault_hook_sees_batch_reads_per_page_in_input_order() {
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let pages = d.alloc_batch(r, 4).unwrap();
+        d.set_fault_hook(Some(Arc::new(FailNthRead {
+            countdown: std::sync::Mutex::new(2),
+        })));
+        // The batch consults the hook once per page in input order, so the
+        // third page trips the schedule — exactly where the scalar loop
+        // would have tripped it — and the whole batch fails before any
+        // counter advances.
+        assert_eq!(
+            d.read_pages(&pages, NodeId(0)).unwrap_err(),
+            CxlError::Transient { op: "read" }
+        );
+        assert_eq!(d.stats().total_reads(), 0, "failed batch counts nothing");
     }
 }

@@ -56,7 +56,10 @@ mod injection;
 pub mod lockdep;
 mod page;
 
-pub use device::{CxlDevice, CxlDeviceStats, RegionGuard, RegionUsage, StagingRegion};
+pub use device::{
+    CxlDevice, CxlDeviceStats, RegionGuard, RegionUsage, ShardUsage, StagingRegion, DEFAULT_SHARDS,
+    MAX_SHARDS,
+};
 pub use error::CxlError;
 pub use fs::{CxlFile, CxlFs};
 pub use ids::{CxlOffset, CxlPageId, NodeId, RegionId};

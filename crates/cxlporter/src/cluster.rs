@@ -56,16 +56,25 @@ impl Cluster {
 
     /// Index of the live node with the most free local memory, or `None`
     /// when every node has failed.
+    ///
+    /// Ties break deterministically toward the **lowest node index**: a
+    /// candidate only displaces the incumbent when its load is *strictly*
+    /// lower, so an evenly loaded cluster always places on the first live
+    /// node and repeated runs schedule identically.
     pub fn least_loaded(&self) -> Option<usize> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !self.failed[*i])
-            .min_by_key(|(_, n)| {
-                // Sort by utilization scaled to integers.
-                (n.frames().utilization() * 1e9) as u64
-            })
-            .map(|(i, _)| i)
+        let mut best: Option<(usize, u64)> = None;
+        for i in self.live_nodes() {
+            // Utilization scaled to integers for exact comparison.
+            let load = (self.nodes[i].frames().utilization() * 1e9) as u64;
+            let improves = match best {
+                None => true,
+                Some((_, incumbent)) => load < incumbent,
+            };
+            if improves {
+                best = Some((i, load));
+            }
+        }
+        best.map(|(i, _)| i)
     }
 
     /// Marks a node as failed; it is skipped by placement from now on.
@@ -127,6 +136,27 @@ mod tests {
         c.mark_failed(0);
         c.mark_failed(1);
         assert_eq!(c.least_loaded(), None);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_toward_lowest_index() {
+        // An evenly loaded cluster always places on the first live node.
+        let mut c = Cluster::new(4, 64, 16, LatencyModel::calibrated());
+        assert_eq!(c.least_loaded(), Some(0), "all empty: lowest index wins");
+        c.mark_failed(0);
+        assert_eq!(c.least_loaded(), Some(1), "ties among live nodes only");
+        // Load node 1: nodes 2 and 3 now tie for emptiest.
+        for _ in 0..100 {
+            c.nodes[1].frames_mut().alloc_zeroed().unwrap();
+        }
+        assert_eq!(c.least_loaded(), Some(2), "equal load: lowest index wins");
+        // Strictly lighter nodes still beat index order.
+        for i in 2..4 {
+            for _ in 0..200 {
+                c.nodes[i].frames_mut().alloc_zeroed().unwrap();
+            }
+        }
+        assert_eq!(c.least_loaded(), Some(1), "strict improvement wins");
     }
 
     #[test]

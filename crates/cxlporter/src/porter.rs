@@ -455,9 +455,7 @@ impl<M: RemoteFork> CxlPorter<M> {
                 NodeId(node as u32),
                 self.torn_epoch,
             );
-            for _ in 0..4 {
-                let _ = self.cluster.device.alloc_page(region);
-            }
+            let _ = self.cluster.device.alloc_batch(region, 4);
         }
 
         // Tear down everything on the dead node. Containers are destroyed

@@ -106,9 +106,9 @@ impl MitosisCxl {
         mount_ns: u64,
         vmas: &[Vma],
         shadow: &[ShadowPage],
-    ) -> Vec<u8> {
+    ) -> Result<Vec<u8>, RforkError> {
         let mut w = ImageWriter::new(DESCRIPTOR_MAGIC);
-        w.put_str(comm);
+        w.put_str(comm)?;
         for r in regs.gpr {
             w.put_u64(r);
         }
@@ -118,7 +118,7 @@ impl MitosisCxl {
         w.put_u64(mount_ns);
         w.put_u32(fds.len() as u32);
         for fd in fds {
-            w.put_str(&fd.path);
+            w.put_str(&fd.path)?;
             w.put_u64(fd.offset);
             w.put_bool(fd.writable);
         }
@@ -129,7 +129,7 @@ impl MitosisCxl {
             w.put_bool(v.prot.read);
             w.put_bool(v.prot.write);
             w.put_bool(v.prot.exec);
-            w.put_str(&v.label);
+            w.put_str(&v.label)?;
             match &v.kind {
                 VmaKind::Anonymous => w.put_u16(0),
                 VmaKind::SharedAnonymous => w.put_u16(2),
@@ -138,7 +138,7 @@ impl MitosisCxl {
                     file_start_page,
                 } => {
                     w.put_u16(1);
-                    w.put_str(path);
+                    w.put_str(path)?;
                     w.put_u64(*file_start_page);
                 }
             }
@@ -151,7 +151,7 @@ impl MitosisCxl {
             w.put_bool(p.accessed);
             w.put_bool(p.file_backed);
         }
-        w.into_bytes()
+        Ok(w.into_bytes())
     }
 }
 
@@ -273,7 +273,7 @@ impl RemoteFork for MitosisCxl {
                 process.task.ns.mount_ns,
                 &vmas,
                 &shadow,
-            );
+            )?;
             (descriptor, shadow, footprint_pages, vmas.len())
         };
 

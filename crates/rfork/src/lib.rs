@@ -164,6 +164,12 @@ pub enum RforkError {
     /// The process uses state the mechanism cannot checkpoint (e.g.
     /// shared anonymous mappings, §4.1).
     Unsupported(String),
+    /// A record is too large for the wire format's 32-bit length prefix
+    /// (the encoder refuses rather than silently truncating the length).
+    OversizedRecord {
+        /// Actual record length in bytes.
+        len: usize,
+    },
     /// Bounded-backoff retries against the CXL device gave up during a
     /// checkpoint or restore: the link stayed transiently faulted
     /// through every attempt.
@@ -184,6 +190,10 @@ impl fmt::Display for RforkError {
             RforkError::Cxl(e) => write!(f, "cxl error during remote fork: {e}"),
             RforkError::BadImage(m) => write!(f, "bad checkpoint image: {m}"),
             RforkError::Unsupported(m) => write!(f, "unsupported process state: {m}"),
+            RforkError::OversizedRecord { len } => write!(
+                f,
+                "record of {len} bytes exceeds the wire format's u32 length prefix"
+            ),
             RforkError::RetriesExhausted { op, attempts, last } => write!(
                 f,
                 "cxl device unavailable during {op} after {attempts} attempts: {last}"

@@ -20,7 +20,7 @@ use crate::RforkError;
 /// # fn main() -> Result<(), rfork::RforkError> {
 /// let mut w = ImageWriter::new(0xC1A0_0001);
 /// w.put_u64(42);
-/// w.put_str("bert");
+/// w.put_str("bert")?;
 /// let bytes = w.into_bytes();
 ///
 /// let mut r = ImageReader::new(&bytes, 0xC1A0_0001)?;
@@ -63,14 +63,27 @@ impl ImageWriter {
     }
 
     /// Appends a length-prefixed byte string.
-    pub fn put_bytes(&mut self, v: &[u8]) {
-        self.put_u32(v.len() as u32);
+    ///
+    /// # Errors
+    ///
+    /// [`RforkError::OversizedRecord`] if `v` does not fit the 32-bit
+    /// length prefix (a `v.len() as u32` cast would silently wrap for
+    /// payloads ≥ 4 GiB and corrupt the image).
+    pub fn put_bytes(&mut self, v: &[u8]) -> Result<(), RforkError> {
+        let len =
+            u32::try_from(v.len()).map_err(|_| RforkError::OversizedRecord { len: v.len() })?;
+        self.put_u32(len);
         self.buf.extend_from_slice(v);
+        Ok(())
     }
 
     /// Appends a length-prefixed UTF-8 string.
-    pub fn put_str(&mut self, v: &str) {
-        self.put_bytes(v.as_bytes());
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ImageWriter::put_bytes`].
+    pub fn put_str(&mut self, v: &str) -> Result<(), RforkError> {
+        self.put_bytes(v.as_bytes())
     }
 
     /// Current encoded length in bytes.
@@ -117,7 +130,13 @@ impl<'a> ImageReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], RforkError> {
-        if self.pos + n > self.buf.len() {
+        // checked_add: a corrupt length prefix near usize::MAX must fail
+        // cleanly instead of wrapping the bound check into an over-read.
+        let in_bounds = self
+            .pos
+            .checked_add(n)
+            .is_some_and(|end| end <= self.buf.len());
+        if !in_bounds {
             return Err(RforkError::BadImage(format!(
                 "truncated image: wanted {n} bytes at offset {}, have {}",
                 self.pos,
@@ -217,8 +236,8 @@ mod tests {
         w.put_u16(513);
         w.put_bool(true);
         w.put_bool(false);
-        w.put_bytes(&[1, 2, 3]);
-        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]).unwrap();
+        w.put_str("héllo").unwrap();
         let bytes = w.into_bytes();
 
         let mut r = ImageReader::new(&bytes, MM_MAGIC).unwrap();
@@ -266,6 +285,21 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ImageReader::new(&bytes, CORE_MAGIC).unwrap();
         assert!(r.get_bool().is_err());
+    }
+
+    #[test]
+    fn corrupt_oversized_length_errors_cleanly() {
+        // A corrupt length prefix far past the buffer — including values
+        // whose `pos + len` would wrap a usize — must produce a clean
+        // BadImage error, never an over-read.
+        let mut w = ImageWriter::new(CORE_MAGIC);
+        w.put_u32(u32::MAX); // claims a ~4 GiB payload follows
+        w.put_bytes(b"tiny").unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ImageReader::new(&bytes, CORE_MAGIC).unwrap();
+        let err = r.get_bytes().unwrap_err();
+        assert!(matches!(err, RforkError::BadImage(_)), "{err}");
+        assert!(err.to_string().contains("truncated image"), "{err}");
     }
 
     #[test]

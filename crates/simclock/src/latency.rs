@@ -239,6 +239,59 @@ impl LatencyModel {
         self.cxl_copy(PAGE_SIZE)
     }
 
+    /// Reading `pages` whole pages from the device as **one batched,
+    /// pipelined transfer**: the first page pays the full scalar cost
+    /// ([`LatencyModel::cxl_copy`] of one page, which includes the
+    /// request round trip), and every further page is pipelined behind
+    /// it, paying only the transfer portion (scalar cost minus one
+    /// round trip). Batch-of-1 therefore costs *exactly* the scalar
+    /// path, and an `n`-page batch is strictly cheaper than `n` scalar
+    /// reads whenever the round trip is non-zero. Zero pages cost zero.
+    ///
+    /// Both terms derive from swept model fields, so the Fig. 9 latency
+    /// sensitivity sweep (which scales round trip and bandwidth
+    /// together) stays reproducible.
+    pub fn cxl_batch_read(&self, pages: u64) -> SimDuration {
+        if pages == 0 {
+            return SimDuration::ZERO;
+        }
+        let scalar = self.cxl_copy(PAGE_SIZE);
+        let pipelined = scalar.saturating_sub(self.cxl_read_round_trip());
+        scalar + pipelined * (pages - 1)
+    }
+
+    /// Writing `pages` whole pages to the device as one batched
+    /// non-temporal stream.
+    ///
+    /// Unlike [`LatencyModel::cxl_batch_read`] there is no round-trip
+    /// discount to claim: the scalar write cost
+    /// ([`LatencyModel::cxl_write_copy`] of one page) is *already* pure
+    /// streaming bandwidth — non-temporal stores post without waiting
+    /// for a per-page completion, which is why `cxl_write_bytes_per_ns`
+    /// beats `cxl_copy_bytes_per_ns` in the first place. Subtracting a
+    /// round trip here would double-count that pipelining and let a
+    /// batch outrun the fabric's write bandwidth. An `n`-page batch
+    /// therefore costs exactly `n` scalar writes (batch-of-1 ≡ scalar
+    /// trivially); the batch API still wins on lock traffic and fault
+    /// cadence, and the latency win lives on the read side.
+    pub fn cxl_batch_write(&self, pages: u64) -> SimDuration {
+        self.cxl_write_copy(PAGE_SIZE) * pages
+    }
+
+    /// Prefetching `pages` dirty pages during restore as one batched
+    /// transfer (the batch form of [`LatencyModel::prefetch_page`]).
+    pub fn prefetch_pages(&self, pages: u64) -> SimDuration {
+        self.cxl_batch_read(pages)
+    }
+
+    /// Reading `extra` *additional* file pages piggybacked on a major
+    /// fault (read-ahead fill): the trap and handler were already paid
+    /// by the triggering fault, so each extra page costs only the media
+    /// read.
+    pub fn file_readahead(&self, extra: u64) -> SimDuration {
+        SimDuration::from_nanos(self.file_read_page_ns) * extra
+    }
+
     /// Creating a container from scratch (≈130 ms, §5).
     pub fn container_create(&self) -> SimDuration {
         SimDuration::from_nanos(self.container_create_ns)
@@ -355,6 +408,54 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn builder_rejects_zero_latency() {
         let _ = LatencyModel::builder().cxl_round_trip_ns(0);
+    }
+
+    #[test]
+    fn batch_of_one_costs_exactly_the_scalar_path() {
+        // The batched-transfer contract: a batch of one page must be
+        // virtual-time-identical to the pre-batch scalar cost, across the
+        // whole Fig. 9 sweep range.
+        for rt in [100u64, 200, 391, 400] {
+            let m = LatencyModel::builder().cxl_round_trip_ns(rt).build();
+            assert_eq!(m.cxl_batch_read(1), m.cxl_copy(PAGE_SIZE), "rt={rt}");
+            assert_eq!(m.cxl_batch_write(1), m.cxl_write_copy(PAGE_SIZE), "rt={rt}");
+            assert_eq!(m.prefetch_pages(1), m.prefetch_page(), "rt={rt}");
+        }
+    }
+
+    #[test]
+    fn batched_transfers_pipeline_strictly_cheaper() {
+        let m = LatencyModel::calibrated();
+        for n in [2u64, 8, 64, 1024] {
+            assert!(
+                m.cxl_batch_read(n) < m.cxl_copy(PAGE_SIZE) * n,
+                "batch read of {n} not cheaper than {n} scalar reads"
+            );
+            // Writes are bandwidth-bound either way: the non-temporal
+            // stream never paid a per-page round trip, so a batch costs
+            // exactly n scalar writes — never less.
+            assert_eq!(m.cxl_batch_write(n), m.cxl_write_copy(PAGE_SIZE) * n);
+            // Still monotone: more pages never cost less.
+            assert!(m.cxl_batch_read(n) > m.cxl_batch_read(n - 1));
+        }
+        assert_eq!(m.cxl_batch_read(0), SimDuration::ZERO);
+        assert_eq!(m.cxl_batch_write(0), SimDuration::ZERO);
+        // Exact shape: scalar + (n-1) * (scalar - round trip).
+        let scalar = m.cxl_copy(PAGE_SIZE);
+        let pipelined = scalar - m.cxl_read_round_trip();
+        assert_eq!(m.cxl_batch_read(5), scalar + pipelined * 4);
+    }
+
+    #[test]
+    fn file_readahead_charges_media_read_only() {
+        let m = LatencyModel::calibrated();
+        assert_eq!(m.file_readahead(0), SimDuration::ZERO);
+        assert_eq!(
+            m.file_readahead(3),
+            SimDuration::from_nanos(m.file_read_page_ns) * 3
+        );
+        // An extra read-ahead page is cheaper than a full major fault.
+        assert!(m.file_readahead(1) < m.file_major_fault());
     }
 
     #[test]

@@ -57,7 +57,13 @@ impl LatencyHistogram {
     }
 
     /// Merges all samples from `other` into `self`.
+    ///
+    /// Merging an empty `other` is a no-op: it neither perturbs the samples
+    /// nor invalidates an already-sorted sample buffer.
     pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.samples.is_empty() {
+            return;
+        }
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
@@ -288,6 +294,46 @@ mod tests {
         assert_eq!(h.percentile(0.75).as_millis(), 30);
         assert_eq!(h.p99().as_millis(), 40);
         assert_eq!(h.min().as_millis(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_edges_do_not_panic() {
+        // Regression: every quantile of an empty histogram — including the
+        // extreme ranks q=0.0 and q=1.0 — must return zero rather than
+        // indexing an empty sample buffer.
+        let mut h = LatencyHistogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), SimDuration::ZERO, "q={q}");
+        }
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn full_quantile_returns_true_max() {
+        // Regression: q=1.0 must select the last sorted sample (the true
+        // max), not run off the end or stop one rank short.
+        let mut h = LatencyHistogram::new();
+        for ms in [7u64, 3, 99, 12, 54] {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.percentile(1.0).as_millis(), 99);
+        assert_eq!(h.percentile(1.0), h.max());
+        // And q=0.0 clamps to the first rank (the true min).
+        assert_eq!(h.percentile(0.0).as_millis(), 3);
+    }
+
+    #[test]
+    fn merge_with_empty_other_is_a_noop() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_millis(5));
+        h.record(SimDuration::from_millis(1));
+        let p50 = h.p50(); // forces a sort
+        let before = h.clone();
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h, before, "empty merge must not perturb the histogram");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.p50(), p50);
     }
 
     #[test]

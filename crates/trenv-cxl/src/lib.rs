@@ -275,8 +275,8 @@ impl RemoteFork for TrEnvCxl {
             });
         }
 
-        let core_bytes = core.encode();
-        let mm_bytes = mm_img.encode();
+        let core_bytes = core.encode()?;
+        let mm_bytes = mm_img.encode()?;
         let pagemap_bytes = pagemap.encode();
         let meta_bytes = (core_bytes.len() + mm_bytes.len() + pagemap_bytes.len()) as u64;
 
