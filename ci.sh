@@ -37,15 +37,19 @@ echo '== fault injection sweep (--features check, 3 seeds) =='
 for seed in 7 1984 4242; do
     echo "-- CXLFAULT_SEED=$seed"
     CXLFAULT_SEED=$seed cargo test --quiet -p cxlfork-bench --features check --test fault_recovery
+    CXLFAULT_SEED=$seed cargo test --quiet -p cxlfork-bench --features check --test capacity_pressure
 done
 
 echo '== release build =='
 cargo build --workspace --release --quiet
 
-echo '== benchmark report drift gate (telemetry armed) =='
+echo '== benchmark report drift gate (telemetry armed, both feature states) =='
 # Regenerates every BENCH_<scenario>.json with telemetry armed,
 # round-trips each through the parser, and fails if any byte differs
 # from the committed file: perf changes must be committed explicitly.
+# The --features check pass proves the audits themselves never move a
+# virtual-time result (armed-vs-unarmed bit-identity).
 cargo run --release --quiet -p cxlfork-bench --bin bench_report -- --check
+cargo run --release --quiet -p cxlfork-bench --features check --bin bench_report -- --check
 
 echo 'CI green.'

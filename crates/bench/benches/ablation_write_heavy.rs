@@ -32,6 +32,7 @@ fn spec_with_rw(rw: f64) -> FunctionSpec {
         rw_pages_per_invocation: ((128.0 * 256.0 * rw) as u64 / 2).max(64),
         compute_ms: 30,
         init_compute_ms: 300,
+        template_overlap: 0.0,
     }
 }
 

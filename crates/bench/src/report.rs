@@ -16,7 +16,8 @@ use simclock::stats::LatencyHistogram;
 use simclock::LatencyModel;
 
 use crate::scenarios::{
-    run_availability, run_cold_start, run_tiering, Scenario, DEFAULT_STEADY_INVOCATIONS,
+    run_availability, run_capacity, run_cold_start, run_tiering, Scenario,
+    DEFAULT_STEADY_INVOCATIONS,
 };
 
 /// Functions the cold-start and tiering reports sweep: the same mix the
@@ -200,12 +201,65 @@ pub fn availability_report(model: &LatencyModel) -> ScenarioTelemetry {
     ScenarioTelemetry { report, data }
 }
 
-/// All three scenario reports in `(name, builder)` form, for the binary
+/// Runs the capacity experiment — [`REPORT_FUNCTIONS`] with half their
+/// library pages shared across runtime templates, checkpointed privately
+/// and through the content-addressed store, plus one pressured
+/// watermark-eviction sweep — with telemetry armed. `e2e` is the
+/// per-function checkpoint cost through the store (the path capacity
+/// management sits on); the dedup ratio and eviction outcomes land in
+/// `capacity.*` counters next to the store's own `cxlstore/*` counters.
+///
+/// # Panics
+///
+/// If the store-backed run does not end with fewer used device pages
+/// than the private baseline on the identical workload.
+pub fn capacity_report(model: &LatencyModel) -> ScenarioTelemetry {
+    let session = TelemetrySession::start();
+    let outcome = run_capacity(&report_suite(), model);
+    let data = session.finish();
+
+    assert!(
+        outcome.store_cxl_pages < outcome.baseline_cxl_pages,
+        "the store must beat the private baseline: {} vs {} pages",
+        outcome.store_cxl_pages,
+        outcome.baseline_cxl_pages,
+    );
+
+    let mut report = BenchReport::new("capacity");
+    report.virtual_ns = virtual_ns(&data);
+    fill_common(&mut report, &data);
+    let mut e2e = LatencyHistogram::new();
+    for (_, cost) in &outcome.checkpoint_costs {
+        e2e.record(*cost);
+    }
+    report.latency(LatencySummary::from_histogram("e2e", &e2e));
+    for (name, cost) in &outcome.checkpoint_costs {
+        let mut h = LatencyHistogram::new();
+        h.record(*cost);
+        report.latency(LatencySummary::from_histogram(&format!("e2e.{name}"), &h));
+    }
+    for (name, value) in [
+        ("capacity.baseline_cxl_pages", outcome.baseline_cxl_pages),
+        ("capacity.store_cxl_pages", outcome.store_cxl_pages),
+        ("capacity.deduped_pages", outcome.store_stats.deduped_pages),
+        ("capacity.fresh_pages", outcome.store_stats.fresh_pages),
+        ("capacity.zero_elided", outcome.store_stats.zero_elided),
+        ("capacity.sweep_evicted_images", outcome.evicted_images),
+        ("capacity.sweep_evicted_pages", outcome.evicted_pages),
+        ("capacity.sweep_survivor_images", outcome.survivor_images),
+    ] {
+        report.counters.push((name.to_string(), value));
+    }
+    ScenarioTelemetry { report, data }
+}
+
+/// All four scenario reports in `(name, builder)` form, for the binary
 /// and CI to iterate.
 pub fn all_reports(model: &LatencyModel) -> Vec<ScenarioTelemetry> {
     vec![
         cold_start_report(model),
         tiering_report(model),
         availability_report(model),
+        capacity_report(model),
     ]
 }

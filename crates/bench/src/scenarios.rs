@@ -373,6 +373,150 @@ pub fn run_availability(
     }
 }
 
+/// Runtime-template page overlap the capacity experiment assumes (half
+/// of each function's library pages come from shared runtime images).
+pub const CAPACITY_TEMPLATE_OVERLAP: f64 = 0.5;
+
+/// Outcome of the capacity experiment: cross-image dedup from shared
+/// runtime templates, plus one watermark eviction sweep under pressure.
+#[derive(Debug)]
+pub struct CapacityOutcome {
+    /// Device pages after checkpointing every function privately
+    /// (no store).
+    pub baseline_cxl_pages: u64,
+    /// Device pages after the identical workload through the
+    /// content-addressed store.
+    pub store_cxl_pages: u64,
+    /// The store's dedup/eviction counters after the dedup phase.
+    pub store_stats: cxl_store::StoreStats,
+    /// Per-function checkpoint cost through the store.
+    pub checkpoint_costs: Vec<(String, SimDuration)>,
+    /// Images the pressured sweep evicted.
+    pub evicted_images: u64,
+    /// Device pages the sweep freed.
+    pub evicted_pages: u64,
+    /// Images that survived the sweep (pinned or below-watermark).
+    pub survivor_images: u64,
+}
+
+/// Runs the capacity experiment.
+///
+/// **Dedup phase** — each of `specs`, with
+/// [`CAPACITY_TEMPLATE_OVERLAP`] of its library pages mapped from
+/// shared runtime images, is deployed, warmed, and checkpointed twice:
+/// once privately and once through a content-addressed [`Store`]
+/// shared by all checkpoints. The device footprints of the two runs
+/// quantify cross-image dedup; a store-backed restore then serves an
+/// invocation to prove the deduped image is live.
+///
+/// **Eviction phase** — a small pressured store (high watermark 0.5,
+/// low 0.25) is filled with 16 images of 256 pages, half of each
+/// image's content shared with every other image. Image 0 is pinned;
+/// the LRU sweep must stop at the low watermark having evicted only
+/// unpinned images, and only their private halves are freed (shared
+/// content stays for the survivors).
+pub fn run_capacity(specs: &[FunctionSpec], model: &LatencyModel) -> CapacityOutcome {
+    use cxl_fault::LeaseTable;
+    use cxl_mem::{NodeId, PageData};
+    use simclock::SimTime;
+
+    let overlapped: Vec<FunctionSpec> = specs
+        .iter()
+        .cloned()
+        .map(|s| s.with_template_overlap(CAPACITY_TEMPLATE_OVERLAP))
+        .collect();
+
+    // Baseline: private checkpoints, no store.
+    let (mut nodes, device, _fs) = two_node_cluster(model);
+    let mut node0 = nodes.remove(0);
+    let fork = CxlFork::new();
+    let mut baseline_ckpts = Vec::new();
+    for spec in &overlapped {
+        let pid = warm_parent(&mut node0, spec, DEFAULT_STEADY_INVOCATIONS);
+        baseline_ckpts.push(fork.checkpoint(&mut node0, pid).expect("checkpoint fits"));
+    }
+    let baseline_cxl_pages = device.used_pages();
+    audit_scenario(&[&node0], &device);
+
+    // Store-backed: the identical workload through one shared store.
+    let (mut nodes, device, _fs) = two_node_cluster(model);
+    let mut node1 = nodes.pop().expect("two nodes");
+    let mut node0 = nodes.pop().expect("two nodes");
+    let store = Arc::new(cxl_store::Store::new(Arc::clone(&device)));
+    let fork = CxlFork::with_store(Arc::clone(&store));
+    let mut checkpoint_costs = Vec::new();
+    let mut ckpts = Vec::new();
+    for spec in &overlapped {
+        let pid = warm_parent(&mut node0, spec, DEFAULT_STEADY_INVOCATIONS);
+        let ckpt = fork.checkpoint(&mut node0, pid).expect("checkpoint fits");
+        checkpoint_costs.push((spec.name.clone(), fork.meta(&ckpt).checkpoint_cost));
+        ckpts.push(ckpt);
+    }
+    let store_cxl_pages = device.used_pages();
+    let store_stats = store.stats();
+    // A store-backed restore must serve a real invocation.
+    let restored = fork
+        .restore_with(&ckpts[0], &mut node1, RestoreOptions::mow())
+        .expect("restore fits");
+    faas::run_invocation(&mut node1, restored.pid, &overlapped[0], 0).expect("invocation");
+    audit_scenario(&[&node0, &node1], &device);
+
+    // Eviction sweep on a dedicated pressured store.
+    const SWEEP_IMAGES: u64 = 16;
+    const IMAGE_PAGES: u64 = 256;
+    const SHARED_PAGES: u64 = IMAGE_PAGES / 2;
+    let sweep_device = Arc::new(CxlDevice::new(4096));
+    let sweep = cxl_store::Store::with_config(
+        Arc::clone(&sweep_device),
+        cxl_store::StoreConfig {
+            high_watermark: 0.5,
+            low_watermark: 0.25,
+        },
+    );
+    let t0 = SimTime::from_nanos(1_000_000_000);
+    let mut leases = LeaseTable::new(SimDuration::from_secs(3600));
+    leases.renew(NodeId(0), t0);
+    let mut images = Vec::new();
+    for i in 0..SWEEP_IMAGES {
+        let data: Vec<PageData> = (0..IMAGE_PAGES)
+            .map(|j| {
+                if j < SHARED_PAGES {
+                    PageData::pattern(1 + j) // shared across every image
+                } else {
+                    PageData::pattern(1_000_000 + i * IMAGE_PAGES + j)
+                }
+            })
+            .collect();
+        let image = sweep.begin_image(&format!("img{i}"), NodeId(0), i, t0);
+        sweep
+            .intern_pages(image, &data, NodeId(0))
+            .expect("sweep image fits");
+        let meta = sweep_device.create_region(&format!("meta{i}"));
+        sweep.commit_image(image, meta);
+        // Staggered restores fix the LRU order to image order.
+        sweep.touch_restore(image, t0 + SimDuration::from_secs(1 + i));
+        images.push(image);
+    }
+    sweep.set_pinned(images[0], true);
+    let sweep_now = t0 + SimDuration::from_secs(3600);
+    let report = sweep.evict_to_low_watermark(&leases, sweep_now);
+    assert!(
+        sweep.is_live(images[0]),
+        "the pinned image must survive the sweep"
+    );
+    let survivor_images = images.iter().filter(|&&i| sweep.is_live(i)).count() as u64;
+
+    CapacityOutcome {
+        baseline_cxl_pages,
+        store_cxl_pages,
+        store_stats,
+        checkpoint_costs,
+        evicted_images: report.images,
+        evicted_pages: report.pages,
+        survivor_images,
+    }
+}
+
 /// The warm execution time of a locally forked child (the "local fork in
 /// an environment without CXL memory" baseline of Fig. 9).
 pub fn local_fork_warm(

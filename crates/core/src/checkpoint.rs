@@ -90,8 +90,12 @@ pub struct CkptLeaf {
 #[derive(Debug)]
 pub struct CxlForkCheckpoint {
     pub(crate) meta: CheckpointMeta,
-    /// The device region holding every checkpoint page.
+    /// The device region holding every checkpoint *metadata* page (and,
+    /// without a store, the data pages too).
     pub region: RegionId,
+    /// The content-addressed store image holding the data pages, when
+    /// the mechanism was built with [`crate::CxlFork::with_store`].
+    pub image: Option<cxl_store::ImageId>,
     /// Private task state.
     pub task: TaskImage,
     /// Lightly-serialized global state (fd paths + permissions).
@@ -153,14 +157,43 @@ pub(crate) fn decode_global_state(bytes: &[u8]) -> Result<Vec<FileDescriptor>, R
     Ok(fds)
 }
 
+/// Aborts a pending store image if the checkpoint fails before
+/// publishing it, mirroring what the staged-region guard does for the
+/// metadata region.
+struct ImageGuard<'s> {
+    store: &'s cxl_store::Store,
+    image: cxl_store::ImageId,
+    armed: bool,
+}
+
+impl ImageGuard<'_> {
+    /// Publishes the image (catalog entry referencing `meta_region`) and
+    /// disarms the rollback.
+    fn commit(mut self, meta_region: RegionId) -> cxl_store::ImageId {
+        self.armed = false;
+        self.store.commit_image(self.image, meta_region);
+        self.image
+    }
+}
+
+impl Drop for ImageGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.store.abort_image(self.image);
+        }
+    }
+}
+
 /// Takes a CXLfork checkpoint of `pid` on `node`.
 ///
 /// Returns the checkpoint and charges the modelled cost to the node's
-/// clock.
+/// clock. With a store, data pages are interned (content-addressed,
+/// deduped across images) instead of written privately.
 pub(crate) fn take_checkpoint(
     node: &mut Node,
     pid: Pid,
     checkpoint_seq: u64,
+    store: Option<&cxl_store::Store>,
 ) -> Result<CxlForkCheckpoint, RforkError> {
     let node_id = node.id();
     let model = node.model().clone();
@@ -294,32 +327,57 @@ pub(crate) fn take_checkpoint(
         })?
     };
 
-    // One batched alloc for the data pages, then one batched write. The
-    // write pairs are built once and reused verbatim across transient
-    // retry attempts, so each attempt is exactly one batch op plus the
-    // policy's backoff — never a rebuilt partial.
-    let dsts = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
-        device.alloc_batch(region, entries.len() as u64)
-    })?;
+    // Materialize the content of every page to checkpoint (local frames
+    // as-is, device-resident sources from the batched read), in
+    // leaf/slot order.
     let mut dev_iter = dev_data.into_iter();
-    let pairs: Vec<(CxlPageId, cxl_mem::PageData)> = sources
+    let datas: Vec<cxl_mem::PageData> = sources
         .into_iter()
-        .zip(dsts.iter().copied())
-        .map(|(src, dst)| {
-            let data = match src {
-                PageSource::Local(d) => d,
-                PageSource::Device(_) => {
-                    dev_iter.next().expect("one read result per device source")
-                }
-            };
-            (dst, data)
+        .map(|src| match src {
+            PageSource::Local(d) => d,
+            PageSource::Device(_) => dev_iter.next().expect("one read result per device source"),
         })
         .collect();
-    if !pairs.is_empty() {
-        dev_retry("checkpoint_copy", &mut retries, &mut retry_backoff, || {
-            device.write_pages(&pairs, node_id)
+
+    // Data pages land either in the content-addressed store (deduped
+    // across images, zero pages elided from the transfer) or privately
+    // in the staging region. Either way the batch ops are built once and
+    // reused verbatim across transient retry attempts, so each attempt
+    // is exactly one batch op plus the policy's backoff — never a
+    // rebuilt partial; `intern_pages` is additionally all-or-nothing per
+    // attempt, so retries never double-count references.
+    let mut image_guard: Option<ImageGuard<'_>> = None;
+    let (dsts, interned) = if let Some(store) = store {
+        let image = store.begin_image(
+            &format!("cxlfork:{}#{}", task.comm, checkpoint_seq),
+            node_id,
+            checkpoint_seq,
+            node.now(),
+        );
+        image_guard = Some(ImageGuard {
+            store,
+            image,
+            armed: true,
+        });
+        let outcome = dev_retry(
+            "checkpoint_intern",
+            &mut retries,
+            &mut retry_backoff,
+            || store.intern_pages(image, &datas, node_id),
+        )?;
+        (outcome.pages.clone(), Some(outcome))
+    } else {
+        let dsts = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
+            device.alloc_batch(region, entries.len() as u64)
         })?;
-    }
+        let pairs: Vec<(CxlPageId, cxl_mem::PageData)> = dsts.iter().copied().zip(datas).collect();
+        if !pairs.is_empty() {
+            dev_retry("checkpoint_copy", &mut retries, &mut retry_backoff, || {
+                device.write_pages(&pairs, node_id)
+            })?;
+        }
+        (dsts, None)
+    };
 
     // REBASE: rewrite every copied entry to its machine-independent CXL
     // page number, read-only + CoW + checkpoint-pinned, keeping the
@@ -405,7 +463,10 @@ pub(crate) fn take_checkpoint(
     // every checkpointed page (data + leaf + VMA + task), plus rebase,
     // plus whatever backoff the transient-fault retries accrued. A
     // one-page checkpoint costs exactly the scalar write path.
-    let copied_pages = data_pages + leaves.len() as u64 + vma_blocks.len() as u64 + 1;
+    // With a store, only the pages whose content actually crossed the
+    // fabric count (dedup hits and elided zero pages moved nothing).
+    let data_transfer = interned.as_ref().map_or(data_pages, |o| o.written);
+    let copied_pages = data_transfer + leaves.len() as u64 + vma_blocks.len() as u64 + 1;
     let copied_bytes = copied_pages * PAGE_SIZE;
     let copy_cost = model.cxl_batch_write(copied_pages);
     let rebase_cost = SimDuration::from_nanos(model.rebase_pointer_ns) * rebased_pointers;
@@ -445,19 +506,25 @@ pub(crate) fn take_checkpoint(
 
     let region_usage = device.region_usage(region)?;
     // Phase two: every page is in place — publish atomically, then
-    // disarm the cleanup guard.
+    // disarm the cleanup guards (region first, then the store image,
+    // which records the committed region as its metadata region).
     device.commit_region(region)?;
     let region = guard.commit();
+    let image = image_guard.map(|g| g.commit(region));
     Ok(CxlForkCheckpoint {
         meta: CheckpointMeta {
             comm: task.comm.clone(),
             footprint_pages,
-            cxl_pages: region_usage.pages,
+            // Pages this checkpoint added to the device: its metadata
+            // region plus (with a store) the freshly interned data pages
+            // — shared content was already resident.
+            cxl_pages: region_usage.pages + interned.as_ref().map_or(0, |o| o.fresh),
             created_at: node.now(),
             checkpoint_cost: cost,
             vma_count,
         },
         region,
+        image,
         task,
         global_bytes,
         vma_blocks,

@@ -79,6 +79,11 @@ use rfork::{CheckpointMeta, RemoteFork, RestoreOptions, Restored, RforkError};
 #[derive(Debug, Default)]
 pub struct CxlFork {
     next_seq: AtomicU64,
+    /// Content-addressed image store. When set, checkpoint data pages
+    /// are interned (deduplicated across images, zero pages elided) and
+    /// restores of an evicted image fail with a typed
+    /// [`RforkError::EvictedImage`] miss.
+    store: Option<std::sync::Arc<cxl_store::Store>>,
     /// Fingerprint seals of every live checkpoint this mechanism took;
     /// restores re-verify them (checkpoints are immutable by design,
     /// §4.2.1).
@@ -87,20 +92,47 @@ pub struct CxlFork {
 }
 
 impl CxlFork {
-    /// Creates the mechanism.
+    /// Creates the mechanism without a store (every checkpoint owns its
+    /// data pages privately).
     pub fn new() -> Self {
         CxlFork::default()
     }
 
+    /// Creates the mechanism with a content-addressed image store:
+    /// checkpoints route their data pages through
+    /// [`cxl_store::Store::intern_pages`], sharing identical content
+    /// across images.
+    pub fn with_store(store: std::sync::Arc<cxl_store::Store>) -> Self {
+        CxlFork {
+            store: Some(store),
+            ..CxlFork::default()
+        }
+    }
+
+    /// The image store, if the mechanism was built with one.
+    pub fn store(&self) -> Option<&std::sync::Arc<cxl_store::Store>> {
+        self.store.as_ref()
+    }
+
     /// Deletes a checkpoint, freeing its CXL region (CXLporter's
-    /// reclamation path, §5).
+    /// reclamation path, §5). With a store, the image's references are
+    /// dropped (shared pages stay for other images) and an
+    /// already-evicted image is a no-op rather than an error.
     ///
     /// # Errors
     ///
-    /// [`RforkError::Cxl`] if the region is already gone.
+    /// [`RforkError::Cxl`] if the region is already gone (store-less
+    /// path only).
     pub fn release(&self, checkpoint: CxlForkCheckpoint, node: &Node) -> Result<u64, RforkError> {
         #[cfg(feature = "check")]
         self.with_seals(|seals| seals.release(checkpoint.region));
+        if let (Some(store), Some(image)) = (&self.store, checkpoint.image) {
+            let data_freed = store.release_image(image);
+            // Eviction already destroyed the metadata region; releasing
+            // an evicted handle is then a clean no-op.
+            let meta_freed = node.device().destroy_region(checkpoint.region).unwrap_or(0);
+            return Ok(data_freed + meta_freed);
+        }
         Ok(node.device().destroy_region(checkpoint.region)?)
     }
 }
@@ -132,7 +164,7 @@ impl RemoteFork for CxlFork {
 
     fn checkpoint(&self, node: &mut Node, pid: Pid) -> Result<CxlForkCheckpoint, RforkError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let ckpt = checkpoint::take_checkpoint(node, pid, seq)?;
+        let ckpt = checkpoint::take_checkpoint(node, pid, seq, self.store.as_deref())?;
         #[cfg(feature = "check")]
         self.with_seals(|seals| {
             seals
@@ -148,7 +180,18 @@ impl RemoteFork for CxlFork {
         node: &mut Node,
         options: RestoreOptions,
     ) -> Result<Restored, RforkError> {
+        // A typed miss, never stale bytes: an image evicted under
+        // capacity pressure is reported as such so the orchestrator can
+        // re-checkpoint instead of diagnosing a mysterious BadImage.
+        if let (Some(store), Some(image)) = (&self.store, checkpoint.image) {
+            if !store.is_live(image) {
+                return Err(RforkError::EvictedImage { image: image.0 });
+            }
+        }
         let restored = restore::restore(checkpoint, node, options)?;
+        if let (Some(store), Some(image)) = (&self.store, checkpoint.image) {
+            store.touch_restore(image, node.now());
+        }
         // Post-condition (`check` builds): a restore must never write
         // through the sealed checkpoint it attaches.
         #[cfg(feature = "check")]
@@ -175,6 +218,10 @@ impl RemoteFork for CxlFork {
 
     fn meta<'c>(&self, checkpoint: &'c CxlForkCheckpoint) -> &'c CheckpointMeta {
         &checkpoint.meta
+    }
+
+    fn image_id(&self, checkpoint: &CxlForkCheckpoint) -> Option<u64> {
+        checkpoint.image.map(|i| i.0)
     }
 
     /// CXLfork restores consume only what the policy migrates: the dirty
@@ -720,6 +767,7 @@ mod tests {
         let forged = CxlForkCheckpoint {
             meta: ckpt.meta.clone(),
             region: torn_region,
+            image: None,
             task: ckpt.task.clone(),
             global_bytes: ckpt.global_bytes.clone(),
             vma_blocks: ckpt.vma_blocks.clone(),
@@ -949,5 +997,146 @@ mod tests {
         );
         // Other pages stay readable.
         assert!(c.nodes[1].access(restored.pid, 6, Access::Read).is_ok());
+    }
+
+    fn store_cluster(n: usize) -> (Cluster, Arc<cxl_store::Store>) {
+        let mut c = cluster(n);
+        let store = Arc::new(cxl_store::Store::new(Arc::clone(&c.device)));
+        c.fork = CxlFork::with_store(Arc::clone(&store));
+        (c, store)
+    }
+
+    #[test]
+    fn store_dedups_identical_content_across_checkpoints() {
+        // Two identical processes checkpointed without a store pay for
+        // every page twice; through the store the second image's pages
+        // all resolve to resident content.
+        let mut plain = cluster(1);
+        let p1 = build_process(&mut plain.nodes[0]);
+        let p2 = build_process(&mut plain.nodes[0]);
+        let base = plain.device.used_pages();
+        let c1 = plain.fork.checkpoint(&mut plain.nodes[0], p1).unwrap();
+        let after_one = plain.device.used_pages() - base;
+        let _c2 = plain.fork.checkpoint(&mut plain.nodes[0], p2).unwrap();
+        let plain_used = plain.device.used_pages() - base;
+        assert_eq!(plain_used, 2 * after_one, "no cross-image sharing");
+
+        let (mut c, store) = store_cluster(1);
+        let q1 = build_process(&mut c.nodes[0]);
+        let q2 = build_process(&mut c.nodes[0]);
+        let base = c.device.used_pages();
+        let s1 = c.fork.checkpoint(&mut c.nodes[0], q1).unwrap();
+        let s2 = c.fork.checkpoint(&mut c.nodes[0], q2).unwrap();
+        let store_used = c.device.used_pages() - base;
+        assert!(
+            store_used < plain_used,
+            "store {store_used} pages vs plain {plain_used}"
+        );
+        let stats = store.stats();
+        // First image: 64 zero-filled anon pages collapse onto one
+        // canonical page (63 intra-image hits). Second image: all 80
+        // pages are already resident.
+        assert_eq!(stats.deduped_pages, 63 + 80);
+        // The canonical zero page was allocated but never written.
+        assert_eq!(stats.zero_elided, 1);
+
+        // Dedup is transparent: the store-backed checkpoints hold the
+        // same bytes per vpn as the plain one.
+        let plain_pages: std::collections::BTreeMap<VirtPageNum, cxl_mem::CxlPageId> = c1
+            .iter_pages()
+            .map(|(vpn, pte)| match pte.target().unwrap() {
+                PhysAddr::Cxl(p) => (vpn, p),
+                PhysAddr::Local(_) => unreachable!("checkpoints live on the device"),
+            })
+            .collect();
+        for ckpt in [&s1, &s2] {
+            for (vpn, pte) in ckpt.iter_pages() {
+                let PhysAddr::Cxl(page) = pte.target().unwrap() else {
+                    unreachable!("checkpoints live on the device")
+                };
+                let got = c.device.read_page(page, cxl_mem::NodeId(0)).unwrap();
+                let want = plain
+                    .device
+                    .read_page(plain_pages[&vpn], cxl_mem::NodeId(0))
+                    .unwrap();
+                assert_eq!(got, want, "vpn {vpn:?} diverged through the store");
+            }
+        }
+    }
+
+    #[test]
+    fn store_backed_restore_matches_the_private_path() {
+        let (mut c, _store) = store_cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        assert!(ckpt.image.is_some());
+        let restored = c
+            .fork
+            .restore_with(
+                &ckpt,
+                &mut c.nodes[1],
+                rfork::RestoreOptions {
+                    policy: rfork::TierPolicy::MigrateOnWrite,
+                    prefetch_dirty: false,
+                    sync_hot_prefetch: false,
+                },
+            )
+            .unwrap();
+        let child = c.nodes[1].process(restored.pid).unwrap();
+        assert_eq!(child.task.regs, Registers::seeded(0xC0FFEE));
+        assert_eq!(child.mm.mapped_cxl_pages(), 80);
+        // File content reads back byte-identically through the deduped
+        // pages.
+        for i in 4096..4112u64 {
+            c.nodes[1].access(restored.pid, i, Access::Read).unwrap();
+        }
+    }
+
+    #[test]
+    fn restoring_an_evicted_image_is_a_typed_miss() {
+        let (mut c, store) = store_cluster(2);
+        let pid = build_process(&mut c.nodes[0]);
+        let ckpt = c.fork.checkpoint(&mut c.nodes[0], pid).unwrap();
+        let image = ckpt.image.unwrap();
+
+        // Force the image out (no pins, no leases => always a victim).
+        let leases = cxl_fault::LeaseTable::new(SimDuration::from_secs(1));
+        let report = store.evict_for(u64::MAX, &leases, c.nodes[0].now());
+        assert_eq!(report.images, 1);
+        assert!(!store.is_live(image));
+
+        let before = c.nodes[1].process_count();
+        let err = c.fork.restore(&ckpt, &mut c.nodes[1]).unwrap_err();
+        assert!(
+            matches!(err, RforkError::EvictedImage { image: i } if i == image.0),
+            "got {err}"
+        );
+        assert_eq!(c.nodes[1].process_count(), before, "no zombie process");
+        // Releasing the stale handle afterwards is a clean no-op.
+        assert_eq!(c.fork.release(ckpt, &c.nodes[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn store_release_keeps_content_shared_with_other_images() {
+        let (mut c, store) = store_cluster(1);
+        let p1 = build_process(&mut c.nodes[0]);
+        let p2 = build_process(&mut c.nodes[0]);
+        let base = c.device.used_pages();
+        let c1 = c.fork.checkpoint(&mut c.nodes[0], p1).unwrap();
+        let after_one = c.device.used_pages() - base;
+        let c2 = c.fork.checkpoint(&mut c.nodes[0], p2).unwrap();
+
+        // Releasing the first image frees only its private metadata —
+        // every data page is still referenced by the second image.
+        c.fork.release(c1, &c.nodes[0]).unwrap();
+        assert_eq!(
+            c.device.used_pages() - base,
+            after_one,
+            "shared data pages survive the first release"
+        );
+        // Releasing the last image drains the store completely.
+        c.fork.release(c2, &c.nodes[0]).unwrap();
+        assert_eq!(c.device.used_pages(), base);
+        assert!(store.index_snapshot().is_empty());
     }
 }

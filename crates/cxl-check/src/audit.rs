@@ -304,6 +304,64 @@ pub fn audit_device_with_live(
     out
 }
 
+/// Audits the checkpoint store's content index against the image catalog
+/// and the device:
+///
+/// * every index entry's refcount must equal the references the
+///   committed + pending images account for (with multiplicity), and
+///   every image-held fingerprint must have an index entry — otherwise
+///   [`Violation::ContentIndexSkew`];
+/// * every index entry's device page must be live and its current
+///   content must still hash to the fingerprint that names it —
+///   otherwise [`Violation::DanglingIndexEntry`].
+///
+/// Like the other auditors this is a read-only walk: content is verified
+/// through [`CxlDevice::fingerprint_pages`], which moves no counters and
+/// triggers no fault hooks.
+pub fn audit_store(store: &cxl_store::Store) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let device = store.device();
+    let index = store.index_snapshot();
+    let mut expected = store.live_reference_counts();
+
+    // Batch-fingerprint the whole index; one dead page fails the batch,
+    // so fall back to per-page probes to attribute the failure.
+    let pages: Vec<cxl_mem::CxlPageId> = index.iter().map(|e| e.page).collect();
+    let observed: Vec<Option<u64>> = match device.fingerprint_pages(&pages) {
+        Ok(fps) => fps.into_iter().map(Some).collect(),
+        Err(_) => pages.iter().map(|&p| device.fingerprint(p).ok()).collect(),
+    };
+
+    for (entry, observed) in index.iter().zip(observed) {
+        if observed != Some(entry.fingerprint) {
+            out.push(Violation::DanglingIndexEntry {
+                fingerprint: entry.fingerprint,
+                page: entry.page,
+                observed,
+            });
+        }
+        let counted = expected.remove(&entry.fingerprint).unwrap_or(0);
+        if entry.refs != counted {
+            out.push(Violation::ContentIndexSkew {
+                fingerprint: entry.fingerprint,
+                page: entry.page,
+                actual: entry.refs,
+                expected: counted,
+            });
+        }
+    }
+    // Fingerprints some image still references but the index forgot.
+    for (fingerprint, counted) in expected {
+        out.push(Violation::ContentIndexSkew {
+            fingerprint,
+            page: cxl_mem::CxlPageId(u64::MAX),
+            actual: 0,
+            expected: counted,
+        });
+    }
+    out
+}
+
 /// Audits checkpoint staging regions against the set of live owners:
 /// every *uncommitted* region whose owner is not in `live_owners` is a
 /// torn checkpoint that lease reclamation should have destroyed, and is
@@ -534,6 +592,84 @@ mod tests {
         assert_eq!(audit_device(&device), Vec::new());
         device.destroy_region(b).unwrap();
         assert_eq!(audit_device(&device), Vec::new());
+    }
+
+    #[test]
+    fn store_index_balances_and_forced_refcount_skew_is_reported() {
+        let device = Arc::new(CxlDevice::with_capacity_mib(16));
+        let store = cxl_store::Store::new(Arc::clone(&device));
+        let owner = cxl_mem::NodeId(0);
+        let img = store.begin_image("fn:a#1", owner, 1, simclock::SimTime::ZERO);
+        let datas = vec![PageData::pattern(7), PageData::pattern(7), PageData::Zero];
+        let outcome = store.intern_pages(img, &datas, owner).unwrap();
+        let meta = device.create_region("ckpt:a");
+        store.commit_image(img, meta);
+        assert_eq!(audit_store(&store), Vec::new());
+
+        // A lost dec_ref (or phantom inc) desynchronizes the index from
+        // the catalog: exactly one ContentIndexSkew, naming the entry.
+        let fp = PageData::pattern(7).fingerprint();
+        store.debug_force_refs(fp, 9);
+        assert_eq!(
+            audit_store(&store),
+            vec![Violation::ContentIndexSkew {
+                fingerprint: fp,
+                page: outcome.pages[0],
+                actual: 9,
+                expected: 2,
+            }]
+        );
+        // Restoring the true count closes the books again.
+        store.debug_force_refs(fp, 2);
+        assert_eq!(audit_store(&store), Vec::new());
+    }
+
+    #[test]
+    fn dead_or_mutated_index_pages_are_reported_as_dangling() {
+        let device = Arc::new(CxlDevice::with_capacity_mib(16));
+        let store = cxl_store::Store::new(Arc::clone(&device));
+        let owner = cxl_mem::NodeId(0);
+        let img = store.begin_image("fn:a#1", owner, 1, simclock::SimTime::ZERO);
+        let outcome = store
+            .intern_pages(img, &[PageData::pattern(7)], owner)
+            .unwrap();
+        let meta = device.create_region("ckpt:a");
+        store.commit_image(img, meta);
+
+        // An index entry pointing at a freed device page: dangling (the
+        // page is dead) and skewed (no image accounts for it).
+        let scratch = device.create_region("scratch");
+        let dead = device.alloc_page(scratch).unwrap();
+        device.free_page(dead).unwrap();
+        store.debug_plant_index_entry(0xDEAD, dead, 1);
+        let violations = audit_store(&store);
+        assert!(violations.contains(&Violation::DanglingIndexEntry {
+            fingerprint: 0xDEAD,
+            page: dead,
+            observed: None,
+        }));
+        assert!(violations.contains(&Violation::ContentIndexSkew {
+            fingerprint: 0xDEAD,
+            page: dead,
+            actual: 1,
+            expected: 0,
+        }));
+        assert_eq!(violations.len(), 2);
+
+        // Mutating an interned page behind the store's back breaks the
+        // content addressing contract: the entry's fingerprint no longer
+        // matches what the page holds.
+        store.debug_plant_index_entry(0xDEAD, outcome.pages[0], 0);
+        let fp = PageData::pattern(7).fingerprint();
+        device
+            .write_page(outcome.pages[0], PageData::pattern(99), owner)
+            .unwrap();
+        let violations = audit_store(&store);
+        assert!(violations.contains(&Violation::DanglingIndexEntry {
+            fingerprint: fp,
+            page: outcome.pages[0],
+            observed: Some(PageData::pattern(99).fingerprint()),
+        }));
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod audit;
 pub mod lockorder;
 pub mod seal;
 
-pub use audit::{audit_device, audit_device_with_live, audit_node, audit_staging, NodeAudit};
+pub use audit::{
+    audit_device, audit_device_with_live, audit_node, audit_staging, audit_store, NodeAudit,
+};
 pub use lockorder::{check_lock_order, lock_order_cycles};
 pub use seal::SealRegistry;
 
@@ -228,6 +230,31 @@ pub enum Violation {
         /// The freed page.
         page: CxlPageId,
     },
+    /// A checkpoint-store content-index entry whose refcount disagrees
+    /// with the image references the catalog can account for.
+    ContentIndexSkew {
+        /// Content fingerprint of the entry.
+        fingerprint: u64,
+        /// Device page the index maps the fingerprint to.
+        page: CxlPageId,
+        /// Refcount the index records.
+        actual: u64,
+        /// References counted across the image catalog (committed and
+        /// pending images, with multiplicity).
+        expected: u64,
+    },
+    /// A checkpoint-store content-index entry whose device page is gone,
+    /// or whose stored content no longer hashes to the fingerprint that
+    /// names it.
+    DanglingIndexEntry {
+        /// Content fingerprint the index records.
+        fingerprint: u64,
+        /// The dead or mutated device page.
+        page: CxlPageId,
+        /// Fingerprint of the page's current content (`None` if the
+        /// page is no longer live on the device).
+        observed: Option<u64>,
+    },
     /// A cycle in the observed lock-order graph — a potential deadlock.
     LockOrderCycle {
         /// The lock classes forming the cycle, smallest class first; the
@@ -373,6 +400,31 @@ impl fmt::Display for Violation {
             Violation::SealMissingPage { region, page } => {
                 write!(f, "seal {region}: sealed page {page} is no longer live")
             }
+            Violation::ContentIndexSkew {
+                fingerprint,
+                page,
+                actual,
+                expected,
+            } => write!(
+                f,
+                "store: index entry {fingerprint:#018x} ({page}) records {actual} refs, \
+                 catalog accounts for {expected}"
+            ),
+            Violation::DanglingIndexEntry {
+                fingerprint,
+                page,
+                observed,
+            } => match observed {
+                Some(observed) => write!(
+                    f,
+                    "store: index entry {fingerprint:#018x} maps to {page} whose content \
+                     hashes to {observed:#018x}"
+                ),
+                None => write!(
+                    f,
+                    "store: index entry {fingerprint:#018x} maps to dead device page {page}"
+                ),
+            },
             Violation::LockOrderCycle { cycle } => {
                 write!(f, "lock-order cycle: ")?;
                 for class in cycle {

@@ -929,6 +929,42 @@ impl CxlDevice {
         Ok(slot.data.fingerprint())
     }
 
+    /// Content fingerprints of every page, **in input order**, grouped by
+    /// shard (like [`CxlDevice::read_pages`]) so hashing a whole
+    /// checkpoint image acquires each shard lock once instead of once per
+    /// page. Like the scalar [`CxlDevice::fingerprint`], this is an
+    /// integrity primitive, not a modelled transfer: no traffic counters
+    /// advance and the fault hook is not consulted. A batch of one
+    /// returns exactly what the scalar call does.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if any page is not live.
+    pub fn fingerprint_pages(&self, pages: &[CxlPageId]) -> Result<Vec<u64>, CxlError> {
+        let mut by_shard: BTreeMap<usize, Vec<(u64, usize)>> = BTreeMap::new();
+        for (pos, &p) in pages.iter().enumerate() {
+            let (s, l) = self.shard_of(p).ok_or(CxlError::BadPage(p))?;
+            by_shard.entry(s).or_default().push((l, pos));
+        }
+        let mut out: Vec<Option<u64>> = pages.iter().map(|_| None).collect();
+        for (&s, entries) in &by_shard {
+            let st = self.shards[s].state.read();
+            for &(l, pos) in entries {
+                let fp = st
+                    .slots
+                    .get(l as usize)
+                    .and_then(Option::as_ref)
+                    .map(|slot| slot.data.fingerprint())
+                    .ok_or(CxlError::BadPage(pages[pos]))?;
+                out[pos] = Some(fp);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|f| f.expect("every input position visited in the shard sweep"))
+            .collect())
+    }
+
     /// Creates a region wrapped in a [`RegionGuard`] that destroys it on
     /// drop unless [`RegionGuard::commit`]ed — the pattern checkpoint
     /// builders use so a failed (e.g. out-of-device-memory) checkpoint
@@ -1242,6 +1278,47 @@ mod tests {
             scalar.stats(),
             "counters must stay increment-exact"
         );
+    }
+
+    #[test]
+    fn fingerprint_pages_matches_scalar_and_input_order() {
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let pages = d.alloc_batch(r, 20).unwrap(); // spans three shards
+        let writes: Vec<(CxlPageId, PageData)> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, PageData::pattern(i as u64)))
+            .collect();
+        d.write_pages(&writes, NodeId(0)).unwrap();
+        // Request order deliberately interleaves shards.
+        let mut order: Vec<CxlPageId> = Vec::new();
+        for i in 0..10 {
+            order.push(pages[19 - i]);
+            order.push(pages[i]);
+        }
+        let stats_before = d.stats();
+        let batch = d.fingerprint_pages(&order).unwrap();
+        assert_eq!(batch.len(), order.len());
+        for (i, (&p, &fp)) in order.iter().zip(&batch).enumerate() {
+            assert_eq!(fp, d.fingerprint(p).unwrap(), "batch slot {i}");
+        }
+        // Batch-of-1 ≡ scalar, and fingerprinting (either form) records
+        // no traffic.
+        assert_eq!(
+            d.fingerprint_pages(std::slice::from_ref(&pages[3]))
+                .unwrap(),
+            vec![d.fingerprint(pages[3]).unwrap()]
+        );
+        assert_eq!(d.stats(), stats_before, "fingerprinting is traffic-free");
+        // A dead page fails the whole batch.
+        let mut doomed = order.clone();
+        doomed.push(CxlPageId(63));
+        assert_eq!(
+            d.fingerprint_pages(&doomed).unwrap_err(),
+            CxlError::BadPage(CxlPageId(63))
+        );
+        assert!(d.fingerprint_pages(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,995 @@
+//! Content-addressed checkpoint image store over the simulated CXL
+//! device.
+//!
+//! The paper keeps checkpoint images resident in a *finite* CXL device
+//! and shares them across restores. Before this crate the workspace
+//! deduplicated only clones of the *same* checkpoint: two function
+//! templates whose address spaces contain identical runtime, library, or
+//! zero pages paid for every byte twice, and nothing ever evicted — the
+//! device simply filled until allocation exhaustion.
+//!
+//! [`Store`] fixes both halves:
+//!
+//! * **Cross-image dedup.** A refcounted content index maps the 64-bit
+//!   page fingerprint ([`PageData::fingerprint`]) to one device page.
+//!   `CxlFork::checkpoint` routes its batched data-page writes through
+//!   [`Store::intern_pages`]; a page whose content is already resident
+//!   (in *any* image) resolves to the existing device page and moves no
+//!   bytes. Zero pages are elided entirely from the transfer: freshly
+//!   allocated device pages are already zeroed, so the canonical zero
+//!   page costs one allocation and no write, ever.
+//! * **Capacity-pressure GC.** An image catalog tracks per-image
+//!   metadata — owner, epoch, pinned/lease state (leases from
+//!   [`cxl_fault::LeaseTable`]), last-restore virtual time — and drives
+//!   epoch-based GC plus watermark eviction: when device utilization
+//!   crosses the high watermark, unpinned images whose lease holder is
+//!   not live are evicted in LRU-by-last-restore order until utilization
+//!   falls below the low watermark. A restore of an evicted image gets a
+//!   typed miss from the mechanism (never stale bytes), and the porter
+//!   re-checkpoints on the next eligible invocation.
+//!
+//! Interning is all-or-nothing per attempt: a failed allocation or write
+//! rolls the attempt's device pages back and leaves the index untouched,
+//! so `cxl_fault::with_backoff`-style retries never double-count
+//! references.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use cxl_fault::LeaseTable;
+use cxl_mem::{CxlDevice, CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
+use simclock::SimTime;
+
+/// Telemetry layer name for store counters.
+const TELEMETRY_LAYER: &str = "cxlstore";
+
+/// Identifies one checkpoint image in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ImageId(pub u64);
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "image#{}", self.0)
+    }
+}
+
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Device utilization (`used_pages / capacity`) above which eviction
+    /// starts.
+    pub high_watermark: f64,
+    /// Utilization eviction drives down to once it starts (hysteresis so
+    /// the store does not thrash at the boundary).
+    pub low_watermark: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            high_watermark: 0.85,
+            low_watermark: 0.70,
+        }
+    }
+}
+
+/// What one [`Store::intern_pages`] call did, page-accounted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternOutcome {
+    /// The device page backing each input page, **in input order**.
+    /// Shared content repeats the same page id.
+    pub pages: Vec<CxlPageId>,
+    /// Device pages newly allocated by this call (content not previously
+    /// resident), including a canonical zero page if one was minted.
+    pub fresh: u64,
+    /// Pages whose bytes actually crossed the fabric (`fresh` minus the
+    /// zero pages elided because fresh allocations are already zeroed).
+    pub written: u64,
+    /// Input pages resolved to an already-resident device page.
+    pub shared: u64,
+    /// Input pages that were all-zero (always transfer-free).
+    pub zero: u64,
+}
+
+/// Monotonic counters describing store activity since creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total pages interned (inputs to [`Store::intern_pages`]).
+    pub interned_pages: u64,
+    /// Inputs resolved to an existing device page (cross- or
+    /// intra-image).
+    pub deduped_pages: u64,
+    /// Device pages newly allocated for content.
+    pub fresh_pages: u64,
+    /// Zero-page inputs whose transfer was elided.
+    pub zero_elided: u64,
+    /// Images evicted under capacity pressure or epoch GC.
+    pub evicted_images: u64,
+    /// Device pages freed by eviction/GC/release (data + metadata).
+    pub evicted_pages: u64,
+    /// Images released explicitly by their owner.
+    pub released_images: u64,
+}
+
+impl StoreStats {
+    /// Fabric bytes the store avoided moving (dedup hits plus elided
+    /// zero writes).
+    pub fn bytes_saved(&self) -> u64 {
+        (self.deduped_pages + self.zero_elided) * PAGE_SIZE
+    }
+
+    /// Interned-to-written ratio (1.0 = no sharing; higher = better).
+    pub fn dedup_ratio(&self) -> f64 {
+        let written = self
+            .fresh_pages
+            .saturating_sub(self.zero_elided.min(self.fresh_pages));
+        if written == 0 {
+            return self.interned_pages as f64;
+        }
+        self.interned_pages as f64 / written as f64
+    }
+}
+
+/// Per-image catalog entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageMeta {
+    /// Human-readable label (mirrors the checkpoint region name).
+    pub label: String,
+    /// Node that took the checkpoint.
+    pub owner: NodeId,
+    /// Checkpoint epoch (the mechanism's sequence number).
+    pub epoch: u64,
+    /// Pinned images are never evicted.
+    pub pinned: bool,
+    /// A node currently depending on this image (running instances
+    /// restored from it). While the holder's lease is live in the
+    /// [`LeaseTable`], the image is exempt from eviction.
+    pub lease: Option<NodeId>,
+    /// Virtual time the image was created.
+    pub created_at: SimTime,
+    /// Virtual time of the most recent restore (eviction is
+    /// LRU-by-last-restore).
+    pub last_restore: SimTime,
+    /// The checkpoint's metadata region (leaves, VMA blocks, task,
+    /// globals) — destroyed along with the image on eviction.
+    pub meta_region: RegionId,
+    /// Content fingerprints referenced by this image, with multiplicity.
+    fingerprints: Vec<u64>,
+}
+
+impl ImageMeta {
+    /// Distinct data-page references held by this image (with
+    /// multiplicity; equals the checkpoint's data page count).
+    pub fn data_refs(&self) -> u64 {
+        self.fingerprints.len() as u64
+    }
+}
+
+/// A content-index entry as seen by auditors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntrySnapshot {
+    /// Content fingerprint.
+    pub fingerprint: u64,
+    /// Device page holding that content.
+    pub page: CxlPageId,
+    /// Number of image references (with multiplicity).
+    pub refs: u64,
+}
+
+/// What one eviction/GC sweep freed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionReport {
+    /// Images removed from the catalog.
+    pub images: u64,
+    /// Device pages freed (shared data pages whose refcount reached
+    /// zero, plus each image's metadata region).
+    pub pages: u64,
+}
+
+#[derive(Debug)]
+struct IndexEntry {
+    page: CxlPageId,
+    refs: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// The store-owned committed region holding all deduped data pages.
+    region: RegionId,
+    /// fingerprint → (device page, refcount).
+    index: BTreeMap<u64, IndexEntry>,
+    /// Committed images, by id.
+    catalog: BTreeMap<u64, ImageMeta>,
+    /// Images begun but not yet committed (mid-checkpoint).
+    pending: BTreeMap<u64, ImageMeta>,
+    next_image: u64,
+    stats: StoreStats,
+}
+
+/// The content-addressed checkpoint image store. Cheap to share
+/// (`Arc<Store>`); all methods take `&self`.
+#[derive(Debug)]
+pub struct Store {
+    device: Arc<CxlDevice>,
+    config: StoreConfig,
+    inner: parking_lot::Mutex<Inner>,
+}
+
+impl Store {
+    /// Creates a store over `device` with default watermarks.
+    pub fn new(device: Arc<CxlDevice>) -> Self {
+        Store::with_config(device, StoreConfig::default())
+    }
+
+    /// Creates a store with explicit watermarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < low_watermark <= high_watermark <= 1`.
+    pub fn with_config(device: Arc<CxlDevice>, config: StoreConfig) -> Self {
+        assert!(
+            config.low_watermark > 0.0
+                && config.low_watermark <= config.high_watermark
+                && config.high_watermark <= 1.0,
+            "store watermarks must satisfy 0 < low <= high <= 1, got {config:?}"
+        );
+        let region = device.create_region("cxl-store:data");
+        Store {
+            device,
+            config,
+            inner: parking_lot::Mutex::new(Inner {
+                region,
+                index: BTreeMap::new(),
+                catalog: BTreeMap::new(),
+                pending: BTreeMap::new(),
+                next_image: 1,
+                stats: StoreStats::default(),
+            }),
+        }
+    }
+
+    /// The device this store allocates from.
+    pub fn device(&self) -> &Arc<CxlDevice> {
+        &self.device
+    }
+
+    /// The store's watermark configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// The committed region owning every deduped data page.
+    pub fn data_region(&self) -> RegionId {
+        self.inner.lock().region
+    }
+
+    /// Activity counters since creation.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Registers a new (pending) image. The image holds no pages until
+    /// [`Store::intern_pages`] runs, and is invisible to eviction until
+    /// [`Store::commit_image`].
+    pub fn begin_image(&self, label: &str, owner: NodeId, epoch: u64, now: SimTime) -> ImageId {
+        let mut inner = self.inner.lock();
+        let id = inner.next_image;
+        inner.next_image += 1;
+        inner.pending.insert(
+            id,
+            ImageMeta {
+                label: label.to_owned(),
+                owner,
+                epoch,
+                pinned: false,
+                lease: None,
+                created_at: now,
+                last_restore: now,
+                meta_region: RegionId(u64::MAX),
+                fingerprints: Vec::new(),
+            },
+        );
+        ImageId(id)
+    }
+
+    /// Interns a batch of page contents for `image`, returning the
+    /// backing device page for each input **in input order**. Content
+    /// already resident (in any image, or earlier in this batch) resolves
+    /// to the existing page and moves no bytes; zero pages cost one
+    /// allocation ever and no write. Callers charge
+    /// `LatencyModel::cxl_batch_write(outcome.written)` for the transfer.
+    ///
+    /// All-or-nothing per attempt: on error every device page this call
+    /// allocated is freed again and the index is untouched, so wrapping
+    /// the call in `cxl_fault::with_backoff` retries cannot double-count
+    /// references.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device allocation/write failures (including injected
+    /// faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not a pending image of this store.
+    pub fn intern_pages(
+        &self,
+        image: ImageId,
+        data: &[PageData],
+        node: NodeId,
+    ) -> Result<InternOutcome, CxlError> {
+        let mut inner = self.inner.lock();
+        assert!(
+            inner.pending.contains_key(&image.0),
+            "intern_pages on unknown or committed {image}"
+        );
+
+        // Resolve each input against the index and this batch's own
+        // misses; plan allocations for content seen for the first time.
+        let fps: Vec<u64> = data.iter().map(PageData::fingerprint).collect();
+        let mut planned: BTreeMap<u64, usize> = BTreeMap::new(); // fp → miss slot
+        let mut miss_payload: Vec<&PageData> = Vec::new();
+        let mut shared = 0u64;
+        let mut zero = 0u64;
+        for (fp, d) in fps.iter().zip(data) {
+            if matches!(d, PageData::Zero) {
+                zero += 1;
+            }
+            if inner.index.contains_key(fp) || planned.contains_key(fp) {
+                shared += 1;
+            } else {
+                planned.insert(*fp, miss_payload.len());
+                miss_payload.push(d);
+            }
+        }
+
+        let allocated = self
+            .device
+            .alloc_batch(inner.region, miss_payload.len() as u64)?;
+        // Fresh allocations are already zeroed, so only non-zero misses
+        // cross the fabric.
+        let writes: Vec<(CxlPageId, PageData)> = miss_payload
+            .iter()
+            .zip(&allocated)
+            .filter(|(d, _)| !matches!(d, PageData::Zero))
+            .map(|(d, &p)| (p, (*d).clone()))
+            .collect();
+        if let Err(e) = self.device.write_pages(&writes, node) {
+            // Roll the attempt back so a retry starts from scratch; the
+            // rollback free itself retries transients rather than leak.
+            let (_, _) = cxl_fault::with_backoff(&cxl_fault::BackoffPolicy::default(), || {
+                self.device.free_batch(&allocated)
+            });
+            return Err(e);
+        }
+
+        // Device state is in place — publish to the index and the image.
+        for (fp, slot) in &planned {
+            inner.index.insert(
+                *fp,
+                IndexEntry {
+                    page: allocated[*slot],
+                    refs: 0,
+                },
+            );
+        }
+        let mut pages = Vec::with_capacity(fps.len());
+        for fp in &fps {
+            let entry = inner.index.get_mut(fp).expect("resolved above");
+            entry.refs += 1;
+            pages.push(entry.page);
+        }
+        inner
+            .pending
+            .get_mut(&image.0)
+            .expect("checked above")
+            .fingerprints
+            .extend_from_slice(&fps);
+
+        let fresh = allocated.len() as u64;
+        let written = writes.len() as u64;
+        let outcome = InternOutcome {
+            pages,
+            fresh,
+            written,
+            shared,
+            zero,
+        };
+        let stats = &mut inner.stats;
+        stats.interned_pages += fps.len() as u64;
+        stats.deduped_pages += shared;
+        stats.fresh_pages += fresh;
+        stats.zero_elided += fresh - written;
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "interned", Some(node.0), fps.len() as u64);
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "dedup_hits", Some(node.0), shared);
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "fresh_pages", Some(node.0), fresh);
+        cxl_telemetry::counter_add(
+            TELEMETRY_LAYER,
+            "bytes_saved",
+            Some(node.0),
+            (fps.len() as u64 - written) * PAGE_SIZE,
+        );
+        Ok(outcome)
+    }
+
+    /// Publishes a pending image into the catalog. `meta_region` is the
+    /// checkpoint's committed metadata region; eviction destroys it along
+    /// with the image's data references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not pending.
+    pub fn commit_image(&self, image: ImageId, meta_region: RegionId) {
+        let mut inner = self.inner.lock();
+        let mut meta = inner
+            .pending
+            .remove(&image.0)
+            .unwrap_or_else(|| panic!("commit_image on unknown {image}"));
+        meta.meta_region = meta_region;
+        inner.catalog.insert(image.0, meta);
+    }
+
+    /// Abandons a pending image (failed checkpoint), dropping its index
+    /// references and freeing any now-unreferenced device pages. Returns
+    /// the number of data pages freed. No-op for unknown ids.
+    pub fn abort_image(&self, image: ImageId) -> u64 {
+        let mut inner = self.inner.lock();
+        let Some(meta) = inner.pending.remove(&image.0) else {
+            return 0;
+        };
+        let fps = meta.fingerprints;
+        Self::drop_refs(&self.device, &mut inner, &fps)
+    }
+
+    /// True while `image` is restorable (committed and not evicted).
+    pub fn is_live(&self, image: ImageId) -> bool {
+        self.inner.lock().catalog.contains_key(&image.0)
+    }
+
+    /// A copy of the catalog entry, if live.
+    pub fn image_meta(&self, image: ImageId) -> Option<ImageMeta> {
+        self.inner.lock().catalog.get(&image.0).cloned()
+    }
+
+    /// Number of committed images.
+    pub fn image_count(&self) -> usize {
+        self.inner.lock().catalog.len()
+    }
+
+    /// Records a successful restore at `now` (LRU bookkeeping). No-op
+    /// for unknown ids.
+    pub fn touch_restore(&self, image: ImageId, now: SimTime) {
+        if let Some(meta) = self.inner.lock().catalog.get_mut(&image.0) {
+            meta.last_restore = meta.last_restore.max(now);
+        }
+    }
+
+    /// Pins or unpins an image. Pinned images are never evicted.
+    pub fn set_pinned(&self, image: ImageId, pinned: bool) {
+        if let Some(meta) = self.inner.lock().catalog.get_mut(&image.0) {
+            meta.pinned = pinned;
+        }
+    }
+
+    /// Marks `holder` as depending on the image (e.g. running instances
+    /// restored from it). While the holder's lease is live, the image is
+    /// exempt from eviction. `None` clears the lease.
+    pub fn set_lease(&self, image: ImageId, holder: Option<NodeId>) {
+        if let Some(meta) = self.inner.lock().catalog.get_mut(&image.0) {
+            meta.lease = holder;
+        }
+    }
+
+    /// Releases a committed image: drops its index references, frees
+    /// now-unreferenced data pages, and forgets the catalog entry. The
+    /// metadata region is the caller's to destroy (the mechanism owns
+    /// it). Returns the number of data pages freed; no-op for unknown
+    /// ids.
+    pub fn release_image(&self, image: ImageId) -> u64 {
+        let mut inner = self.inner.lock();
+        let Some(meta) = inner.catalog.remove(&image.0) else {
+            return 0;
+        };
+        let fps = meta.fingerprints;
+        let freed = Self::drop_refs(&self.device, &mut inner, &fps);
+        inner.stats.released_images += 1;
+        inner.stats.evicted_pages += freed;
+        freed
+    }
+
+    /// Evicts images until device utilization is at or below the low
+    /// watermark — but only once it exceeds the high watermark
+    /// (hysteresis). Candidates are committed images that are not pinned
+    /// and whose lease holder (if any) is not live in `leases` at `now`;
+    /// they go in LRU-by-last-restore order (ties: lowest id). Each
+    /// eviction frees the image's unshared data pages and destroys its
+    /// metadata region.
+    pub fn evict_to_low_watermark(&self, leases: &LeaseTable, now: SimTime) -> EvictionReport {
+        if self.device.utilization() <= self.config.high_watermark {
+            return EvictionReport::default();
+        }
+        self.evict_while(leases, now, |device| {
+            device.utilization() > self.config.low_watermark
+        })
+    }
+
+    /// Evicts (same candidate rules as
+    /// [`Store::evict_to_low_watermark`]) until at least `pages` device
+    /// pages are free, regardless of watermarks — the porter's
+    /// capacity-aware placement hook. Returns what was freed; check
+    /// `device.free_pages()` afterwards to see whether the goal was met.
+    pub fn evict_for(&self, pages: u64, leases: &LeaseTable, now: SimTime) -> EvictionReport {
+        self.evict_while(leases, now, |device| device.free_pages() < pages)
+    }
+
+    /// Releases every unpinned, unleased image whose epoch is strictly
+    /// below `min_epoch` (epoch-based GC).
+    pub fn gc_epochs_below(
+        &self,
+        min_epoch: u64,
+        leases: &LeaseTable,
+        now: SimTime,
+    ) -> EvictionReport {
+        let mut report = EvictionReport::default();
+        loop {
+            let candidate = {
+                let inner = self.inner.lock();
+                inner
+                    .catalog
+                    .iter()
+                    .filter(|(_, m)| m.epoch < min_epoch && Self::evictable(m, leases, now))
+                    .map(|(&id, _)| ImageId(id))
+                    .next()
+            };
+            let Some(id) = candidate else {
+                return report;
+            };
+            let freed = self.evict_image(id);
+            report.images += 1;
+            report.pages += freed;
+        }
+    }
+
+    /// Aborts pending images whose owner's lease has lapsed — the
+    /// store-side half of crash-orphan reclamation
+    /// ([`cxl_fault::reclaim_orphans`] destroys the on-device staging
+    /// regions; this drops the index references a dead node's
+    /// mid-checkpoint intern calls took). Returns data pages freed.
+    pub fn reclaim_orphan_pending(&self, leases: &LeaseTable, now: SimTime) -> u64 {
+        let mut inner = self.inner.lock();
+        let orphans: Vec<u64> = inner
+            .pending
+            .iter()
+            .filter(|(_, m)| !leases.is_live(m.owner, now))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut freed = 0;
+        for id in orphans {
+            let fps = inner
+                .pending
+                .remove(&id)
+                .expect("collected above")
+                .fingerprints;
+            freed += Self::drop_refs(&self.device, &mut inner, &fps);
+        }
+        freed
+    }
+
+    /// The content index, for auditors ([`IndexEntrySnapshot`] per
+    /// entry, fingerprint-ordered).
+    pub fn index_snapshot(&self) -> Vec<IndexEntrySnapshot> {
+        self.inner
+            .lock()
+            .index
+            .iter()
+            .map(|(&fingerprint, e)| IndexEntrySnapshot {
+                fingerprint,
+                page: e.page,
+                refs: e.refs,
+            })
+            .collect()
+    }
+
+    /// Reference counts the index *should* hold, recomputed from the
+    /// catalog and pending images (fingerprint → multiplicity).
+    pub fn live_reference_counts(&self) -> BTreeMap<u64, u64> {
+        let inner = self.inner.lock();
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for meta in inner.catalog.values().chain(inner.pending.values()) {
+            for &fp in &meta.fingerprints {
+                *counts.entry(fp).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Test hook: overwrites an index entry's refcount, desynchronizing
+    /// it from the catalog (seeds `ContentIndexSkew`).
+    #[doc(hidden)]
+    pub fn debug_force_refs(&self, fingerprint: u64, refs: u64) {
+        if let Some(e) = self.inner.lock().index.get_mut(&fingerprint) {
+            e.refs = refs;
+        }
+    }
+
+    /// Test hook: plants an index entry pointing at an arbitrary (e.g.
+    /// freed) device page (seeds `DanglingIndexEntry`).
+    #[doc(hidden)]
+    pub fn debug_plant_index_entry(&self, fingerprint: u64, page: CxlPageId, refs: u64) {
+        self.inner
+            .lock()
+            .index
+            .insert(fingerprint, IndexEntry { page, refs });
+    }
+
+    fn evictable(meta: &ImageMeta, leases: &LeaseTable, now: SimTime) -> bool {
+        if meta.pinned {
+            return false;
+        }
+        match meta.lease {
+            Some(holder) => !leases.is_live(holder, now),
+            None => true,
+        }
+    }
+
+    /// Evicts LRU-first while `keep_going(device)` holds and candidates
+    /// remain.
+    fn evict_while(
+        &self,
+        leases: &LeaseTable,
+        now: SimTime,
+        keep_going: impl Fn(&CxlDevice) -> bool,
+    ) -> EvictionReport {
+        let mut report = EvictionReport::default();
+        while keep_going(&self.device) {
+            let victim = {
+                let inner = self.inner.lock();
+                inner
+                    .catalog
+                    .iter()
+                    .filter(|(_, m)| Self::evictable(m, leases, now))
+                    .min_by_key(|(&id, m)| (m.last_restore, id))
+                    .map(|(&id, _)| ImageId(id))
+            };
+            let Some(id) = victim else {
+                break;
+            };
+            let freed = self.evict_image(id);
+            report.images += 1;
+            report.pages += freed;
+        }
+        if report.images > 0 {
+            cxl_telemetry::counter_add(TELEMETRY_LAYER, "evicted_images", None, report.images);
+            cxl_telemetry::counter_add(TELEMETRY_LAYER, "evicted_pages", None, report.pages);
+            cxl_telemetry::record_span(
+                "cxlstore.evict",
+                0,
+                now,
+                now,
+                &[("images", report.images), ("pages", report.pages)],
+            );
+        }
+        report
+    }
+
+    /// Removes one committed image: drops data refs, frees unshared
+    /// pages, destroys the metadata region. Returns total pages freed.
+    fn evict_image(&self, image: ImageId) -> u64 {
+        let mut inner = self.inner.lock();
+        let Some(meta) = inner.catalog.remove(&image.0) else {
+            return 0;
+        };
+        let mut freed = Self::drop_refs(&self.device, &mut inner, &meta.fingerprints);
+        freed += self.device.destroy_region(meta.meta_region).unwrap_or(0);
+        inner.stats.evicted_images += 1;
+        inner.stats.evicted_pages += freed;
+        freed
+    }
+
+    /// Decrements refcounts for `fps` and frees device pages whose count
+    /// reaches zero. Returns pages freed.
+    fn drop_refs(device: &CxlDevice, inner: &mut Inner, fps: &[u64]) -> u64 {
+        let mut to_free = Vec::new();
+        for fp in fps {
+            let entry = inner
+                .index
+                .get_mut(fp)
+                .expect("image references only indexed content");
+            entry.refs -= 1;
+            if entry.refs == 0 {
+                to_free.push(inner.index.remove(fp).expect("present").page);
+            }
+        }
+        if to_free.is_empty() {
+            return 0;
+        }
+        // `free_batch` is all-or-nothing and its fault hook fires before
+        // any mutation, so retrying a transient fault cannot double-free;
+        // giving up instead would leak the pages for the store's
+        // lifetime.
+        let (freed, _) = cxl_fault::with_backoff(&cxl_fault::BackoffPolicy::default(), || {
+            device.free_batch(&to_free)
+        });
+        freed.unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimDuration;
+
+    fn device() -> Arc<CxlDevice> {
+        Arc::new(CxlDevice::new(256))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn intern(
+        store: &Store,
+        label: &str,
+        data: &[PageData],
+        now: SimTime,
+    ) -> (ImageId, InternOutcome) {
+        let img = store.begin_image(label, NodeId(0), 1, now);
+        let out = store.intern_pages(img, data, NodeId(0)).unwrap();
+        let meta = store.device().create_region(label);
+        store.commit_image(img, meta);
+        (img, out)
+    }
+
+    #[test]
+    fn identical_content_across_images_shares_one_device_page() {
+        let store = Store::new(device());
+        let payload = vec![PageData::pattern(7), PageData::pattern(8)];
+        let (_, a) = intern(&store, "a", &payload, t(1));
+        let (_, b) = intern(&store, "b", &payload, t(2));
+        assert_eq!(a.fresh, 2);
+        assert_eq!(a.written, 2);
+        assert_eq!(b.fresh, 0);
+        assert_eq!(b.shared, 2);
+        assert_eq!(a.pages, b.pages, "second image reuses the same pages");
+        let stats = store.stats();
+        assert_eq!(stats.interned_pages, 4);
+        assert_eq!(stats.deduped_pages, 2);
+        assert_eq!(stats.bytes_saved(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn zero_pages_cost_one_allocation_and_no_write() {
+        let d = device();
+        let store = Store::new(Arc::clone(&d));
+        let reads_before = d.stats().total_writes();
+        let payload = vec![PageData::Zero, PageData::Zero, PageData::Zero];
+        let (_, out) = intern(&store, "z", &payload, t(1));
+        assert_eq!(out.fresh, 1, "one canonical zero page");
+        assert_eq!(out.written, 0, "zero transfer elided");
+        assert_eq!(out.zero, 3);
+        assert_eq!(out.shared, 2, "second and third hit the canonical page");
+        assert_eq!(out.pages[0], out.pages[1]);
+        assert_eq!(d.stats().total_writes(), reads_before, "no bytes moved");
+        // A later image's zeroes share the same canonical page.
+        let (_, out2) = intern(&store, "z2", &[PageData::Zero], t(2));
+        assert_eq!(out2.fresh, 0);
+        assert_eq!(out2.pages[0], out.pages[0]);
+    }
+
+    #[test]
+    fn release_frees_unshared_pages_but_keeps_shared_content() {
+        let d = device();
+        let store = Store::new(Arc::clone(&d));
+        let shared_page = PageData::pattern(1);
+        let (a, _) = intern(
+            &store,
+            "a",
+            &[shared_page.clone(), PageData::pattern(2)],
+            t(1),
+        );
+        let (_b, outb) = intern(
+            &store,
+            "b",
+            &[shared_page.clone(), PageData::pattern(3)],
+            t(2),
+        );
+        let used = d.used_pages();
+        let freed = store.release_image(a);
+        assert_eq!(freed, 1, "only a's private page is freed");
+        assert_eq!(d.used_pages(), used - 1);
+        assert!(!store.is_live(a));
+        // b's view of the shared page still resolves and reads back.
+        let data = d.read_page(outb.pages[0], NodeId(0)).unwrap();
+        assert_eq!(data, shared_page);
+    }
+
+    #[test]
+    fn aborting_a_pending_image_rolls_its_references_back() {
+        let d = device();
+        let store = Store::new(Arc::clone(&d));
+        let (_, committed) = intern(&store, "keep", &[PageData::pattern(9)], t(1));
+        let before = d.used_pages();
+        let img = store.begin_image("doomed", NodeId(1), 2, t(2));
+        store
+            .intern_pages(
+                img,
+                &[PageData::pattern(9), PageData::pattern(10)],
+                NodeId(1),
+            )
+            .unwrap();
+        assert_eq!(store.abort_image(img), 1, "private page freed");
+        assert_eq!(d.used_pages(), before);
+        // The surviving image's content is untouched.
+        assert_eq!(
+            d.read_page(committed.pages[0], NodeId(0)).unwrap(),
+            PageData::pattern(9)
+        );
+        // Index holds exactly one entry again.
+        assert_eq!(store.index_snapshot().len(), 1);
+    }
+
+    #[test]
+    fn failed_intern_is_all_or_nothing() {
+        use cxl_mem::DeviceOp;
+        let d = device();
+        let store = Store::new(Arc::clone(&d));
+        let (_, _) = intern(&store, "base", &[PageData::pattern(1)], t(1));
+        let used = d.used_pages();
+        let snapshot = store.index_snapshot();
+
+        // Inject a write fault: the intern attempt must roll back.
+        #[derive(Debug)]
+        struct FailWrites;
+        impl cxl_mem::FaultHook for FailWrites {
+            fn inject(
+                &self,
+                op: DeviceOp,
+                _page: Option<CxlPageId>,
+                _node: NodeId,
+            ) -> Option<CxlError> {
+                (op == DeviceOp::Write).then_some(CxlError::Transient { op: "write" })
+            }
+        }
+        d.set_fault_hook(Some(Arc::new(FailWrites)));
+        let img = store.begin_image("fails", NodeId(0), 2, t(2));
+        let err = store
+            .intern_pages(
+                img,
+                &[PageData::pattern(1), PageData::pattern(2)],
+                NodeId(0),
+            )
+            .unwrap_err();
+        assert!(err.is_transient());
+        d.set_fault_hook(None);
+
+        assert_eq!(d.used_pages(), used, "allocations rolled back");
+        assert_eq!(store.index_snapshot(), snapshot, "index untouched");
+        // The retry succeeds and refcounts end up right (refs=2 for the
+        // shared fingerprint, not 3).
+        let out = store
+            .intern_pages(
+                img,
+                &[PageData::pattern(1), PageData::pattern(2)],
+                NodeId(0),
+            )
+            .unwrap();
+        assert_eq!(out.fresh, 1);
+        let refs: Vec<u64> = store.index_snapshot().iter().map(|e| e.refs).collect();
+        assert_eq!(refs.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_respects_pins_and_leases() {
+        let d = Arc::new(CxlDevice::new(64));
+        let store = Store::with_config(
+            Arc::clone(&d),
+            StoreConfig {
+                high_watermark: 0.3,
+                low_watermark: 0.2,
+            },
+        );
+        let mut leases = LeaseTable::new(SimDuration::from_secs(10));
+        leases.renew(NodeId(2), t(100));
+
+        // Four images, ten private pages each.
+        let mk = |i: u64, now| {
+            let data: Vec<PageData> = (0..10).map(|p| PageData::pattern(i * 100 + p)).collect();
+            intern(&store, &format!("img{i}"), &data, now).0
+        };
+        let a = mk(1, t(1)); // LRU
+        let b = mk(2, t(2));
+        let c = mk(3, t(3));
+        let e = mk(4, t(4));
+        store.set_pinned(b, true);
+        store.set_lease(c, Some(NodeId(2))); // live lease at t(100)
+        store.touch_restore(a, t(50)); // now e is LRU, then a
+
+        assert!(d.utilization() > 0.3);
+        let report = store.evict_to_low_watermark(&leases, t(100));
+        // e (last_restore t4) goes first, then a (t50); b pinned and c
+        // leased survive even though utilization stays high.
+        assert_eq!(report.images, 2);
+        assert!(!store.is_live(e) && !store.is_live(a));
+        assert!(store.is_live(b) && store.is_live(c));
+
+        // Once the lease lapses, c becomes evictable; b never does.
+        let report = store.evict_to_low_watermark(&leases, t(200));
+        assert_eq!(report.images, 1);
+        assert!(!store.is_live(c));
+        assert!(store.is_live(b));
+        let report = store.evict_to_low_watermark(&leases, t(201));
+        assert_eq!(report.images, 0, "only the pinned image remains");
+        assert!(store.is_live(b));
+    }
+
+    #[test]
+    fn hysteresis_below_high_watermark_evicts_nothing() {
+        let d = Arc::new(CxlDevice::new(1024));
+        let store = Store::new(Arc::clone(&d));
+        let leases = LeaseTable::new(SimDuration::from_secs(10));
+        let (img, _) = intern(&store, "small", &[PageData::pattern(1)], t(1));
+        let report = store.evict_to_low_watermark(&leases, t(2));
+        assert_eq!(report, EvictionReport::default());
+        assert!(store.is_live(img));
+    }
+
+    #[test]
+    fn epoch_gc_releases_only_older_unpinned_epochs() {
+        let d = device();
+        let store = Store::new(Arc::clone(&d));
+        let leases = LeaseTable::new(SimDuration::from_secs(10));
+        let mk = |label: &str, epoch| {
+            let img = store.begin_image(label, NodeId(0), epoch, t(epoch));
+            store
+                .intern_pages(img, &[PageData::pattern(epoch * 7)], NodeId(0))
+                .unwrap();
+            store.commit_image(img, store.device().create_region(label));
+            img
+        };
+        let old = mk("old", 1);
+        let mid = mk("mid", 2);
+        let new = mk("new", 3);
+        store.set_pinned(mid, true);
+        let report = store.gc_epochs_below(3, &leases, t(10));
+        assert_eq!(report.images, 1);
+        assert!(!store.is_live(old));
+        assert!(store.is_live(mid), "pinned survives GC");
+        assert!(store.is_live(new));
+    }
+
+    #[test]
+    fn orphaned_pending_images_are_reclaimed_when_the_lease_lapses() {
+        let d = device();
+        let store = Store::new(Arc::clone(&d));
+        let mut leases = LeaseTable::new(SimDuration::from_secs(5));
+        leases.renew(NodeId(1), t(1));
+        let img = store.begin_image("torn", NodeId(1), 1, t(1));
+        store
+            .intern_pages(
+                img,
+                &[PageData::pattern(1), PageData::pattern(2)],
+                NodeId(1),
+            )
+            .unwrap();
+        // Lease still live: nothing reclaimed.
+        assert_eq!(store.reclaim_orphan_pending(&leases, t(2)), 0);
+        // Lease lapsed: the torn image's pages come back.
+        assert_eq!(store.reclaim_orphan_pending(&leases, t(60)), 2);
+        assert_eq!(d.used_pages(), 0);
+        assert!(store.index_snapshot().is_empty());
+    }
+
+    #[test]
+    fn reference_counts_reconcile_with_the_catalog() {
+        let store = Store::new(device());
+        let shared = PageData::pattern(5);
+        intern(&store, "a", &[shared.clone(), PageData::pattern(6)], t(1));
+        intern(&store, "b", &[shared.clone(), shared.clone()], t(2));
+        let expected = store.live_reference_counts();
+        for e in store.index_snapshot() {
+            assert_eq!(expected.get(&e.fingerprint), Some(&e.refs));
+        }
+        assert_eq!(expected.values().sum::<u64>(), 4);
+    }
+}

@@ -18,9 +18,11 @@
 //!    pressure so idle instances are reclaimed faster.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cxl_fault::{reclaim_dead, reclaim_orphans, CrashSchedule, LeaseTable, NodeCrash};
 use cxl_mem::NodeId;
+use cxl_store::ImageId;
 use node_os::addr::Pid;
 use node_os::OsError;
 use rfork::{RemoteFork, RestoreOptions, TierPolicy};
@@ -72,6 +74,11 @@ pub struct PorterConfig {
     /// Liveness-lease duration: a node that stops renewing for this long
     /// is presumed dead and its checkpoint staging regions reclaimable.
     pub lease_ttl: SimDuration,
+    /// Fraction of each function's runtime (library) pages backed by
+    /// shared runtime images (see `faas::FunctionSpec::template_overlap`);
+    /// applied when the porter resolves an invocation's spec. 0 keeps the
+    /// historical fully-private layout.
+    pub template_overlap: f64,
 }
 
 impl Default for PorterConfig {
@@ -90,6 +97,7 @@ impl Default for PorterConfig {
             cxl_reclaim_threshold: 0.9,
             per_function_keep_alive: BTreeMap::new(),
             lease_ttl: SimDuration::from_secs(30),
+            template_overlap: 0.0,
         }
     }
 }
@@ -247,6 +255,15 @@ pub struct PorterReport {
     pub orphan_regions_reclaimed: u64,
     /// Device pages freed with those regions.
     pub orphan_pages_reclaimed: u64,
+    /// Restores that found their backing store image evicted; the stale
+    /// checkpoint was dropped and the request re-deployed cold (which
+    /// re-checkpoints on the usual schedule).
+    pub image_misses: u64,
+    /// Store images the capacity-pressure GC evicted during maintenance.
+    pub image_evictions: u64,
+    /// Data pages the checkpoint store deduplicated away over the run
+    /// (zero at the end of a run without an image store).
+    pub store_deduped_pages: u64,
 }
 
 impl PorterReport {
@@ -298,6 +315,7 @@ pub struct CxlPorter<M: RemoteFork> {
     crash_schedule: CrashSchedule,
     leases: LeaseTable,
     torn_epoch: u64,
+    image_store: Option<Arc<cxl_store::Store>>,
 }
 
 impl<M: RemoteFork> CxlPorter<M> {
@@ -338,7 +356,25 @@ impl<M: RemoteFork> CxlPorter<M> {
             crash_schedule: CrashSchedule::new(),
             leases,
             torn_epoch: 0,
+            image_store: None,
         }
+    }
+
+    /// Attaches a content-addressed checkpoint image store. The
+    /// mechanism must route its checkpoints through the same store (see
+    /// `CxlFork::with_store`); the porter then leases each published
+    /// image to its owner node, runs the store's watermark GC on the
+    /// maintenance tick, and turns a restore of an evicted image into a
+    /// cold re-deployment instead of a dropped request.
+    #[must_use]
+    pub fn with_image_store(mut self, store: Arc<cxl_store::Store>) -> Self {
+        self.image_store = Some(store);
+        self
+    }
+
+    /// The attached checkpoint image store, if any.
+    pub fn image_store(&self) -> Option<&Arc<cxl_store::Store>> {
+        self.image_store.as_ref()
     }
 
     /// Installs the node-crash schedule [`run_trace`](Self::run_trace)
@@ -397,6 +433,9 @@ impl<M: RemoteFork> CxlPorter<M> {
             .map(|n| n.frames().peak_used())
             .collect();
         report.final_cxl_pages = self.cluster.device.used_pages();
+        if let Some(istore) = &self.image_store {
+            report.store_deduped_pages = istore.stats().deduped_pages;
+        }
         // Post-condition (`check` builds): a full trace must leave every
         // memory ledger in the cluster balanced.
         #[cfg(feature = "check")]
@@ -422,6 +461,15 @@ impl<M: RemoteFork> CxlPorter<M> {
             let r = reclaim_orphans(&self.cluster.device, &self.leases, now);
             self.report.orphan_regions_reclaimed += r.regions;
             self.report.orphan_pages_reclaimed += r.pages;
+            if let Some(istore) = &self.image_store {
+                // Capacity-pressure GC: pending images whose writer's
+                // lease lapsed roll back first, then LRU watermark
+                // eviction (lease-protected images of live nodes
+                // survive; a crashed node's images are fair game).
+                istore.reclaim_orphan_pending(&self.leases, now);
+                let evicted = istore.evict_to_low_watermark(&self.leases, now);
+                self.report.image_evictions += evicted.images;
+            }
             for (_, entry) in self.store.iter() {
                 self.mech.maintain(&entry.checkpoint);
             }
@@ -521,6 +569,7 @@ impl<M: RemoteFork> CxlPorter<M> {
         let Some(spec) = faas::by_name(&inv.function) else {
             return;
         };
+        let spec = spec.with_template_overlap(self.config.template_overlap);
         let now = inv.time;
         self.evict_expired(now);
 
@@ -650,19 +699,32 @@ impl<M: RemoteFork> CxlPorter<M> {
             if invocations == self.config.checkpoint_after && !self.store.contains(&spec.name) {
                 // Make room first if the device is short (a checkpoint
                 // needs roughly the footprint plus metadata).
-                self.reclaim_cxl_for(spec.footprint_pages() + spec.footprint_pages() / 16, "");
+                self.reclaim_cxl_for(
+                    spec.footprint_pages() + spec.footprint_pages() / 16,
+                    "",
+                    now,
+                );
                 let ckpt = match self.mech.checkpoint(&mut self.cluster.nodes[node], pid) {
                     Ok(c) => Some(c),
                     Err(_) => {
                         // Device full: evict everything evictable and retry
                         // once.
-                        self.reclaim_cxl_for(u64::MAX, "");
+                        self.reclaim_cxl_for(u64::MAX, "", now);
                         self.mech
                             .checkpoint(&mut self.cluster.nodes[node], pid)
                             .ok()
                     }
                 };
                 if let Some(ckpt) = ckpt {
+                    if let Some(istore) = &self.image_store {
+                        if let Some(image) = self.mech.image_id(&ckpt) {
+                            // Lease-protect the published image: the
+                            // watermark GC only reclaims it once its
+                            // owner node stops renewing (crash) or the
+                            // porter releases the checkpoint.
+                            istore.set_lease(ImageId(image), Some(NodeId(node as u32)));
+                        }
+                    }
                     self.store.put(&spec.name, ckpt, now);
                     self.report.checkpoints += 1;
                     cxl_telemetry::counter_add("cxlporter", "checkpoints", None, 1);
@@ -711,6 +773,28 @@ impl<M: RemoteFork> CxlPorter<M> {
         let node = self.cluster.least_loaded()?;
         self.note_queue_wait(node, now);
         self.cluster.nodes[node].clock_mut().advance_to(now);
+
+        // Re-checkpoint-on-miss: the store's capacity GC may have
+        // evicted the image backing this function's checkpoint (its
+        // owner crashed, or pressure outran the lease). Drop the stale
+        // entry and fall through to a cold deployment, which
+        // re-checkpoints on the usual schedule.
+        if let Some(istore) = self.image_store.clone() {
+            let stale = self.store.get(&spec.name).is_some_and(|entry| {
+                self.mech
+                    .image_id(&entry.checkpoint)
+                    .is_some_and(|image| !istore.is_live(ImageId(image)))
+            });
+            if stale {
+                if let Some(ckpt) = self.store.remove(&spec.name) {
+                    let _ = self
+                        .mech
+                        .release_checkpoint(ckpt, &self.cluster.nodes[node]);
+                }
+                self.report.image_misses += 1;
+                cxl_telemetry::counter_add("cxlporter", "image_misses", None, 1);
+            }
+        }
 
         if self.store.contains(&spec.name) {
             let options = self.choose_options(spec, node);
@@ -865,8 +949,15 @@ impl<M: RemoteFork> CxlPorter<M> {
     }
 
     /// Reclaims coldest checkpoints until at least `pages` device pages
-    /// are free (best effort).
-    fn reclaim_cxl_for(&mut self, pages: u64, keep: &str) {
+    /// are free (best effort). With an image store attached, its
+    /// unprotected images (crashed owners, lease lapses) go first —
+    /// they serve no restorable checkpoint — before live checkpoints
+    /// are sacrificed.
+    fn reclaim_cxl_for(&mut self, pages: u64, keep: &str, now: SimTime) {
+        if let Some(istore) = &self.image_store {
+            let evicted = istore.evict_for(pages, &self.leases, now);
+            self.report.image_evictions += evicted.images;
+        }
         while self.cluster.device.free_pages() < pages {
             if !self.evict_coldest(keep) {
                 break;
@@ -1052,6 +1143,9 @@ impl<M: RemoteFork> CxlPorter<M> {
             );
         }
         out.extend(cxl_check::audit_device(&self.cluster.device));
+        if let Some(istore) = &self.image_store {
+            out.extend(cxl_check::audit_store(istore));
+        }
         out.extend(cxl_check::audit_staging(
             &self.cluster.device,
             self.cluster.live_nodes().map(|i| NodeId(i as u32)),

@@ -4,6 +4,7 @@
 
 use cxlfork::CxlFork;
 use cxlporter::{Cluster, CxlPorter, PorterConfig};
+use rfork::RemoteFork;
 use simclock::{LatencyModel, SimDuration, SimTime};
 use trace_gen::Invocation;
 
@@ -127,4 +128,93 @@ fn report_accounting_is_conserved() {
     );
     assert_eq!(report.checkpoints, 1);
     assert!(report.final_cxl_pages > 0);
+}
+
+/// A porter whose mechanism routes checkpoint data pages through a
+/// content-addressed image store shared with the porter itself.
+fn store_porter(config: PorterConfig, mem_mib: u64) -> CxlPorter<CxlFork> {
+    use std::sync::Arc;
+    let cluster = Cluster::new(2, mem_mib, 8192, LatencyModel::calibrated());
+    let store = Arc::new(cxl_store::Store::new(Arc::clone(&cluster.device)));
+    CxlPorter::new(cluster, CxlFork::with_store(Arc::clone(&store)), config).with_image_store(store)
+}
+
+#[test]
+fn shared_templates_dedup_device_pages_below_the_private_baseline() {
+    // Two functions whose runtime layouts share half their library pages
+    // (template_overlap = 0.5) checkpoint identical page content; the
+    // content-addressed store resolves those to one device page each,
+    // so the device ends the run measurably lighter than the private
+    // no-store baseline on the identical trace.
+    let config = || PorterConfig {
+        checkpoint_after: 2,
+        template_overlap: 0.5,
+        ..PorterConfig::cxlfork_dynamic()
+    };
+    let mut trace = Vec::new();
+    for i in 0..3 {
+        trace.push(at(2 * i * SEC, "Float"));
+        trace.push(at((2 * i + 1) * SEC, "Json"));
+    }
+
+    let mut plain = porter(config(), 4096);
+    let plain_report = plain.run_trace(&trace);
+    let plain_used = plain.cluster.device.used_pages();
+
+    let mut deduped = store_porter(config(), 4096);
+    let store_report = deduped.run_trace(&trace);
+    let store_used = deduped.cluster.device.used_pages();
+
+    assert_eq!(plain_report.checkpoints, 2);
+    assert_eq!(store_report.checkpoints, 2);
+    assert_eq!(plain_report.overall.len(), store_report.overall.len());
+    assert!(store_report.store_deduped_pages > 0, "{store_report:?}");
+    assert_eq!(plain_report.store_deduped_pages, 0);
+    assert!(
+        store_used < plain_used,
+        "store must shrink the device footprint: {store_used} vs {plain_used}"
+    );
+}
+
+#[test]
+fn evicted_image_turns_the_next_restore_into_a_cold_redeploy() {
+    use std::sync::Arc;
+    let mut p = store_porter(
+        PorterConfig {
+            checkpoint_after: 2,
+            keep_alive: SimDuration::from_secs(3),
+            ..PorterConfig::cxlfork_dynamic()
+        },
+        4096,
+    );
+    let warm = warm_phase("Json", 4);
+    let report = p.run_trace(&warm);
+    assert_eq!(report.checkpoints, 1);
+    assert_eq!(p.stored_checkpoints(), 1);
+
+    // Evict the image behind the porter's back (as the capacity GC
+    // would after its owner node crashed): strip the owner lease, then
+    // sweep with a lease table that considers every holder dead.
+    let istore = Arc::clone(p.image_store().expect("attached above"));
+    let entry = p.store().get("Json").expect("just checkpointed");
+    let image = cxl_store::ImageId(
+        p.mechanism()
+            .image_id(&entry.checkpoint)
+            .expect("store-backed checkpoints carry an image"),
+    );
+    istore.set_lease(image, None);
+    let dead_leases = cxl_fault::LeaseTable::new(SimDuration::from_secs(1));
+    let evicted = istore.evict_for(u64::MAX, &dead_leases, SimTime::from_nanos(100 * SEC));
+    assert_eq!(evicted.images, 1);
+    assert!(!istore.is_live(image));
+
+    // Long after keep-alive expiry no warm instance survives, so the
+    // next request goes to cold start, detects the miss, drops the
+    // stale checkpoint, and re-deploys cold instead of failing.
+    let report = p.run_trace(&[at(100 * SEC, "Json")]);
+    assert_eq!(report.image_misses, 1);
+    assert_eq!(report.full_cold, 1);
+    assert_eq!(report.restores, 0);
+    assert_eq!(report.dropped, 0);
+    assert_eq!(p.stored_checkpoints(), 0);
 }

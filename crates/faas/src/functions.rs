@@ -50,6 +50,14 @@ pub struct FunctionSpec {
     /// Pure compute portion of state initialization, in milliseconds
     /// (faults add the rest; Fig. 6 measures 250–500 ms totals).
     pub init_compute_ms: u64,
+    /// Fraction of the library (runtime) pages drawn from a pool of
+    /// shared runtime images instead of per-function libraries. Distinct
+    /// functions with the same overlap share those pages byte-for-byte —
+    /// the ground truth for cross-image deduplication experiments
+    /// (`cxl-store`). `0.0` (the default) reproduces the historical
+    /// fully-private layout exactly.
+    #[serde(default)]
+    pub template_overlap: f64,
 }
 
 impl FunctionSpec {
@@ -107,6 +115,19 @@ impl FunctionSpec {
             "{}: writes more pages than the R/W region holds",
             self.name
         );
+        assert!(
+            (0.0..=1.0).contains(&self.template_overlap),
+            "{}: template overlap {} outside [0, 1]",
+            self.name,
+            self.template_overlap
+        );
+    }
+
+    /// Returns the spec with its runtime-sharing fraction replaced.
+    #[must_use]
+    pub fn with_template_overlap(mut self, overlap: f64) -> Self {
+        self.template_overlap = overlap;
+        self
     }
 }
 
@@ -139,6 +160,7 @@ pub fn suite() -> Vec<FunctionSpec> {
         rw_pages_per_invocation: rw_inv,
         compute_ms,
         init_compute_ms,
+        template_overlap: 0.0,
     };
     let suite = vec![
         // name      MB   init   ro    rw    file  ws     p  rw/inv cms  initms

@@ -28,6 +28,14 @@ const LIB_VMA_PAGES: u64 = 512;
 /// Pages per anonymous segment VMA.
 const ANON_VMA_PAGES: u64 = 2048;
 
+/// Path prefix of the shared runtime images carved out of the library
+/// band when `template_overlap > 0`. Every function maps the same
+/// `/opt/faas/shared/rt{i}.so` files, so their pages are byte-identical
+/// across functions — the ground truth for cross-image dedup.
+const SHARED_RT_PREFIX: &str = "/opt/faas/shared/";
+/// Content seed of the shared runtime images (function-independent).
+const SHARED_RT_SEED: u64 = 0x5348_4152_4544_5254; // "SHAREDRT"
+
 /// The page-range layout of a deployed function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FunctionLayout {
@@ -72,16 +80,33 @@ impl FunctionLayout {
             + (self.rw_end - self.rw_start)
     }
 
-    /// The library file paths this layout maps, with their page counts.
-    pub fn library_files(&self, spec: &FunctionSpec) -> Vec<(String, u64)> {
+    /// The library file paths this layout maps, with page counts and
+    /// content seeds. When `spec.template_overlap > 0`, a prefix of the
+    /// band is backed by shared runtime images (`/opt/faas/shared/…`,
+    /// full `LIB_VMA_PAGES` chunks, function-independent seeds); the
+    /// remainder stays per-function. Overlap 0 reproduces the historical
+    /// fully-private paths and seeds exactly.
+    fn library_file_specs(&self, spec: &FunctionSpec) -> Vec<(String, u64, u64)> {
+        let file_pages = self.file_end - self.file_start;
+        // Whole shared chunks only, so every function creates the shared
+        // files with identical lengths and seeds.
+        let shared = ((file_pages as f64 * spec.template_overlap) as u64) / LIB_VMA_PAGES;
         let mut out = Vec::new();
-        let mut remaining = self.file_end - self.file_start;
-        let mut idx = 0;
+        for i in 0..shared {
+            out.push((
+                format!("{SHARED_RT_PREFIX}rt{i}.so"),
+                LIB_VMA_PAGES,
+                SHARED_RT_SEED ^ i << 32,
+            ));
+        }
+        let mut remaining = file_pages - shared * LIB_VMA_PAGES;
+        let mut idx = 0u64;
         while remaining > 0 {
             let pages = remaining.min(LIB_VMA_PAGES);
             out.push((
                 format!("/opt/faas/{}/lib{idx}.so", spec.name.to_lowercase()),
                 pages,
+                spec_seed(spec) ^ idx << 32,
             ));
             remaining -= pages;
             idx += 1;
@@ -89,15 +114,21 @@ impl FunctionLayout {
         out
     }
 
+    /// The library file paths this layout maps, with their page counts.
+    pub fn library_files(&self, spec: &FunctionSpec) -> Vec<(String, u64)> {
+        self.library_file_specs(spec)
+            .into_iter()
+            .map(|(path, pages, _)| (path, pages))
+            .collect()
+    }
+
     /// Registers the function's library files on the shared root
     /// filesystem (idempotent; all nodes see the same paths, §4.1).
+    /// Shared runtime images get the same length and seed no matter
+    /// which function installs them.
     pub fn install_files(&self, spec: &FunctionSpec, rootfs: &SharedFs) {
-        for (i, (path, pages)) in self.library_files(spec).iter().enumerate() {
-            rootfs.create(
-                path,
-                pages * node_os::PAGE_SIZE,
-                spec_seed(spec) ^ (i as u64) << 32,
-            );
+        for (path, pages, seed) in self.library_file_specs(spec) {
+            rootfs.create(&path, pages * node_os::PAGE_SIZE, seed);
         }
     }
 
@@ -299,6 +330,72 @@ mod tests {
         for (path, _) in layout.library_files(&spec) {
             assert!(node.rootfs().exists(&path), "{path}");
         }
+    }
+
+    #[test]
+    fn zero_overlap_reproduces_the_private_layout() {
+        // The historical layout: every file private, seeded by
+        // spec_seed ^ index << 32. Overlap 0 must not disturb it.
+        let spec = crate::functions::by_name("Float").unwrap();
+        assert_eq!(spec.template_overlap, 0.0);
+        let l = FunctionLayout::for_spec(&spec);
+        for (i, (path, pages, seed)) in l.library_file_specs(&spec).into_iter().enumerate() {
+            assert!(path.starts_with("/opt/faas/float/lib"), "{path}");
+            assert_eq!(seed, spec_seed(&spec) ^ (i as u64) << 32);
+            assert!(pages <= LIB_VMA_PAGES);
+        }
+    }
+
+    #[test]
+    fn overlapping_functions_share_runtime_files_byte_for_byte() {
+        let a = crate::functions::by_name("Float")
+            .unwrap()
+            .with_template_overlap(0.5);
+        let b = crate::functions::by_name("Json")
+            .unwrap()
+            .with_template_overlap(0.5);
+        let la = FunctionLayout::for_spec(&a);
+        let lb = FunctionLayout::for_spec(&b);
+        let shared_a: Vec<_> = la
+            .library_file_specs(&a)
+            .into_iter()
+            .filter(|(p, _, _)| p.starts_with(SHARED_RT_PREFIX))
+            .collect();
+        let shared_b: Vec<_> = lb
+            .library_file_specs(&b)
+            .into_iter()
+            .filter(|(p, _, _)| p.starts_with(SHARED_RT_PREFIX))
+            .collect();
+        assert!(!shared_a.is_empty(), "overlap 0.5 carves shared chunks");
+        // Same paths, lengths, and seeds regardless of which function
+        // installs them: the pages are byte-identical across functions.
+        let common = shared_a.len().min(shared_b.len());
+        assert_eq!(shared_a[..common], shared_b[..common]);
+        // The shared prefix covers roughly the requested fraction
+        // (rounded down to whole chunks).
+        let shared_pages: u64 = shared_a.iter().map(|(_, p, _)| p).sum();
+        let file_pages = la.file_end - la.file_start;
+        assert!(shared_pages <= file_pages / 2);
+        assert!(shared_pages + LIB_VMA_PAGES > file_pages / 2);
+        // Installing both onto one rootfs is consistent: same file, one
+        // entry, and the private tails stay disjoint.
+        let fs = SharedFs::new();
+        la.install_files(&a, &fs);
+        let after_a = fs.file_count();
+        lb.install_files(&b, &fs);
+        let both: Vec<_> = la
+            .library_files(&a)
+            .into_iter()
+            .chain(lb.library_files(&b))
+            .collect();
+        let distinct: std::collections::BTreeSet<_> = both.iter().map(|(p, _)| p.clone()).collect();
+        assert_eq!(fs.file_count(), distinct.len());
+        assert!(fs.file_count() > after_a, "Json adds private tails");
+        // Band sizes are unchanged by the knob.
+        assert_eq!(
+            la.total_pages(),
+            FunctionLayout::for_spec(&crate::functions::by_name("Float").unwrap()).total_pages()
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn arb_spec() -> impl Strategy<Value = FunctionSpec> {
                     rw_pages_per_invocation: 1,
                     compute_ms: compute,
                     init_compute_ms: init_ms,
+                    template_overlap: 0.0,
                 };
                 // Clamp derived quantities into their valid ranges.
                 let max_ws = spec.ro_pages() + spec.init_anon_pages();

@@ -181,6 +181,14 @@ pub enum RforkError {
         /// The last transient error observed.
         last: CxlError,
     },
+    /// The checkpoint's image was evicted from the content-addressed
+    /// store under capacity pressure. A typed miss, never stale bytes:
+    /// the caller should discard the checkpoint handle and re-checkpoint
+    /// from a warm instance.
+    EvictedImage {
+        /// The evicted store image id.
+        image: u64,
+    },
 }
 
 impl fmt::Display for RforkError {
@@ -197,6 +205,10 @@ impl fmt::Display for RforkError {
             RforkError::RetriesExhausted { op, attempts, last } => write!(
                 f,
                 "cxl device unavailable during {op} after {attempts} attempts: {last}"
+            ),
+            RforkError::EvictedImage { image } => write!(
+                f,
+                "checkpoint image#{image} was evicted from the store; re-checkpoint required"
             ),
         }
     }
@@ -284,6 +296,15 @@ pub trait RemoteFork {
 
     /// Metadata of a checkpoint.
     fn meta<'c>(&self, checkpoint: &'c Self::Checkpoint) -> &'c CheckpointMeta;
+
+    /// The checkpoint's image id in the content-addressed store, if the
+    /// mechanism routed it through one. Orchestrators use this to pin or
+    /// lease images in the store; mechanisms without a store (the
+    /// default) return `None`.
+    fn image_id(&self, checkpoint: &Self::Checkpoint) -> Option<u64> {
+        let _ = checkpoint;
+        None
+    }
 
     /// Estimated node-local pages a restore with `options` will consume
     /// (autoscalers use this to decide whether to reclaim memory before

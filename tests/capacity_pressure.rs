@@ -1,0 +1,277 @@
+//! Eviction under capacity pressure, end to end: fill the checkpoint
+//! store past its high watermark through real `CxlFork` checkpoints,
+//! then prove the watermark GC
+//!
+//! * evicts LRU-by-last-restore among unprotected images only — pinned
+//!   images and images leased to live nodes survive;
+//! * turns a restore of an evicted image into a typed
+//!   [`RforkError::EvictedImage`] miss, never a zombie process;
+//! * recovers from a "crash mid-eviction" (a partial sweep whose driver
+//!   died) when a survivor resumes the sweep, bit-identically under the
+//!   same `CXLFAULT_SEED`, with every ledger balanced afterwards.
+
+use std::sync::Arc;
+
+use cxl_fault::{FaultPlan, Injector, LeaseTable};
+use cxl_mem::{CxlDevice, NodeId};
+use cxl_store::{ImageId, Store, StoreConfig};
+use cxlfork::CxlFork;
+use node_os::fs::SharedFs;
+use node_os::mm::Access;
+use node_os::vma::Protection;
+use node_os::{Node, NodeConfig, Pid};
+use rfork::{RemoteFork, RestoreOptions, RforkError, TierPolicy};
+use simclock::{SimDuration, SimTime};
+
+const DEVICE_PAGES: u64 = 256;
+const FILE_PAGES: u64 = 24;
+const HEAP_PAGES: u64 = 8;
+
+fn seed() -> u64 {
+    std::env::var("CXLFAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn opts() -> RestoreOptions {
+    RestoreOptions {
+        policy: TierPolicy::MigrateOnWrite,
+        prefetch_dirty: false,
+        sync_hot_prefetch: false,
+    }
+}
+
+struct Rig {
+    nodes: Vec<Node>,
+    device: Arc<CxlDevice>,
+    store: Arc<Store>,
+    fork: CxlFork,
+}
+
+fn rig(config: StoreConfig) -> Rig {
+    let device = Arc::new(CxlDevice::new(DEVICE_PAGES));
+    let rootfs = Arc::new(SharedFs::new());
+    let nodes: Vec<Node> = (0..2)
+        .map(|i| {
+            Node::with_rootfs(
+                NodeConfig::default().with_id(i as u32),
+                Arc::clone(&device),
+                Arc::clone(&rootfs),
+            )
+        })
+        .collect();
+    let store = Arc::new(Store::with_config(Arc::clone(&device), config));
+    let fork = CxlFork::with_store(Arc::clone(&store));
+    Rig {
+        nodes,
+        device,
+        store,
+        fork,
+    }
+}
+
+/// Spawns a process whose checkpoint image has content unique to `tag`
+/// (a private library file with its own seed) plus a small shared-zero
+/// heap, and returns its pid.
+fn build_function(node: &mut Node, tag: u64) -> Pid {
+    node.rootfs().create(
+        &format!("/opt/f{tag}/lib.so"),
+        FILE_PAGES * node_os::PAGE_SIZE,
+        100 + tag,
+    );
+    let pid = node.spawn(&format!("f{tag}")).unwrap();
+    node.process_mut(pid)
+        .unwrap()
+        .mm
+        .map_anonymous(0, HEAP_PAGES, Protection::read_write(), "heap")
+        .unwrap();
+    for vpn in 0..HEAP_PAGES {
+        node.access(pid, vpn, Access::Write).unwrap();
+    }
+    node.process_mut(pid)
+        .unwrap()
+        .mm
+        .map_file(
+            4096,
+            FILE_PAGES,
+            Protection::read_only(),
+            &format!("/opt/f{tag}/lib.so"),
+            0,
+        )
+        .unwrap();
+    for vpn in 4096..4096 + FILE_PAGES {
+        node.access(pid, vpn, Access::Read).unwrap();
+    }
+    pid
+}
+
+fn audit_clean(rig: &Rig) {
+    #[cfg(feature = "check")]
+    {
+        let mut violations = cxl_check::audit_device(&rig.device);
+        violations.extend(cxl_check::audit_store(&rig.store));
+        assert!(violations.is_empty(), "books must balance: {violations:?}");
+    }
+    #[cfg(not(feature = "check"))]
+    let _ = rig;
+}
+
+#[test]
+fn watermark_eviction_is_lru_and_spares_pinned_and_leased_images() {
+    let mut r = rig(StoreConfig {
+        high_watermark: 0.35,
+        low_watermark: 0.20,
+    });
+    let now = SimTime::from_nanos(1_000_000_000);
+
+    // Four distinct images fill the device past the high watermark.
+    let mut ckpts = Vec::new();
+    for tag in 0..4 {
+        let pid = build_function(&mut r.nodes[0], tag);
+        ckpts.push(r.fork.checkpoint(&mut r.nodes[0], pid).unwrap());
+    }
+    let images: Vec<ImageId> = ckpts
+        .iter()
+        .map(|c| ImageId(r.fork.image_id(c).expect("store-backed")))
+        .collect();
+    assert!(
+        r.device.utilization() > 0.35,
+        "setup must exceed the high watermark: {}",
+        r.device.utilization()
+    );
+
+    // Protect image 0 by pin and image 1 by a lease its holder renews;
+    // image 3 was restored recently, image 2 never — so 2 is the LRU
+    // victim and must go first.
+    r.store.set_pinned(images[0], true);
+    r.store.set_lease(images[1], Some(NodeId(0)));
+    let mut leases = LeaseTable::new(SimDuration::from_secs(30));
+    leases.renew(NodeId(0), now);
+    let restored = r
+        .fork
+        .restore_with(&ckpts[3], &mut r.nodes[1], opts())
+        .unwrap();
+    assert!(r.nodes[1].process(restored.pid).is_ok());
+
+    let report = r.store.evict_to_low_watermark(&leases, now);
+    assert!(report.images >= 1, "pressure must evict something");
+    assert!(!r.store.is_live(images[2]), "LRU unpinned image evicted");
+    assert!(r.store.is_live(images[0]), "pinned image survives");
+    assert!(r.store.is_live(images[1]), "leased image survives");
+    // The sweep stops at the low watermark or when only protected
+    // images remain.
+    assert!(
+        r.device.utilization() <= 0.20 || !r.store.is_live(images[3]),
+        "sweep must drive below low or exhaust the evictable set"
+    );
+
+    // A restore of the evicted image is a typed miss, not a zombie.
+    let before = r.nodes[1].pids().len();
+    let err = r.fork.restore_with(&ckpts[2], &mut r.nodes[1], opts());
+    assert!(
+        matches!(err, Err(RforkError::EvictedImage { image }) if image == images[2].0),
+        "expected typed EvictedImage miss, got {err:?}"
+    );
+    assert_eq!(r.nodes[1].pids().len(), before, "no zombie process");
+    // Releasing the stale handle is a no-op, not an error.
+    let ckpt2 = ckpts.remove(2);
+    assert_eq!(r.fork.release(ckpt2, &r.nodes[0]), Ok(0));
+    audit_clean(&r);
+}
+
+#[test]
+fn lease_lapse_exposes_a_crashed_owners_images_to_eviction() {
+    let mut r = rig(StoreConfig {
+        high_watermark: 0.05,
+        low_watermark: 0.04,
+    });
+    let t0 = SimTime::from_nanos(1_000_000_000);
+    let pid = build_function(&mut r.nodes[0], 0);
+    let ckpt = r.fork.checkpoint(&mut r.nodes[0], pid).unwrap();
+    let image = ImageId(r.fork.image_id(&ckpt).unwrap());
+    r.store.set_lease(image, Some(NodeId(0)));
+
+    let mut leases = LeaseTable::new(SimDuration::from_secs(30));
+    leases.renew(NodeId(0), t0);
+    // While the owner renews, pressure cannot touch its image.
+    assert_eq!(r.store.evict_to_low_watermark(&leases, t0).images, 0);
+    assert!(r.store.is_live(image));
+
+    // The owner stops renewing (crash); past the TTL its image is fair
+    // game and the same sweep reclaims it.
+    let later = t0 + SimDuration::from_secs(120);
+    let report = r.store.evict_to_low_watermark(&leases, later);
+    assert_eq!(report.images, 1);
+    assert!(!r.store.is_live(image));
+    audit_clean(&r);
+}
+
+/// One full interrupted-sweep scenario under seeded transient faults;
+/// returns observables for bit-identity comparison.
+fn crash_mid_eviction_run(plan_seed: u64) -> (u64, u64, cxl_store::StoreStats) {
+    let mut r = rig(StoreConfig {
+        high_watermark: 0.30,
+        low_watermark: 0.10,
+    });
+    let injector = Arc::new(Injector::from_plan(
+        FaultPlan::new(plan_seed).with_transient_rate(0.02),
+    ));
+    injector.arm(&r.device);
+    let now = SimTime::from_nanos(1_000_000_000);
+
+    let mut images = Vec::new();
+    for tag in 0..3 {
+        let pid = build_function(&mut r.nodes[0], tag);
+        let ckpt = r.fork.checkpoint(&mut r.nodes[0], pid).unwrap();
+        images.push(ImageId(r.fork.image_id(&ckpt).unwrap()));
+    }
+    // Node 0 also died mid-checkpoint: a pending image holds interned
+    // pages that were never committed.
+    let torn = r.store.begin_image("torn", NodeId(0), 99, now);
+    r.store
+        .intern_pages(
+            torn,
+            &[cxl_mem::PageData::pattern(0xBAD), cxl_mem::PageData::Zero],
+            NodeId(0),
+        )
+        .unwrap();
+
+    // The sweep starts on node 0 ... which crashes after one eviction
+    // (a partial sweep: `evict_for` with a tiny target).
+    let mut leases = LeaseTable::new(SimDuration::from_secs(30));
+    leases.renew(NodeId(0), now);
+    leases.renew(NodeId(1), now);
+    let partial = r.store.evict_for(r.device.free_pages() + 1, &leases, now);
+    assert!(partial.images >= 1, "the interrupted sweep got somewhere");
+
+    // Node 0's lease lapses; the survivor resumes: orphaned pending
+    // images roll back first, then the watermark sweep finishes.
+    let later = now + SimDuration::from_secs(120);
+    leases.renew(NodeId(1), later);
+    let rolled_back = r.store.reclaim_orphan_pending(&leases, later);
+    assert!(rolled_back > 0, "torn pending image reclaimed");
+    assert!(!r.store.is_live(torn));
+    r.store.evict_to_low_watermark(&leases, later);
+
+    assert!(
+        images.iter().any(|&i| !r.store.is_live(i)),
+        "pressure reclaimed committed images too"
+    );
+    audit_clean(&r);
+    (
+        r.device.used_pages(),
+        injector.stats().transients,
+        r.store.stats(),
+    )
+}
+
+#[test]
+fn crash_mid_eviction_recovery_is_deterministic_and_balanced() {
+    let a = crash_mid_eviction_run(seed());
+    let b = crash_mid_eviction_run(seed());
+    assert_eq!(a, b, "same seed must reproduce the run bit-identically");
+    let c = crash_mid_eviction_run(seed() + 1);
+    // A different seed moves the faults but never the outcome ledgers.
+    assert_eq!(a.0, c.0, "fault placement must not change final pages");
+}

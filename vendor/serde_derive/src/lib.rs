@@ -24,7 +24,7 @@ fn type_name(input: TokenStream) -> String {
 }
 
 /// Emits an empty `serde::Serialize` marker impl.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
     format!("impl serde::Serialize for {name} {{}}")
@@ -33,7 +33,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Emits an empty `serde::Deserialize` marker impl.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = type_name(input);
     format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
