@@ -18,6 +18,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo '== clippy (--features check) =='
 cargo clippy --workspace --all-targets --features check -- -D warnings
 
+echo '== cxl-lint static analysis gate (both feature states) =='
+# Dependency-free static analysis (DESIGN.md §12): virtual-time-only
+# discipline, lock discipline (raw locks banned outside lockdep; the
+# statically extracted lock-class graph must be a DAG), and fault-hook
+# robustness (no unwrap/expect on the device path). Runs before the test
+# suites so a violation fails fast; the --json pass pins the
+# machine-readable schema end to end. Built in both feature states to
+# prove the lint itself carries no checker-gated code.
+cargo run --quiet -p cxl-lint
+cargo run --quiet -p cxl-lint -- --json > /dev/null
+cargo run --quiet -p cxl-lint --features check -- --json > /dev/null
+
 echo '== test (default features) =='
 cargo test --workspace --quiet
 

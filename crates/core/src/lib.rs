@@ -76,7 +76,7 @@ use node_os::Node;
 use rfork::{CheckpointMeta, RemoteFork, RestoreOptions, Restored, RforkError};
 
 /// The CXLfork mechanism.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CxlFork {
     next_seq: AtomicU64,
     /// Content-addressed image store. When set, checkpoint data pages
@@ -88,7 +88,21 @@ pub struct CxlFork {
     /// restores re-verify them (checkpoints are immutable by design,
     /// §4.2.1).
     #[cfg(feature = "check")]
-    seals: std::sync::Mutex<cxl_check::SealRegistry>,
+    seals: cxl_mem::lockdep::TrackedMutex<cxl_check::SealRegistry>,
+}
+
+impl Default for CxlFork {
+    fn default() -> Self {
+        CxlFork {
+            next_seq: AtomicU64::new(0),
+            store: None,
+            #[cfg(feature = "check")]
+            seals: cxl_mem::lockdep::TrackedMutex::new(
+                "cxlfork.seals",
+                cxl_check::SealRegistry::default(),
+            ),
+        }
+    }
 }
 
 impl CxlFork {
@@ -140,11 +154,7 @@ impl CxlFork {
 #[cfg(feature = "check")]
 impl CxlFork {
     fn with_seals<R>(&self, f: impl FnOnce(&mut cxl_check::SealRegistry) -> R) -> R {
-        let mut seals = self
-            .seals
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        f(&mut seals)
+        f(&mut self.seals.lock())
     }
 
     /// Re-verifies every checkpoint this mechanism sealed against the

@@ -15,7 +15,8 @@
 //! identical faults; changing the seed moves them.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
+
+use cxl_mem::lockdep::TrackedMutex;
 
 use cxl_mem::{CxlError, CxlPageId, DeviceOp, FaultHook, NodeId};
 use rand::rngs::StdRng;
@@ -215,7 +216,7 @@ struct InjectorState {
 /// [`Injector::arm`] or `device.set_fault_hook(Some(arc))`.
 #[derive(Debug)]
 pub struct Injector {
-    state: Mutex<InjectorState>,
+    state: TrackedMutex<InjectorState>,
 }
 
 impl Injector {
@@ -226,16 +227,19 @@ impl Injector {
             .as_ref()
             .map(|p| simclock::rng::derived(p.seed, "cxl-fault.plan"));
         Injector {
-            state: Mutex::new(InjectorState {
-                schedule: schedule.triggers,
-                plan,
-                rng,
-                counts: BTreeMap::new(),
-                poisoned: BTreeSet::new(),
-                bursts: Vec::new(),
-                stats: FaultStats::default(),
-                log: Vec::new(),
-            }),
+            state: TrackedMutex::new(
+                "cxl_fault.injector",
+                InjectorState {
+                    schedule: schedule.triggers,
+                    plan,
+                    rng,
+                    counts: BTreeMap::new(),
+                    poisoned: BTreeSet::new(),
+                    bursts: Vec::new(),
+                    stats: FaultStats::default(),
+                    log: Vec::new(),
+                },
+            ),
         }
     }
 
@@ -256,7 +260,7 @@ impl Injector {
 
     /// Directly poisons a page (test convenience; no operation needed).
     pub fn poison_page(&self, page: CxlPageId) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         if st.poisoned.insert(page) {
             st.stats.poisons += 1;
         }
@@ -264,14 +268,14 @@ impl Injector {
 
     /// Snapshot of the fault counters.
     pub fn stats(&self) -> FaultStats {
-        self.state.lock().unwrap().stats.clone()
+        self.state.lock().stats.clone()
     }
 
     /// The log of injected faults (per-kind op index of each), capped at
     /// 256 entries. Two runs with the same seed produce identical logs;
     /// different seeds move the faults.
     pub fn fault_log(&self) -> Vec<FaultRecord> {
-        self.state.lock().unwrap().log.clone()
+        self.state.lock().log.clone()
     }
 }
 
@@ -283,7 +287,7 @@ fn record(st: &mut InjectorState, op: DeviceOp, index: u64, page: Option<CxlPage
 
 impl FaultHook for Injector {
     fn inject(&self, op: DeviceOp, page: Option<CxlPageId>, _node: NodeId) -> Option<CxlError> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         let st = &mut *st;
         let index = {
             let c = st.counts.entry(op).or_insert(0);
@@ -376,6 +380,7 @@ impl FaultHook for Injector {
                 DeviceOp::Alloc | DeviceOp::Free => (0.0, 0.0),
             };
             let (transient_hit, poison_hit) = {
+                // cxl-lint: allow(device-unwrap): constructor invariant — `new` always pairs a plan with its derived rng
                 let rng = st.rng.as_mut().expect("a plan always carries an rng");
                 (
                     transient_p > 0.0 && rng.gen_f64_unit() < transient_p,

@@ -1,0 +1,342 @@
+//! `lint.toml` — committed lint configuration, parsed by hand.
+//!
+//! The subset of TOML the lint needs (and all this parser accepts):
+//! `[table.names]`, `key = "string"`, `key = true|false`, and
+//! `key = ["array", "of", "strings"]`. Comments start with `#`. Anything
+//! else is a hard configuration error — a lint that silently ignored a
+//! typoed rule table would be worse than no lint.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A configuration error, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One parsed TOML value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TomlValue {
+    /// `"a string"`.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `["only", "string", "arrays"]`.
+    StrArray(Vec<String>),
+}
+
+/// The lint configuration, resolved from `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Directory globs (relative to the workspace root) whose `.rs` files
+    /// are linted. Each entry is a literal path prefix; `crates/*/src`
+    /// expands the single `*` over directory entries.
+    pub roots: Vec<String>,
+    /// Rule ids disabled wholesale (rarely used; prefer inline allows).
+    pub disabled_rules: Vec<String>,
+    /// Path prefixes whose modules are determinism-sensitive (they emit
+    /// reports, benches, or traces, or feed structures that do):
+    /// `HashMap`/`HashSet` are banned here in favor of `BTreeMap` /
+    /// explicit sorting.
+    pub deterministic_modules: Vec<String>,
+    /// Path prefixes exempt from the raw-lock ban (the lockdep module
+    /// itself — the tracker cannot track itself).
+    pub raw_lock_exempt: Vec<String>,
+    /// Path prefixes on the device data path, where `unwrap`/`expect`
+    /// are banned (a `FaultHook` may veto any operation; panicking on a
+    /// vetoed op would bypass the injected-fault cadence).
+    pub device_path_modules: Vec<String>,
+    /// Lock-class families with a declared intra-family acquisition
+    /// order (ascending lexicographic suffix). Runtime edges inside such
+    /// a family are checked against that order instead of the static
+    /// graph; e.g. `cxl_mem.device.shard*`.
+    pub ordered_families: Vec<String>,
+}
+
+impl Default for Config {
+    /// The workspace defaults — mirrors the committed `lint.toml` so
+    /// in-process tests need no file.
+    fn default() -> Self {
+        Config {
+            roots: vec!["crates/*/src".to_string()],
+            disabled_rules: Vec::new(),
+            deterministic_modules: Vec::new(),
+            raw_lock_exempt: Vec::new(),
+            device_path_modules: Vec::new(),
+            ordered_families: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses a `lint.toml` document.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] on any line the TOML subset does not accept, on
+    /// unknown tables, or on unknown keys — configuration typos fail
+    /// loudly.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let tables = parse_toml(text)?;
+        let mut config = Config::default();
+        for (line, table, key, value) in tables {
+            let full = if table.is_empty() {
+                key.clone()
+            } else {
+                format!("{table}.{key}")
+            };
+            let err = |message: String| ConfigError { line, message };
+            let as_array = |value: &TomlValue| -> Result<Vec<String>, ConfigError> {
+                match value {
+                    TomlValue::StrArray(v) => Ok(v.clone()),
+                    TomlValue::Str(s) => Ok(vec![s.clone()]),
+                    TomlValue::Bool(_) => Err(ConfigError {
+                        line,
+                        message: format!("`{full}` expects a string array"),
+                    }),
+                }
+            };
+            match full.as_str() {
+                "paths.roots" => config.roots = as_array(&value)?,
+                "rules.disabled" => config.disabled_rules = as_array(&value)?,
+                "rules.hash-iteration.modules" => config.deterministic_modules = as_array(&value)?,
+                "rules.raw-lock.exempt" => config.raw_lock_exempt = as_array(&value)?,
+                "rules.device-unwrap.modules" => config.device_path_modules = as_array(&value)?,
+                "lock-order.ordered-families" => config.ordered_families = as_array(&value)?,
+                _ => return Err(err(format!("unknown configuration key `{full}`"))),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Parses the TOML subset into `(line, table, key, value)` entries.
+#[allow(clippy::type_complexity)]
+fn parse_toml(text: &str) -> Result<Vec<(u32, String, String, TomlValue)>, ConfigError> {
+    let mut out = Vec::new();
+    let mut table = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = (i + 1) as u32;
+        let trimmed = strip_comment(raw).trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(ConfigError {
+                    line,
+                    message: "unterminated table header".to_string(),
+                });
+            };
+            table = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = trimmed.split_once('=') else {
+            return Err(ConfigError {
+                line,
+                message: format!("expected `key = value`, got `{trimmed}`"),
+            });
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let value = parse_value(value.trim(), line)?;
+        out.push((line, table.clone(), key, value));
+    }
+    Ok(out)
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str, line: u32) -> Result<TomlValue, ConfigError> {
+    if v == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if v == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    if let Some(s) = v.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        return Ok(TomlValue::Str(s.to_string()));
+    }
+    if let Some(body) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for item in body.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue; // trailing comma
+            }
+            match item.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+                Some(s) => items.push(s.to_string()),
+                None => {
+                    return Err(ConfigError {
+                        line,
+                        message: format!("array items must be quoted strings, got `{item}`"),
+                    })
+                }
+            }
+        }
+        return Ok(TomlValue::StrArray(items));
+    }
+    Err(ConfigError {
+        line,
+        message: format!("unsupported value `{v}` (strings, bools, and string arrays only)"),
+    })
+}
+
+/// Keeps multi-line arrays working: the parser above is line-oriented, so
+/// `Config::load_str` first joins continuation lines (an unclosed `[` on
+/// a `key = [` line pulls following lines in until the matching `]`).
+pub fn join_continuations(text: &str) -> String {
+    let mut out = String::new();
+    let mut pending = String::new();
+    let mut open = false;
+    for raw in text.lines() {
+        let stripped = strip_comment(raw);
+        if open {
+            pending.push(' ');
+            pending.push_str(stripped.trim());
+            if stripped.contains(']') {
+                out.push_str(&pending);
+                out.push('\n');
+                pending.clear();
+                open = false;
+            }
+            continue;
+        }
+        if stripped.contains('=')
+            && stripped.contains('[')
+            && !stripped.contains(']')
+            && !stripped.trim_start().starts_with('[')
+        {
+            pending = stripped.trim_end().to_string();
+            open = true;
+        } else {
+            out.push_str(raw);
+            out.push('\n');
+        }
+    }
+    if !pending.is_empty() {
+        out.push_str(&pending);
+        out.push('\n');
+    }
+    out
+}
+
+impl Config {
+    /// Parses a config, accepting multi-line arrays.
+    ///
+    /// # Errors
+    ///
+    /// See [`Config::parse`].
+    pub fn load_str(text: &str) -> Result<Config, ConfigError> {
+        Config::parse(&join_continuations(text))
+    }
+}
+
+/// `true` if `path` (workspace-relative, `/`-separated) starts with any
+/// of `prefixes`.
+pub fn path_matches(path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+/// Expands a root glob like `crates/*/src` against the filesystem under
+/// `base`, returning matching directories in sorted order. A root with
+/// no `*` is returned as-is (if it exists).
+pub fn expand_root(base: &std::path::Path, root: &str) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    match root.split_once('*') {
+        None => {
+            let p = base.join(root);
+            if p.is_dir() {
+                out.push(p);
+            }
+        }
+        Some((before, after)) => {
+            let before = before.trim_end_matches('/');
+            let after = after.trim_start_matches('/');
+            let Ok(entries) = std::fs::read_dir(base.join(before)) else {
+                return out;
+            };
+            let mut names: Vec<_> = entries
+                .filter_map(|e| e.ok().map(|e| e.file_name()))
+                .collect();
+            names.sort();
+            for name in names {
+                let candidate = base.join(before).join(&name).join(after);
+                if candidate.is_dir() {
+                    out.push(candidate);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A map from line number to the rule allows declared on that line —
+/// see `engine::collect_allows`.
+pub type AllowMap = BTreeMap<u32, Vec<String>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::load_str(
+            r#"
+# comment
+[paths]
+roots = ["crates/*/src"]
+
+[rules.hash-iteration]
+modules = [
+    "crates/bench/src",  # trailing comment
+    "crates/node-os/src",
+]
+
+[rules.raw-lock]
+exempt = ["crates/cxl-mem/src/lockdep.rs"]
+
+[rules.device-unwrap]
+modules = ["crates/cxl-mem/src/device.rs"]
+
+[lock-order]
+ordered-families = ["cxl_mem.device.shard*"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.roots, vec!["crates/*/src"]);
+        assert_eq!(
+            cfg.deterministic_modules,
+            vec!["crates/bench/src", "crates/node-os/src"]
+        );
+        assert_eq!(cfg.ordered_families, vec!["cxl_mem.device.shard*"]);
+    }
+
+    #[test]
+    fn unknown_keys_fail_loudly() {
+        let err = Config::load_str("[rules.hash-iteration]\nmoduels = [\"x\"]").unwrap_err();
+        assert!(err.message.contains("unknown configuration key"));
+    }
+}

@@ -1,0 +1,41 @@
+//! `cxl-lint` — dependency-free workspace static analysis.
+//!
+//! The simulator's correctness story rests on invariants no
+//! off-the-shelf tool knows about:
+//!
+//! * **Virtual time only.** Armed and unarmed telemetry runs, and every
+//!   committed `BENCH_*.json`, must stay bit-identical; one
+//!   `std::time::Instant` or one `HashMap` iteration in a report path
+//!   breaks that silently.
+//! * **Lock discipline.** Every lock must be a
+//!   [`TrackedMutex`](../cxl_mem/lockdep) / `TrackedRwLock` so runtime
+//!   lockdep sees it — and the acquisition *order* written in the source
+//!   must form a DAG even on paths no test drives.
+//! * **Fault-hook robustness.** Every `CxlDevice` access may be vetoed
+//!   by a `FaultHook`; `unwrap()` on the device path turns an injected
+//!   fault into a panic, bypassing the recovery machinery under test.
+//!
+//! Before this crate those rules were enforced only dynamically, after a
+//! violation had already shipped. `cxl-lint` enforces them at `ci.sh`
+//! time, from a hand-rolled lexer (no `syn`/`quote` — the build
+//! container has no network): see [`lexer`] for the token model,
+//! [`engine`] for the rule catalog and suppression policy, [`lockgraph`]
+//! for the static lock-class graph and its cross-check against runtime
+//! lockdep, and [`config`] for `lint.toml`.
+//!
+//! Run it as `cargo run -p cxl-lint` (human diagnostics) or with
+//! `--json` for the machine-readable report; DESIGN.md §12 is the
+//! policy document.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod lockgraph;
+
+pub use config::{Config, ConfigError};
+pub use diag::{Report, Severity, Violation, JSON_SCHEMA_VERSION};
+pub use engine::{lint_files, lint_workspace, SourceFile};

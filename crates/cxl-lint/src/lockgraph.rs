@@ -1,0 +1,890 @@
+//! Static lock-class graph extraction — lockdep's edge graph, computed
+//! from source instead of from a run.
+//!
+//! Runtime lockdep (`cxl_mem::lockdep`) records `(held, acquired)` lock
+//! *class* edges as tests execute; `cxl-check` then looks for cycles.
+//! That only covers paths a test actually drove. This module extracts
+//! the same graph from the token stream, so orderings that no test
+//! exercises still participate in cycle detection — and so the two
+//! graphs can be cross-checked: a runtime edge whose reverse exists
+//! statically is a discipline contradiction, and a static edge no
+//! runtime test produced is a coverage gap worth a test.
+//!
+//! ## How extraction works (a lexer-level approximation)
+//!
+//! 1. **Class declarations.** `TrackedMutex::new("class.name", …)` and
+//!    `TrackedRwLock::new(…)` bind the declared class to the binding
+//!    name on the left (`regions: TrackedRwLock::new("cxl_mem.device.regions", …)`
+//!    maps `regions` → that class). When the class argument is an
+//!    indexed const array of string literals (the device's
+//!    `SHARD_CLASSES[i]`), the binding maps to a *family*: the longest
+//!    common prefix of the array elements plus `*`
+//!    (`cxl_mem.device.shard*`). Name→class maps are per-file — lock
+//!    fields are private, so acquisitions live in the declaring file.
+//! 2. **Guard tracking.** Inside each `fn` body, `x.lock()`, `x.read()`,
+//!    `x.write()` with a known receiver name is an acquisition. If the
+//!    statement is `let g = x.lock();` the guard is held until its
+//!    enclosing brace closes (or an explicit `drop(g)`); a chained use
+//!    like `x.lock().len()` is a transient acquisition. Every
+//!    acquisition records an edge from each currently held class.
+//! 3. **Interprocedural propagation.** Each function's summary carries
+//!    the classes it acquires and the calls it makes while holding
+//!    guards. Summaries propagate callee→caller to a fixpoint, with
+//!    callees resolved by bare name (common names like `get`/`len` are
+//!    on a stoplist, and unresolved names contribute nothing) — so
+//!    `store.intern_pages` holding the store lock still yields
+//!    `cxl_store.inner → cxl_mem.device.shard*` edges.
+//!
+//! `#[cfg(test)]` regions are excluded: test-local lock classes
+//! (`test.edge_a`, `negtest.…`) are scaffolding for the runtime lockdep
+//! tests, not part of the system's discipline.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::engine::SourceFile;
+use crate::lexer::{TokKind, Token};
+
+/// Method/function names never used to resolve calls interprocedurally:
+/// too generic to identify one callee (std and every collection export
+/// them), so a name match would fabricate edges.
+const CALLEE_STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "set",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "from",
+    "into",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "map",
+    "map_err",
+    "and_then",
+    "or_else",
+    "ok_or",
+    "ok_or_else",
+    "ok",
+    "err",
+    "collect",
+    "extend",
+    "contains",
+    "contains_key",
+    "with_capacity",
+    "read",
+    "write",
+    "lock",
+    "index",
+    "clear",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "abs",
+    "retain",
+    "entry",
+    "or_default",
+    "or_insert",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "position",
+    "rposition",
+    "zip",
+    "enumerate",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "flatten",
+    "rev",
+    "take",
+    "skip",
+    "chain",
+    "any",
+    "all",
+    "fold",
+    "for_each",
+    "join",
+    "split",
+    "trim",
+    "parse",
+    "matches",
+    "starts_with",
+    "ends_with",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "first",
+    "last",
+    "swap",
+    "replace",
+    "split_once",
+    "saturating_sub",
+    "checked_sub",
+    "wrapping_add",
+    "min_by_key",
+    "max_by_key",
+    "copied",
+    "cloned",
+    "format",
+    "assert",
+    "debug_assert",
+];
+
+/// One static edge with its provenance.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Class held when the acquisition happened.
+    pub held: String,
+    /// Class acquired.
+    pub acquired: String,
+    /// File of the acquisition site.
+    pub file: String,
+    /// Line of the acquisition site.
+    pub line: u32,
+}
+
+/// The extracted static lock-class graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Deduplicated edges (first provenance wins).
+    edges: Vec<Edge>,
+}
+
+/// Result of comparing the static graph against runtime lockdep edges.
+pub struct RuntimeComparison {
+    /// `(held, acquired, explanation)` — runtime edges the static
+    /// discipline forbids.
+    pub contradictions: Vec<(String, String, String)>,
+    /// Static edges no runtime edge matched.
+    pub coverage_gaps: Vec<(String, String)>,
+}
+
+impl LockGraph {
+    /// Edge list for the report: `(held, acquired, file, line)`.
+    pub fn edges_for_report(&self) -> Vec<(String, String, String, u32)> {
+        self.edges
+            .iter()
+            .map(|e| (e.held.clone(), e.acquired.clone(), e.file.clone(), e.line))
+            .collect()
+    }
+
+    /// Finds elementary cycles in the class graph (DFS over unique
+    /// nodes). Self-edges on a family with a declared intra-family order
+    /// are not cycles — `shard03 → shard05` under ascending discipline
+    /// is legal even though both collapse to `cxl_mem.device.shard*`.
+    pub fn cycles(&self, ordered_families: &[String]) -> Vec<Vec<String>> {
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for e in &self.edges {
+            if e.held == e.acquired && is_ordered_family(&e.held, ordered_families) {
+                continue;
+            }
+            adj.entry(&e.held).or_default().insert(&e.acquired);
+        }
+        // Iterative DFS with a recursion stack, reporting each cycle at
+        // its lexicographically-least entry node once.
+        let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+        let nodes: Vec<&str> = adj.keys().copied().collect();
+        for &start in &nodes {
+            // Path-based DFS from each node; bounded by graph size.
+            let mut stack = vec![(
+                start,
+                adj.get(start)
+                    .into_iter()
+                    .flatten()
+                    .copied()
+                    .collect::<Vec<_>>(),
+            )];
+            let mut path = vec![start];
+            while let Some((_, succs)) = stack.last_mut() {
+                if let Some(next) = succs.pop() {
+                    if next == start {
+                        // Found a cycle back to the root.
+                        let mut cyc: Vec<String> = path.iter().map(ToString::to_string).collect();
+                        // Canonicalize: rotate so the least node leads.
+                        if let Some(minpos) = cyc
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.cmp(b.1))
+                            .map(|(i, _)| i)
+                        {
+                            cyc.rotate_left(minpos);
+                        }
+                        cycles.insert(cyc);
+                    } else if !path.contains(&next) {
+                        path.push(next);
+                        stack.push((next, adj.get(next).into_iter().flatten().copied().collect()));
+                    }
+                } else {
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        cycles.into_iter().collect()
+    }
+
+    /// Cross-checks runtime lockdep edges against the static graph.
+    ///
+    /// * A runtime edge *within* an ordered family must respect the
+    ///   family's ascending order (`shard03 → shard05` ok, `shard05 →
+    ///   shard03` is a contradiction).
+    /// * A runtime edge matching a static edge (exact class or family
+    ///   wildcard) is *covered*.
+    /// * A runtime edge whose **reverse** exists statically is a
+    ///   contradiction — the code's textual discipline and the executed
+    ///   order disagree.
+    /// * Other runtime edges are paths the textual extractor cannot see
+    ///   (dynamic dispatch, cross-crate private fields); they are fine.
+    /// * Static edges matching no runtime edge come back as coverage
+    ///   gaps: orderings no lockdep test exercised.
+    pub fn compare_runtime(
+        &self,
+        runtime: &[(String, String)],
+        ordered_families: &[String],
+    ) -> RuntimeComparison {
+        let mut contradictions = Vec::new();
+        let mut covered: BTreeSet<(String, String)> = BTreeSet::new();
+        for (h, a) in runtime {
+            let fam_h = family_of(h, ordered_families);
+            let fam_a = family_of(a, ordered_families);
+            if let (Some(f1), Some(f2)) = (fam_h, fam_a) {
+                if f1 == f2 {
+                    if h >= a {
+                        contradictions.push((
+                            h.clone(),
+                            a.clone(),
+                            format!("violates the ascending order declared for family `{f1}`"),
+                        ));
+                    }
+                    continue;
+                }
+            }
+            let matches_static = |x: &str, y: &str| {
+                self.edges
+                    .iter()
+                    .find(|e| class_matches(&e.held, x) && class_matches(&e.acquired, y))
+                    .map(|e| (e.held.clone(), e.acquired.clone()))
+            };
+            if let Some(edge) = matches_static(h, a) {
+                covered.insert(edge);
+            } else if matches_static(a, h).is_some() {
+                contradictions.push((
+                    h.clone(),
+                    a.clone(),
+                    "opposes the statically extracted order (reverse edge exists in source)"
+                        .to_string(),
+                ));
+            }
+        }
+        let mut coverage_gaps: Vec<(String, String)> = self
+            .edges
+            .iter()
+            .map(|e| (e.held.clone(), e.acquired.clone()))
+            .filter(|e| !covered.contains(e))
+            .collect();
+        coverage_gaps.sort();
+        coverage_gaps.dedup();
+        RuntimeComparison {
+            contradictions,
+            coverage_gaps,
+        }
+    }
+}
+
+/// `true` if `class` is (or belongs to) a declared ordered family.
+fn is_ordered_family(class: &str, ordered_families: &[String]) -> bool {
+    family_of(class, ordered_families).is_some() && class.ends_with('*')
+}
+
+/// The ordered family `class` belongs to, if any. Accepts both the
+/// family node itself (`cxl_mem.device.shard*`) and concrete members
+/// (`cxl_mem.device.shard07`).
+fn family_of<'a>(class: &str, ordered_families: &'a [String]) -> Option<&'a str> {
+    ordered_families.iter().map(String::as_str).find(|f| {
+        let prefix = f.strip_suffix('*').unwrap_or(f);
+        class.strip_suffix('*').unwrap_or(class).starts_with(prefix)
+    })
+}
+
+/// `true` if static class node `node` (possibly a `…*` family) covers
+/// runtime class `class`.
+fn class_matches(node: &str, class: &str) -> bool {
+    match node.strip_suffix('*') {
+        Some(prefix) => class.starts_with(prefix),
+        None => node == class,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------
+
+/// Per-function summary used for interprocedural propagation.
+#[derive(Debug, Default, Clone)]
+struct FnSummary {
+    /// Classes this function acquires directly (held or transient).
+    acquires: BTreeSet<String>,
+    /// `(held classes, callee name, file, line)` call sites made while
+    /// holding at least one guard.
+    held_calls: Vec<(BTreeSet<String>, String, String, u32)>,
+    /// Every resolvable callee (for transitive acquisition closure).
+    callees: BTreeSet<String>,
+}
+
+/// Extracts the static lock graph from all source files.
+pub fn extract(sources: &[SourceFile]) -> LockGraph {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut summaries: BTreeMap<String, FnSummary> = BTreeMap::new();
+
+    for sf in sources {
+        let code: Vec<&Token> = sf
+            .code
+            .iter()
+            .filter(|t| !sf.in_test_code(t.line))
+            .collect();
+        let lock_names = collect_lock_names(&code);
+        if lock_names.is_empty() {
+            continue;
+        }
+        scan_functions(sf, &code, &lock_names, &mut edges, &mut summaries);
+    }
+
+    // Fixpoint: each function's transitive acquisition set.
+    let mut all_acquires: BTreeMap<String, BTreeSet<String>> = summaries
+        .iter()
+        .map(|(name, s)| (name.clone(), s.acquires.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, summary) in &summaries {
+            let mut merged = all_acquires[name].clone();
+            for callee in &summary.callees {
+                if let Some(extra) = all_acquires.get(callee) {
+                    for class in extra {
+                        merged.insert(class.clone());
+                    }
+                }
+            }
+            if merged.len() != all_acquires[name].len() {
+                all_acquires.insert(name.clone(), merged);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Interprocedural edges: held classes at a call site → everything
+    // the callee transitively acquires. Self-edges are dropped here —
+    // name-based resolution is too coarse to claim re-entrancy.
+    for summary in summaries.values() {
+        for (held, callee, file, line) in &summary.held_calls {
+            let Some(acquired) = all_acquires.get(callee) else {
+                continue;
+            };
+            for h in held {
+                for a in acquired {
+                    if h != a {
+                        edges.push(Edge {
+                            held: h.clone(),
+                            acquired: a.clone(),
+                            file: file.clone(),
+                            line: *line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Dedup by (held, acquired), keeping the first provenance.
+    let mut seen = BTreeSet::new();
+    edges.retain(|e| seen.insert((e.held.clone(), e.acquired.clone())));
+    edges.sort();
+    LockGraph { edges }
+}
+
+/// Finds `TrackedMutex::new` / `TrackedRwLock::new` declarations and
+/// maps binding names to class names (or families). Also resolves const
+/// string arrays used as class sources.
+fn collect_lock_names(code: &[&Token]) -> BTreeMap<String, BTreeSet<String>> {
+    // Pass 1: const/static arrays of string literals.
+    //   const NAME: [...] = ["a", "b", ...];
+    let mut const_arrays: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if (code[i].is_ident("const") || code[i].is_ident("static"))
+            && code[i + 1].kind == TokKind::Ident
+        {
+            let name = code[i + 1].text.clone();
+            // Find `= [` then collect string literals to `]`. The type
+            // ascription may itself contain brackets and semicolons
+            // (`[&str; 16]`), so only a top-level `;` ends the item.
+            let mut j = i + 2;
+            let mut brackets = 0i32;
+            while j < code.len() {
+                if code[j].is_punct('[') {
+                    brackets += 1;
+                } else if code[j].is_punct(']') {
+                    brackets -= 1;
+                } else if brackets == 0 && (code[j].is_punct('=') || code[j].is_punct(';')) {
+                    break;
+                }
+                j += 1;
+            }
+            if j < code.len()
+                && code[j].is_punct('=')
+                && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+            {
+                let mut lits = Vec::new();
+                let mut k = j + 2;
+                while k < code.len() && !code[k].is_punct(']') {
+                    if code[k].kind == TokKind::Str {
+                        lits.push(code[k].text.clone());
+                    }
+                    k += 1;
+                }
+                if !lits.is_empty() {
+                    const_arrays.insert(name, lits);
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: TrackedMutex::new( / TrackedRwLock::new( sites.
+    let mut names: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if !(t.is_ident("TrackedMutex") || t.is_ident("TrackedRwLock")) {
+            continue;
+        }
+        // Require `:: new (` after.
+        if !(code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("new"))
+            && code.get(i + 4).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        let class = match code.get(i + 5) {
+            Some(arg) if arg.kind == TokKind::Str => Some(arg.text.clone()),
+            Some(arg) if arg.kind == TokKind::Ident && const_arrays.contains_key(&arg.text) => {
+                // Indexed const array → a family: longest common prefix
+                // of the elements, plus `*`.
+                let lits = &const_arrays[&arg.text];
+                let mut prefix = lits[0].clone();
+                for lit in &lits[1..] {
+                    while !lit.starts_with(&prefix) {
+                        prefix.pop();
+                    }
+                }
+                // Shared leading digits of the member numbering are not
+                // part of the family name (`shard00`/`shard01` → `shard*`,
+                // not `shard0*`).
+                while prefix.ends_with(|c: char| c.is_ascii_digit()) {
+                    prefix.pop();
+                }
+                Some(format!("{prefix}*"))
+            }
+            _ => None,
+        };
+        let Some(class) = class else { continue };
+        // Binding name: `name : TrackedMutex::new(…)` (struct field
+        // init) or `let name = TrackedMutex::new(…)`.
+        let binding = match code[..i]
+            .iter()
+            .rev()
+            .take(3)
+            .collect::<Vec<_>>()
+            .as_slice()
+        {
+            // field: `name : Tracked…`
+            [colon, name, ..] if colon.is_punct(':') && name.kind == TokKind::Ident => {
+                Some(name.text.clone())
+            }
+            // let: `name = Tracked…` (possibly `let mut name =`)
+            [eq, name, ..] if eq.is_punct('=') && name.kind == TokKind::Ident => {
+                Some(name.text.clone())
+            }
+            _ => None,
+        };
+        if let Some(binding) = binding {
+            names.entry(binding).or_default().insert(class);
+        }
+    }
+    names
+}
+
+/// Scans function bodies for acquisitions, guard lifetimes, and call
+/// sites, pushing direct edges and filling summaries.
+fn scan_functions(
+    sf: &SourceFile,
+    code: &[&Token],
+    lock_names: &BTreeMap<String, BTreeSet<String>>,
+    edges: &mut Vec<Edge>,
+    summaries: &mut BTreeMap<String, FnSummary>,
+) {
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let fn_name = name_tok.text.clone();
+        // Find the body `{` (or `;` for a bodiless trait method).
+        let mut j = i + 2;
+        let body_start = loop {
+            match code.get(j) {
+                None => break None,
+                Some(t) if t.is_punct(';') => break None,
+                Some(t) if t.is_punct('{') => break Some(j),
+                Some(_) => j += 1,
+            }
+        };
+        let Some(body_start) = body_start else {
+            i = j;
+            continue;
+        };
+        // Brace-match the body.
+        let mut depth = 1u32;
+        let mut k = body_start + 1;
+        while k < code.len() && depth > 0 {
+            if code[k].is_punct('{') {
+                depth += 1;
+            } else if code[k].is_punct('}') {
+                depth -= 1;
+            }
+            k += 1;
+        }
+        let body = &code[body_start + 1..k.saturating_sub(1).max(body_start + 1)];
+        let summary = scan_body(sf, body, lock_names, edges);
+        let entry = summaries.entry(fn_name).or_default();
+        entry.acquires.extend(summary.acquires);
+        entry.held_calls.extend(summary.held_calls);
+        entry.callees.extend(summary.callees);
+        i = body_start + 1; // nested fns get their own pass
+    }
+}
+
+/// One tracked guard: binding name (if `let`-bound), class, brace depth
+/// at binding.
+struct Guard {
+    name: Option<String>,
+    class: String,
+    depth: u32,
+}
+
+fn scan_body(
+    sf: &SourceFile,
+    body: &[&Token],
+    lock_names: &BTreeMap<String, BTreeSet<String>>,
+    edges: &mut Vec<Edge>,
+) -> FnSummary {
+    let mut summary = FnSummary::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0u32;
+    // Pending `let` binding: (name, set at depth).
+    let mut pending_let: Option<String> = None;
+    let mut i = 0;
+    while i < body.len() {
+        let t = body[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            guards.retain(|g| g.depth < depth);
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(';') {
+            pending_let = None;
+        } else if t.is_ident("let") {
+            // `let [mut] name =`
+            let mut j = i + 1;
+            if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let (Some(name), Some(eq)) = (body.get(j), body.get(j + 1)) {
+                if name.kind == TokKind::Ident && eq.is_punct('=') {
+                    pending_let = Some(name.text.clone());
+                }
+            }
+        } else if t.is_ident("drop")
+            && body.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && body.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            if let Some(arg) = body.get(i + 2) {
+                if arg.kind == TokKind::Ident {
+                    guards.retain(|g| g.name.as_deref() != Some(arg.text.as_str()));
+                }
+            }
+        } else if t.kind == TokKind::Ident {
+            // Acquisition: `name . lock|read|write ( )` with a known
+            // receiver name.
+            let is_acquire = lock_names.contains_key(&t.text)
+                && body.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                && body.get(i + 2).is_some_and(|n| {
+                    n.is_ident("lock") || n.is_ident("read") || n.is_ident("write")
+                })
+                && body.get(i + 3).is_some_and(|n| n.is_punct('('))
+                && body.get(i + 4).is_some_and(|n| n.is_punct(')'));
+            if is_acquire {
+                let after = body.get(i + 5);
+                for class in &lock_names[&t.text] {
+                    for g in &guards {
+                        if g.class != *class {
+                            edges.push(Edge {
+                                held: g.class.clone(),
+                                acquired: class.clone(),
+                                file: sf.path.clone(),
+                                line: t.line,
+                            });
+                        }
+                    }
+                    summary.acquires.insert(class.clone());
+                }
+                // Persistent only when the guard itself is bound:
+                // `let g = x.lock();` (next token is `;`).
+                let persists = pending_let.is_some() && after.is_some_and(|n| n.is_punct(';'));
+                if persists {
+                    for class in &lock_names[&t.text] {
+                        guards.push(Guard {
+                            name: pending_let.clone(),
+                            class: class.clone(),
+                            depth,
+                        });
+                    }
+                    pending_let = None;
+                }
+                i += 5;
+                continue;
+            }
+            // Call site: `name (` that isn't a definition keyword.
+            if body.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && !CALLEE_STOPLIST.contains(&t.text.as_str())
+                && !matches!(
+                    t.text.as_str(),
+                    "fn" | "if"
+                        | "while"
+                        | "for"
+                        | "match"
+                        | "loop"
+                        | "return"
+                        | "Some"
+                        | "Ok"
+                        | "Err"
+                        | "None"
+                        | "Vec"
+                        | "Box"
+                        | "Arc"
+                )
+            {
+                summary.callees.insert(t.text.clone());
+                if !guards.is_empty() {
+                    let held: BTreeSet<String> = guards.iter().map(|g| g.class.clone()).collect();
+                    summary
+                        .held_calls
+                        .push((held, t.text.clone(), sf.path.clone(), t.line));
+                }
+            }
+        }
+        i += 1;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SourceFile;
+
+    fn graph_of(src: &str) -> LockGraph {
+        let sf = SourceFile::new("crates/x/src/lib.rs".to_string(), src);
+        extract(&[sf])
+    }
+
+    #[test]
+    fn nested_guards_yield_edges() {
+        let g = graph_of(
+            r#"
+struct S { a: TrackedMutex<u32>, b: TrackedMutex<u32> }
+impl S {
+    fn make() -> S { S { a: TrackedMutex::new("x.a", 0), b: TrackedMutex::new("x.b", 0) } }
+    fn nest(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+    }
+}
+"#,
+        );
+        let edges = g.edges_for_report();
+        assert!(edges.iter().any(|(h, a, _, _)| h == "x.a" && a == "x.b"));
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let g = graph_of(
+            r#"
+fn mk() { let m1 = TrackedMutex::new("c.one", ()); let m2 = TrackedMutex::new("c.two", ()); }
+fn p1(m1: &TrackedMutex<()>, m2: &TrackedMutex<()>) {
+    let g1 = m1.lock();
+    let g2 = m2.lock();
+}
+fn p2(m1: &TrackedMutex<()>, m2: &TrackedMutex<()>) {
+    let g2 = m2.lock();
+    let g1 = m1.lock();
+}
+"#,
+        );
+        let cycles = g.cycles(&[]);
+        assert_eq!(cycles.len(), 1, "edges: {:?}", g.edges_for_report());
+        assert!(cycles[0].contains(&"c.one".to_string()));
+    }
+
+    #[test]
+    fn scope_exit_releases_guards() {
+        let g = graph_of(
+            r#"
+fn mk() { let a = TrackedMutex::new("s.a", ()); let b = TrackedMutex::new("s.b", ()); }
+fn f(a: &TrackedMutex<()>, b: &TrackedMutex<()>) {
+    {
+        let ga = a.lock();
+    }
+    let gb = b.lock();
+}
+"#,
+        );
+        assert!(g.edges_for_report().is_empty());
+    }
+
+    #[test]
+    fn transient_acquisition_holds_nothing() {
+        let g = graph_of(
+            r#"
+fn mk() { let a = TrackedMutex::new("t.a", 0u32); let b = TrackedMutex::new("t.b", 0u32); }
+fn f(a: &TrackedMutex<u32>, b: &TrackedMutex<u32>) {
+    let n = a.lock().wrapping_add(1);
+    let gb = b.lock();
+}
+"#,
+        );
+        assert!(g.edges_for_report().is_empty());
+    }
+
+    #[test]
+    fn const_array_classes_become_a_family() {
+        let g = graph_of(
+            r#"
+const CLASSES: [&str; 2] = ["dev.shard00", "dev.shard01"];
+struct S { regions: TrackedRwLock<u32>, state: TrackedRwLock<u32> }
+impl S {
+    fn mk(i: usize) -> S {
+        S { regions: TrackedRwLock::new("dev.regions", 0), state: TrackedRwLock::new(CLASSES[i], 0) }
+    }
+    fn f(&self) {
+        let rt = self.regions.write();
+        let st = self.state.write();
+    }
+}
+"#,
+        );
+        let edges = g.edges_for_report();
+        assert!(
+            edges
+                .iter()
+                .any(|(h, a, _, _)| h == "dev.regions" && a == "dev.shard*"),
+            "edges: {edges:?}"
+        );
+        assert!(g.cycles(&["dev.shard*".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn interprocedural_edges_propagate() {
+        let g = graph_of(
+            r#"
+fn mk() { let inner = TrackedMutex::new("store.inner", ()); let dev = TrackedMutex::new("dev.lock", ()); }
+fn alloc_batch(dev: &TrackedMutex<()>) {
+    let gd = dev.lock();
+}
+fn intern(inner: &TrackedMutex<()>, dev: &TrackedMutex<()>) {
+    let gi = inner.lock();
+    alloc_batch(dev);
+}
+"#,
+        );
+        let edges = g.edges_for_report();
+        assert!(
+            edges
+                .iter()
+                .any(|(h, a, _, _)| h == "store.inner" && a == "dev.lock"),
+            "edges: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn runtime_comparison_flags_reversal_and_family_order() {
+        let g = graph_of(
+            r#"
+fn mk() { let a = TrackedMutex::new("r.a", ()); let b = TrackedMutex::new("r.b", ()); }
+fn f(a: &TrackedMutex<()>, b: &TrackedMutex<()>) {
+    let ga = a.lock();
+    let gb = b.lock();
+}
+"#,
+        );
+        let fams = vec!["dev.shard*".to_string()];
+        let runtime = vec![
+            ("r.b".to_string(), "r.a".to_string()), // reverse of static
+            ("dev.shard05".to_string(), "dev.shard02".to_string()), // descending
+            ("dev.shard01".to_string(), "dev.shard03".to_string()), // ascending: fine
+        ];
+        let cmp = g.compare_runtime(&runtime, &fams);
+        assert_eq!(cmp.contradictions.len(), 2, "{:?}", cmp.contradictions);
+        // The static a→b edge was never exercised: a coverage gap.
+        assert_eq!(
+            cmp.coverage_gaps,
+            vec![("r.a".to_string(), "r.b".to_string())]
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! JSON schema round-trip: the `--json` report must parse with the
+//! workspace's own JSON parser (`cxl_telemetry::Json`) and every field
+//! must survive the trip. `ci.sh` consumes this document, so the schema
+//! is pinned — bump [`cxl_lint::JSON_SCHEMA_VERSION`] on any shape
+//! change.
+
+use cxl_lint::{lint_files, Config, JSON_SCHEMA_VERSION};
+use cxl_telemetry::Json;
+
+fn seeded_report() -> cxl_lint::Report {
+    let config = Config::load_str(
+        r#"
+[paths]
+roots = ["crates/*/src"]
+[rules.hash-iteration]
+modules = ["crates/det/src"]
+"#,
+    )
+    .unwrap();
+    let src = r#"
+use std::collections::HashMap;
+fn mk() { let a = TrackedMutex::new("j.a", ()); let b = TrackedMutex::new("j.b", ()); }
+fn ab(a: &TrackedMutex<()>, b: &TrackedMutex<()>) { let ga = a.lock(); let gb = b.lock(); }
+fn weird() { let _s = "quote \" and\nnewline"; }
+"#;
+    let runtime: Vec<(String, String)> = Vec::new();
+    lint_files(
+        &[("crates/det/src/lib.rs".to_string(), src.to_string())],
+        &config,
+        Some(&runtime),
+    )
+}
+
+#[test]
+fn report_round_trips_through_the_telemetry_parser() {
+    let report = seeded_report();
+    let doc = Json::parse(&report.render_json()).expect("report must be valid JSON");
+
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(u64::from(JSON_SCHEMA_VERSION))
+    );
+    assert_eq!(doc.get("files_scanned").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("clean"), Some(&Json::Bool(report.is_clean())));
+
+    // Every violation survives with all its fields.
+    let violations = doc.get("violations").and_then(Json::as_arr).unwrap();
+    assert_eq!(violations.len(), report.violations.len());
+    assert!(!violations.is_empty(), "fixture must seed violations");
+    for (json, v) in violations.iter().zip(&report.violations) {
+        assert_eq!(json.get("rule").and_then(Json::as_str), Some(v.rule));
+        assert_eq!(
+            json.get("file").and_then(Json::as_str),
+            Some(v.file.as_str())
+        );
+        assert_eq!(
+            json.get("line").and_then(Json::as_u64),
+            Some(u64::from(v.line))
+        );
+        assert_eq!(
+            json.get("message").and_then(Json::as_str),
+            Some(v.message.as_str())
+        );
+        assert!(matches!(
+            json.get("severity").and_then(Json::as_str),
+            Some("error" | "warning")
+        ));
+    }
+
+    // The lock graph and coverage gaps survive too.
+    let edges = doc.get("lock_graph").and_then(Json::as_arr).unwrap();
+    assert_eq!(edges.len(), report.lock_edges.len());
+    assert!(!edges.is_empty(), "fixture must extract an edge");
+    for (json, (held, acquired, file, line)) in edges.iter().zip(&report.lock_edges) {
+        assert_eq!(json.get("held").and_then(Json::as_str), Some(held.as_str()));
+        assert_eq!(
+            json.get("acquired").and_then(Json::as_str),
+            Some(acquired.as_str())
+        );
+        assert_eq!(json.get("file").and_then(Json::as_str), Some(file.as_str()));
+        assert_eq!(
+            json.get("line").and_then(Json::as_u64),
+            Some(u64::from(*line))
+        );
+    }
+    let gaps = doc.get("coverage_gaps").and_then(Json::as_arr).unwrap();
+    assert_eq!(gaps.len(), report.coverage_gaps.len());
+    assert!(
+        !gaps.is_empty(),
+        "no runtime edges were supplied, so the static edge is a gap"
+    );
+}
+
+#[test]
+fn clean_report_parses_with_empty_arrays() {
+    let config = Config::default();
+    let report = lint_files(
+        &[(
+            "crates/x/src/lib.rs".to_string(),
+            "pub fn fine() {}\n".to_string(),
+        )],
+        &config,
+        None,
+    );
+    let doc = Json::parse(&report.render_json()).unwrap();
+    assert_eq!(doc.get("clean"), Some(&Json::Bool(true)));
+    assert_eq!(
+        doc.get("violations")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    assert_eq!(
+        doc.get("lock_graph")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    assert_eq!(
+        doc.get("coverage_gaps")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+}
+
+#[test]
+fn messages_with_quotes_and_newlines_stay_intact() {
+    // Force a message-bearing path through real escaping: a violation in
+    // a file whose path needs escaping.
+    let config = Config::default();
+    let report = lint_files(
+        &[(
+            "crates/x/src/we\"ird.rs".to_string(),
+            "use std::time::Instant;\n".to_string(),
+        )],
+        &config,
+        None,
+    );
+    let doc = Json::parse(&report.render_json()).unwrap();
+    let violations = doc.get("violations").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        violations[0].get("file").and_then(Json::as_str),
+        Some("crates/x/src/we\"ird.rs")
+    );
+}

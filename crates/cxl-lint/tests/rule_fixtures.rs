@@ -1,0 +1,267 @@
+//! One seeded-violation fixture per rule: each fixture contains exactly
+//! one planted violation, and the test asserts the engine reports it
+//! with the right rule id — and that the `cxl-lint` binary exits
+//! nonzero on it. A clean fixture pins exit code 0, and a broken config
+//! pins exit code 2.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use cxl_lint::{lint_files, Config, Severity};
+
+/// The workspace-shaped config the fixtures lint under.
+fn config() -> Config {
+    Config::load_str(
+        r#"
+[paths]
+roots = ["crates/*/src"]
+[rules.hash-iteration]
+modules = ["crates/det/src"]
+[rules.raw-lock]
+exempt = ["crates/det/src/lockdep.rs"]
+[rules.device-unwrap]
+modules = ["crates/det/src/device.rs"]
+[lock-order]
+ordered-families = ["dev.shard*"]
+"#,
+    )
+    .unwrap()
+}
+
+fn lint_one(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+    let report = lint_files(&[(path.to_string(), src.to_string())], &config(), None);
+    report
+        .violations
+        .iter()
+        .filter(|v| v.severity == Severity::Error)
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let hits = lint_one(
+        "crates/det/src/lib.rs",
+        "use std::time::Instant;\nfn f() { let _t = Instant::now(); }\n",
+    );
+    assert!(!hits.is_empty());
+    assert!(
+        hits.iter().all(|(rule, _)| *rule == "wall-clock"),
+        "{hits:?}"
+    );
+    assert_eq!(hits[0].1, 1);
+}
+
+#[test]
+fn hash_iteration_fixture() {
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(
+        lint_one("crates/det/src/lib.rs", src),
+        vec![("hash-iteration", 1)]
+    );
+    // The same source outside a determinism-sensitive module is fine.
+    assert!(lint_one("crates/other/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn raw_lock_fixture() {
+    let src = "use std::sync::Mutex;\nstatic M: Mutex<u32> = Mutex::new(0);\n";
+    let hits = lint_one("crates/det/src/lib.rs", src);
+    assert!(!hits.is_empty());
+    assert!(hits.iter().all(|(rule, _)| *rule == "raw-lock"), "{hits:?}");
+    // The lockdep module itself is exempt.
+    assert!(lint_one("crates/det/src/lockdep.rs", src).is_empty());
+}
+
+#[test]
+fn device_unwrap_fixture() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(
+        lint_one("crates/det/src/device.rs", src),
+        vec![("device-unwrap", 1)]
+    );
+    // Test code on the device path is exempt.
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+    assert!(lint_one("crates/det/src/device.rs", test_src).is_empty());
+}
+
+#[test]
+fn non_exhaustive_error_fixture() {
+    let src = "pub enum StoreError { Full }\n";
+    assert_eq!(
+        lint_one("crates/det/src/lib.rs", src),
+        vec![("non-exhaustive-error", 1)]
+    );
+    let annotated = "#[non_exhaustive]\npub enum StoreError { Full }\n";
+    assert!(lint_one("crates/det/src/lib.rs", annotated).is_empty());
+    // Private enums may be matched exhaustively within their crate.
+    assert!(lint_one("crates/det/src/lib.rs", "enum StoreError { Full }\n").is_empty());
+}
+
+#[test]
+fn bad_allow_fixture() {
+    // An allow without a justification is itself a violation...
+    let src = "// cxl-lint: allow(raw-lock)\nuse std::sync::Mutex;\n";
+    let hits = lint_one("crates/det/src/lib.rs", src);
+    assert!(
+        hits.iter().any(|(rule, _)| *rule == "bad-allow"),
+        "{hits:?}"
+    );
+    // ...and does not suppress the underlying finding.
+    assert!(hits.iter().any(|(rule, _)| *rule == "raw-lock"), "{hits:?}");
+}
+
+#[test]
+fn justified_allow_suppresses() {
+    let above =
+        "// cxl-lint: allow(raw-lock): fixture proves suppression works\nuse std::sync::Mutex;\n";
+    assert!(lint_one("crates/det/src/lib.rs", above).is_empty());
+    let same_line =
+        "use std::sync::Mutex; // cxl-lint: allow(raw-lock): fixture proves suppression works\n";
+    assert!(lint_one("crates/det/src/lib.rs", same_line).is_empty());
+    // An allow for one rule does not silence another.
+    let wrong_rule =
+        "// cxl-lint: allow(wall-clock): wrong rule on purpose\nuse std::sync::Mutex;\n";
+    assert_eq!(
+        lint_one("crates/det/src/lib.rs", wrong_rule),
+        vec![("raw-lock", 2)]
+    );
+}
+
+#[test]
+fn lock_cycle_fixture() {
+    let src = r#"
+fn mk() { let a = TrackedMutex::new("cy.a", ()); let b = TrackedMutex::new("cy.b", ()); }
+fn ab(a: &TrackedMutex<()>, b: &TrackedMutex<()>) { let ga = a.lock(); let gb = b.lock(); }
+fn ba(a: &TrackedMutex<()>, b: &TrackedMutex<()>) { let gb = b.lock(); let ga = a.lock(); }
+"#;
+    let hits = lint_one("crates/det/src/lib.rs", src);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].0, "lock-cycle");
+}
+
+#[test]
+fn lock_order_contradiction_fixture() {
+    let src = r#"
+fn mk() { let a = TrackedMutex::new("ct.a", ()); let b = TrackedMutex::new("ct.b", ()); }
+fn ab(a: &TrackedMutex<()>, b: &TrackedMutex<()>) { let ga = a.lock(); let gb = b.lock(); }
+"#;
+    let runtime = vec![
+        ("ct.b".to_string(), "ct.a".to_string()),
+        ("dev.shard07".to_string(), "dev.shard03".to_string()),
+    ];
+    let report = lint_files(
+        &[("crates/det/src/lib.rs".to_string(), src.to_string())],
+        &config(),
+        Some(&runtime),
+    );
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == "lock-order-contradiction")
+            .count(),
+        2,
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn lock_coverage_gap_is_a_warning_not_an_error() {
+    let src = r#"
+fn mk() { let a = TrackedMutex::new("cov.a", ()); let b = TrackedMutex::new("cov.b", ()); }
+fn ab(a: &TrackedMutex<()>, b: &TrackedMutex<()>) { let ga = a.lock(); let gb = b.lock(); }
+"#;
+    let runtime: Vec<(String, String)> = Vec::new();
+    let report = lint_files(
+        &[("crates/det/src/lib.rs".to_string(), src.to_string())],
+        &config(),
+        Some(&runtime),
+    );
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert_eq!(
+        report.coverage_gaps,
+        vec![("cov.a".to_string(), "cov.b".to_string())]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Binary exit codes, over on-disk fixture workspaces
+// ---------------------------------------------------------------------
+
+struct FixtureDir(PathBuf);
+
+impl FixtureDir {
+    fn new(name: &str, lib_rs: &str, lint_toml: &str) -> FixtureDir {
+        let root =
+            std::env::temp_dir().join(format!("cxl-lint-fixture-{}-{name}", std::process::id()));
+        let src = root.join("crates/det/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(root.join("lint.toml"), lint_toml).unwrap();
+        std::fs::write(src.join("lib.rs"), lib_rs).unwrap();
+        FixtureDir(root)
+    }
+}
+
+impl Drop for FixtureDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const MINIMAL_TOML: &str = "[paths]\nroots = [\"crates/*/src\"]\n";
+
+fn run_lint(root: &std::path::Path, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cxl-lint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn cxl-lint")
+}
+
+#[test]
+fn binary_exits_zero_on_a_clean_tree() {
+    let fx = FixtureDir::new("clean", "pub fn fine() {}\n", MINIMAL_TOML);
+    let out = run_lint(&fx.0, &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn binary_exits_one_on_a_seeded_violation_and_names_the_rule() {
+    let fx = FixtureDir::new("dirty", "use std::time::Instant;\n", MINIMAL_TOML);
+    let out = run_lint(&fx.0, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[wall-clock]"), "{stdout}");
+
+    // Same tree under --json: still exit 1, and the document carries the
+    // rule id machine-readably.
+    let out = run_lint(&fx.0, &["--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"rule\": \"wall-clock\""), "{stdout}");
+    assert!(stdout.contains("\"clean\": false"), "{stdout}");
+}
+
+#[test]
+fn binary_exits_two_on_a_broken_config() {
+    let fx = FixtureDir::new(
+        "badcfg",
+        "pub fn fine() {}\n",
+        "[rules.hash-iteration]\nmoduels = [\"typo\"]\n",
+    );
+    let out = run_lint(&fx.0, &[]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown configuration key"), "{stderr}");
+}
+
+#[test]
+fn binary_exits_two_on_a_missing_config() {
+    let fx = FixtureDir::new("nocfg", "pub fn fine() {}\n", MINIMAL_TOML);
+    std::fs::remove_file(fx.0.join("lint.toml")).unwrap();
+    let out = run_lint(&fx.0, &[]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -21,7 +21,6 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use crate::injection::{DeviceOp, FaultHook};
@@ -107,7 +106,7 @@ pub struct CxlDevice {
     /// Fault-injection hook (see [`crate::FaultHook`]). Kept outside the
     /// state locks: the hook fires *before* state is touched, and an armed
     /// flag keeps the unhooked fast path to one relaxed atomic load.
-    hook: RwLock<Option<Arc<dyn FaultHook>>>,
+    hook: TrackedRwLock<Option<Arc<dyn FaultHook>>>,
     hook_armed: AtomicBool,
 }
 
@@ -278,7 +277,7 @@ impl CxlDevice {
             pages_per_shard,
             shards,
             regions: TrackedRwLock::new("cxl_mem.device.regions", RegionTable::default()),
-            hook: RwLock::new(None),
+            hook: TrackedRwLock::new("cxl_mem.device.hook", None),
             hook_armed: AtomicBool::new(false),
         }
     }
@@ -599,6 +598,7 @@ impl CxlDevice {
             for &(l, _) in locals {
                 let slot = st.slots[l as usize]
                     .take()
+                    // cxl-lint: allow(device-unwrap): liveness is pinned by the region-table write lock held since the batch was validated
                     .expect("liveness pinned under the region-table lock");
                 st.free.push(l);
                 st.used -= 1;
@@ -909,6 +909,7 @@ impl CxlDevice {
         }
         Ok(out
             .into_iter()
+            // cxl-lint: allow(device-unwrap): the shard sweep above wrote every input position or returned Err before reaching here
             .map(|d| d.expect("every input position visited in the shard sweep"))
             .collect())
     }
@@ -961,6 +962,7 @@ impl CxlDevice {
         }
         Ok(out
             .into_iter()
+            // cxl-lint: allow(device-unwrap): the shard sweep above wrote every input position or returned Err before reaching here
             .map(|f| f.expect("every input position visited in the shard sweep"))
             .collect())
     }
@@ -1414,6 +1416,7 @@ mod tests {
 
     #[derive(Debug)]
     struct FailNthRead {
+        // cxl-lint: allow(raw-lock): test-local countdown; tracking it would pollute the lockdep class graph the tests assert on
         countdown: std::sync::Mutex<u64>,
     }
 
@@ -1444,6 +1447,7 @@ mod tests {
         let r = d.create_region("r");
         let p = d.alloc_page(r).unwrap();
         d.set_fault_hook(Some(Arc::new(FailNthRead {
+            // cxl-lint: allow(raw-lock): test-local countdown (see FailNthRead)
             countdown: std::sync::Mutex::new(1),
         })));
         assert!(d.read_page(p, NodeId(0)).is_ok(), "first read passes");
@@ -1462,6 +1466,7 @@ mod tests {
         let r = d.create_region("r");
         let pages = d.alloc_batch(r, 4).unwrap();
         d.set_fault_hook(Some(Arc::new(FailNthRead {
+            // cxl-lint: allow(raw-lock): test-local countdown (see FailNthRead)
             countdown: std::sync::Mutex::new(2),
         })));
         // The batch consults the hook once per page in input order, so the

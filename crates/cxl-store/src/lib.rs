@@ -38,6 +38,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use cxl_fault::LeaseTable;
+use cxl_mem::lockdep::TrackedMutex;
 use cxl_mem::{CxlDevice, CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
 use simclock::SimTime;
 
@@ -213,7 +214,7 @@ struct Inner {
 pub struct Store {
     device: Arc<CxlDevice>,
     config: StoreConfig,
-    inner: parking_lot::Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
 }
 
 impl Store {
@@ -238,14 +239,17 @@ impl Store {
         Store {
             device,
             config,
-            inner: parking_lot::Mutex::new(Inner {
-                region,
-                index: BTreeMap::new(),
-                catalog: BTreeMap::new(),
-                pending: BTreeMap::new(),
-                next_image: 1,
-                stats: StoreStats::default(),
-            }),
+            inner: TrackedMutex::new(
+                "cxl_store.inner",
+                Inner {
+                    region,
+                    index: BTreeMap::new(),
+                    catalog: BTreeMap::new(),
+                    pending: BTreeMap::new(),
+                    next_image: 1,
+                    stats: StoreStats::default(),
+                },
+            ),
         }
     }
 
@@ -376,6 +380,7 @@ impl Store {
         }
         let mut pages = Vec::with_capacity(fps.len());
         for fp in &fps {
+            // cxl-lint: allow(device-unwrap): intern invariant — every fp was inserted into the index in the resolve pass just above
             let entry = inner.index.get_mut(fp).expect("resolved above");
             entry.refs += 1;
             pages.push(entry.page);
@@ -383,6 +388,7 @@ impl Store {
         inner
             .pending
             .get_mut(&image.0)
+            // cxl-lint: allow(device-unwrap): intern invariant — the pending entry was validated at function entry and the lock is still held
             .expect("checked above")
             .fingerprints
             .extend_from_slice(&fps);
@@ -569,6 +575,7 @@ impl Store {
             let fps = inner
                 .pending
                 .remove(&id)
+                // cxl-lint: allow(device-unwrap): the orphan id list was collected from this same map under the same lock hold
                 .expect("collected above")
                 .fingerprints;
             freed += Self::drop_refs(&self.device, &mut inner, &fps);
@@ -695,9 +702,11 @@ impl Store {
             let entry = inner
                 .index
                 .get_mut(fp)
+                // cxl-lint: allow(device-unwrap): refcount invariant — a catalogued image only holds fingerprints present in the index
                 .expect("image references only indexed content");
             entry.refs -= 1;
             if entry.refs == 0 {
+                // cxl-lint: allow(device-unwrap): the same entry was just fetched via get_mut under this lock hold
                 to_free.push(inner.index.remove(fp).expect("present").page);
             }
         }

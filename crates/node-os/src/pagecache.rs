@@ -12,15 +12,19 @@
 //! resident after every mapper exits (until [`PageCache::clear`] reclaims
 //! them under memory pressure).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::Pfn;
 use crate::frame::FrameAllocator;
 
 /// A `(path, file page) → frame` cache.
+///
+/// Keyed by a `BTreeMap` so [`PageCache::entries`] walks in a stable
+/// order — the entries feed `cxl-check` audits and report output, which
+/// must be byte-identical across runs.
 #[derive(Debug, Default)]
 pub struct PageCache {
-    map: HashMap<(String, u64), Pfn>,
+    map: BTreeMap<(String, u64), Pfn>,
     hits: u64,
     misses: u64,
 }
@@ -86,7 +90,7 @@ impl PageCache {
     /// pressure.
     pub fn clear(&mut self, frames: &mut FrameAllocator) -> u64 {
         let mut freed = 0;
-        for (_, pfn) in self.map.drain() {
+        for (_, pfn) in std::mem::take(&mut self.map) {
             if frames.dec_ref(pfn) {
                 freed += 1;
             }

@@ -219,7 +219,13 @@ mod tests {
         assert_ne!(Registers::seeded(1), Registers::seeded(2));
         assert_eq!(Registers::seeded(1), Registers::seeded(1));
         let r = Registers::seeded(5);
-        assert!(r.gpr.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+        assert!(
+            r.gpr
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 1
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -69,14 +69,16 @@ pub struct TrEnvCxl {
     next_id: AtomicU64,
     /// `(checkpoint id, node) → template`. Templates are per-function
     /// *and* per-node — the pre-processing TrEnv requires everywhere.
-    templates: TrackedMutex<HashMap<(u64, NodeId), Arc<Template>>>,
+    /// A `BTreeMap` keeps any walk over the table deterministic (restore
+    /// cost accounting feeds the bench reports).
+    templates: TrackedMutex<BTreeMap<(u64, NodeId), Arc<Template>>>,
 }
 
 impl Default for TrEnvCxl {
     fn default() -> Self {
         TrEnvCxl {
             next_id: AtomicU64::new(0),
-            templates: TrackedMutex::new("trenv.templates", HashMap::new()),
+            templates: TrackedMutex::new("trenv.templates", BTreeMap::new()),
         }
     }
 }
@@ -146,8 +148,9 @@ impl TrEnvCxl {
         let _mm = MmImage::decode(&checkpoint.mm_bytes)?;
         let pagemap = PagemapImage::decode(&checkpoint.pagemap_bytes)?;
 
-        // Materialize local leaves with read-only CXL mappings.
-        let mut leaves: HashMap<u64, PtLeaf> = HashMap::new();
+        // Materialize local leaves with read-only CXL mappings. The
+        // BTreeMap comes out already sorted by leaf index.
+        let mut leaves: BTreeMap<u64, PtLeaf> = BTreeMap::new();
         for (entry, (vpn, page, file_backed)) in pagemap.entries.iter().zip(&checkpoint.pages) {
             debug_assert_eq!(entry.vpn, *vpn);
             let v = VirtPageNum(*vpn);
@@ -163,11 +166,10 @@ impl TrEnvCxl {
                 .or_default()
                 .set(v.leaf_slot(), Pte::mapped(PhysAddr::Cxl(*page), flags));
         }
-        let mut leaves: Vec<(u64, Arc<PtLeaf>)> = leaves
+        let leaves: Vec<(u64, Arc<PtLeaf>)> = leaves
             .into_iter()
             .map(|(idx, leaf)| (idx, Arc::new(leaf)))
             .collect();
-        leaves.sort_by_key(|(idx, _)| *idx);
 
         // The template's page-table pages idle in local memory from now on
         // (one frame per leaf).
