@@ -52,6 +52,19 @@ for seed in 7 1984 4242; do
     CXLFAULT_SEED=$seed cargo test --quiet -p cxlfork-bench --features check --test capacity_pressure
 done
 
+echo '== crashpoint sweep smoke (bounded, both feature states) =='
+# A bounded slice of the exhaustive crash-recovery sweep
+# (tests/crashpoint_sweep.rs, DESIGN.md §13): kill the coordinator at
+# the first 6 injection positions for 2 seeds, recover the store from
+# the surviving device, and hold every recovery to zero audit
+# violations and byte-identical surviving contents. The full sweep
+# (every position, 3 seeds) already ran with the workspace suites
+# above; this pass pins the env-bounded smoke contract itself.
+CRASH_SWEEP_POSITIONS=6 CRASH_SWEEP_SEEDS=2 \
+    cargo test --quiet -p cxlfork-bench --test crashpoint_sweep
+CRASH_SWEEP_POSITIONS=6 CRASH_SWEEP_SEEDS=2 \
+    cargo test --quiet -p cxlfork-bench --features check --test crashpoint_sweep
+
 echo '== release build =='
 cargo build --workspace --release --quiet
 

@@ -179,18 +179,41 @@ pub fn tiering_report(model: &LatencyModel) -> ScenarioTelemetry {
 /// exactly-once invariant the `availability` bench asserts).
 pub fn availability_report(model: &LatencyModel) -> ScenarioTelemetry {
     let session = TelemetrySession::start();
+    let mut recovered_images = 0u64;
+    let mut journal_replay_ns = 0u64;
+    let mut replay_pages_scanned = 0u64;
     for seed in AVAILABILITY_SEEDS {
         let outcome = run_availability(seed, AVAILABILITY_CRASHES, model);
         assert!(
             outcome.accounting_balances(),
             "seed {seed}: requests leaked or double-executed"
         );
+        assert_eq!(
+            outcome.recovery.fingerprint_mismatches, 0,
+            "seed {seed}: journal replay failed the fingerprint cross-check"
+        );
+        recovered_images += outcome.successor.recovered_images;
+        journal_replay_ns += outcome.successor.journal_replay_ns;
+        replay_pages_scanned += outcome.recovery.pages_scanned;
     }
     let data = session.finish();
 
     let mut report = BenchReport::new("availability");
     report.virtual_ns = virtual_ns(&data);
     fill_common(&mut report, &data);
+    // Coordinator-failover recovery metrics, summed over the seeds: how
+    // many journaled images each successor adopted and the virtual time
+    // its journal replay cost.
+    report
+        .counters
+        .push(("availability.recovered_images".into(), recovered_images));
+    report
+        .counters
+        .push(("availability.journal_replay_ns".into(), journal_replay_ns));
+    report.counters.push((
+        "availability.replay_pages_scanned".into(),
+        replay_pages_scanned,
+    ));
     let e2e = data.registry.timer_across_nodes("cxlporter", "e2e");
     report.latency(LatencySummary::from_histogram("e2e", &e2e));
     for (key, h) in data.registry.timers() {

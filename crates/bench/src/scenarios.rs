@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use criu_cxl::CriuCxl;
-use cxl_mem::{CxlDevice, CxlFs};
+use cxl_mem::{CxlDevice, CxlFs, NodeId};
 use cxlfork::CxlFork;
 use faas::FunctionSpec;
 use mitosis_cxl::MitosisCxl;
@@ -306,22 +306,46 @@ pub struct AvailabilityOutcome {
     /// The porter's full report (crash/retry/reclaim accounting
     /// included).
     pub report: cxlporter::PorterReport,
-    /// What the device-level injector actually fired.
+    /// What the device-level injector actually fired (over the primary
+    /// run **and** the successor's continuation — the injector stays
+    /// armed on the device across the failover).
     pub fault_stats: cxl_fault::FaultStats,
     /// Requests in the generated trace.
     pub trace_len: u64,
+    /// What the journal replay found when the successor coordinator
+    /// attached to the surviving device.
+    pub recovery: cxl_store::RecoveryReport,
+    /// The successor coordinator's report for the continuation trace it
+    /// served after adopting the recovered store (carries
+    /// `recovered_images` and `journal_replay_ns`).
+    pub successor: cxlporter::PorterReport,
+    /// Requests in the successor's continuation trace.
+    pub successor_trace_len: u64,
 }
 
 impl AvailabilityOutcome {
-    /// Requests that completed on some node (warm, restored, or cold).
+    /// Requests that completed on some node (warm, restored, or cold)
+    /// under the primary coordinator.
     pub fn completed(&self) -> u64 {
         self.report.warm_hits + self.report.restores + self.report.full_cold
     }
 
-    /// Exactly-once bookkeeping: every trace request and every
-    /// re-dispatch lands in precisely one outcome bucket.
+    /// Exactly-once bookkeeping for both coordinators: every trace
+    /// request and every re-dispatch lands in precisely one outcome
+    /// bucket.
     pub fn accounting_balances(&self) -> bool {
+        let successor_completed =
+            self.successor.warm_hits + self.successor.restores + self.successor.full_cold;
         self.completed() + self.report.dropped == self.trace_len + self.report.redispatched
+            && successor_completed + self.successor.dropped
+                == self.successor_trace_len + self.successor.redispatched
+    }
+}
+
+fn availability_store_config() -> cxl_store::StoreConfig {
+    cxl_store::StoreConfig {
+        durable: true,
+        ..cxl_store::StoreConfig::default()
     }
 }
 
@@ -330,8 +354,15 @@ impl AvailabilityOutcome {
 /// errors, while `crash_count` nodes die at seeded times mid-run (about
 /// half of them mid-checkpoint). The porter retries transients, fails
 /// crashed nodes over by restoring from CXL-resident checkpoints, and
-/// lease-reclaims torn staging regions — the run is fully deterministic
-/// in `seed`.
+/// lease-reclaims torn staging regions.
+///
+/// Checkpoints route through a **durable** content-addressed store, and
+/// after the trace the coordinator itself dies: a successor attaches to
+/// the surviving device, replays the store journal
+/// ([`cxl_store::Store::recover`]), adopts and re-leases the recovered
+/// images, and serves a 2 s continuation trace whose re-checkpoints
+/// dedup against the recovered index. The whole run — crashes, faults,
+/// failover, replay — is fully deterministic in `seed`.
 pub fn run_availability(
     seed: u64,
     crash_count: usize,
@@ -339,17 +370,23 @@ pub fn run_availability(
 ) -> AvailabilityOutcome {
     let duration = SimDuration::from_secs(10);
     let cluster = cxlporter::Cluster::new(3, 2048, 8192, model.clone());
+    let device = Arc::clone(&cluster.device);
 
     let injector = Arc::new(cxl_fault::Injector::from_plan(
         cxl_fault::FaultPlan::new(seed).with_transient_rate(2e-4),
     ));
-    injector.arm(&cluster.device);
+    injector.arm(&device);
 
+    let store = Arc::new(cxl_store::Store::with_config(
+        Arc::clone(&device),
+        availability_store_config(),
+    ));
     let mut porter = cxlporter::CxlPorter::new(
         cluster,
-        CxlFork::new(),
+        CxlFork::with_store(Arc::clone(&store)),
         cxlporter::PorterConfig::cxlfork_dynamic(),
-    );
+    )
+    .with_image_store(Arc::clone(&store));
     porter.set_crash_schedule(cxl_fault::CrashSchedule::from_plan(
         seed,
         3,
@@ -366,10 +403,41 @@ pub fn run_availability(
         )
     });
     let report = porter.run_trace(&trace);
+
+    // Coordinator failover: the coordinator's DRAM dies with it (porter,
+    // checkpoint handles, the store's in-memory index); only the device
+    // survives. A successor attaches, replays the journal, adopts the
+    // recovered images, and keeps serving.
+    drop(porter);
+    drop(store);
+    let (recovered, recovery) =
+        cxl_store::Store::recover(Arc::clone(&device), availability_store_config(), NodeId(0));
+    let recovered = Arc::new(recovered);
+    let cluster_b = cxlporter::Cluster::with_device(3, 2048, Arc::clone(&device), model.clone());
+    let mut successor = cxlporter::CxlPorter::new(
+        cluster_b,
+        CxlFork::with_store(Arc::clone(&recovered)),
+        cxlporter::PorterConfig::cxlfork_dynamic(),
+    );
+    successor.adopt_recovered_store(Arc::clone(&recovered), &recovery, NodeId(0));
+
+    let tail = trace_gen::generate(&trace_gen::TraceConfig {
+        duration_secs: 2.0,
+        total_rps: 40.0,
+        ..trace_gen::TraceConfig::paper_default(
+            vec!["Float".into(), "Json".into(), "Pyaes".into()],
+            seed,
+        )
+    });
+    let successor_report = successor.run_trace(&tail);
+
     AvailabilityOutcome {
         report,
         fault_stats: injector.stats(),
         trace_len: trace.len() as u64,
+        recovery,
+        successor: successor_report,
+        successor_trace_len: tail.len() as u64,
     }
 }
 
@@ -471,6 +539,7 @@ pub fn run_capacity(specs: &[FunctionSpec], model: &LatencyModel) -> CapacityOut
         cxl_store::StoreConfig {
             high_watermark: 0.5,
             low_watermark: 0.25,
+            ..cxl_store::StoreConfig::default()
         },
     );
     let t0 = SimTime::from_nanos(1_000_000_000);
@@ -492,12 +561,12 @@ pub fn run_capacity(specs: &[FunctionSpec], model: &LatencyModel) -> CapacityOut
             .intern_pages(image, &data, NodeId(0))
             .expect("sweep image fits");
         let meta = sweep_device.create_region(&format!("meta{i}"));
-        sweep.commit_image(image, meta);
+        sweep.commit_image(image, meta).expect("image is pending");
         // Staggered restores fix the LRU order to image order.
         sweep.touch_restore(image, t0 + SimDuration::from_secs(1 + i));
         images.push(image);
     }
-    sweep.set_pinned(images[0], true);
+    sweep.set_pinned(images[0], true).expect("committed image");
     let sweep_now = t0 + SimDuration::from_secs(3600);
     let report = sweep.evict_to_low_watermark(&leases, sweep_now);
     assert!(

@@ -168,18 +168,24 @@ struct ImageGuard<'s> {
 
 impl ImageGuard<'_> {
     /// Publishes the image (catalog entry referencing `meta_region`) and
-    /// disarms the rollback.
-    fn commit(mut self, meta_region: RegionId) -> cxl_store::ImageId {
+    /// disarms the rollback. Returns the image plus the journal pages
+    /// the commit record cost (zero for a volatile store).
+    fn commit(mut self, meta_region: RegionId) -> (cxl_store::ImageId, u64) {
         self.armed = false;
-        self.store.commit_image(self.image, meta_region);
-        self.image
+        let journal_pages = self
+            .store
+            .commit_image(self.image, meta_region)
+            .expect("image stays pending until the guard commits it");
+        (self.image, journal_pages)
     }
 }
 
 impl Drop for ImageGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.store.abort_image(self.image);
+            // The image may already be gone if the store itself failed
+            // mid-intern; rollback is best-effort either way.
+            let _ = self.store.abort_image(self.image);
         }
     }
 }
@@ -465,8 +471,12 @@ pub(crate) fn take_checkpoint(
     // one-page checkpoint costs exactly the scalar write path.
     // With a store, only the pages whose content actually crossed the
     // fabric count (dedup hits and elided zero pages moved nothing).
+    // Durable stores additionally journal each intern batch; those
+    // records ride the same batched write path and are charged here.
     let data_transfer = interned.as_ref().map_or(data_pages, |o| o.written);
-    let copied_pages = data_transfer + leaves.len() as u64 + vma_blocks.len() as u64 + 1;
+    let journal_transfer = interned.as_ref().map_or(0, |o| o.journal_pages);
+    let copied_pages =
+        data_transfer + journal_transfer + leaves.len() as u64 + vma_blocks.len() as u64 + 1;
     let copied_bytes = copied_pages * PAGE_SIZE;
     let copy_cost = model.cxl_batch_write(copied_pages);
     let rebase_cost = SimDuration::from_nanos(model.rebase_pointer_ns) * rebased_pointers;
@@ -510,7 +520,22 @@ pub(crate) fn take_checkpoint(
     // which records the committed region as its metadata region).
     device.commit_region(region)?;
     let region = guard.commit();
-    let image = image_guard.map(|g| g.commit(region));
+    let mut cost = cost;
+    let image = match image_guard {
+        Some(g) => {
+            let (image, commit_journal_pages) = g.commit(region);
+            // The commit marker is itself a journaled write (possibly
+            // with a compaction snapshot behind it); it lands strictly
+            // after the publish, so its cost is charged here.
+            if commit_journal_pages > 0 {
+                let commit_cost = model.cxl_batch_write(commit_journal_pages);
+                node.clock_mut().advance(commit_cost);
+                cost += commit_cost;
+            }
+            Some(image)
+        }
+        None => None,
+    };
     Ok(CxlForkCheckpoint {
         meta: CheckpointMeta {
             comm: task.comm.clone(),

@@ -141,7 +141,9 @@ impl CxlFork {
         #[cfg(feature = "check")]
         self.with_seals(|seals| seals.release(checkpoint.region));
         if let (Some(store), Some(image)) = (&self.store, checkpoint.image) {
-            let data_freed = store.release_image(image);
+            // An image already evicted (or released) by the store is a
+            // clean no-op here, matching the store-less path's tolerance.
+            let data_freed = store.release_image(image).unwrap_or(0);
             // Eviction already destroyed the metadata region; releasing
             // an evicted handle is then a clean no-op.
             let meta_freed = node.device().destroy_region(checkpoint.region).unwrap_or(0);

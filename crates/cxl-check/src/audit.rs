@@ -362,6 +362,83 @@ pub fn audit_store(store: &cxl_store::Store) -> Vec<Violation> {
     out
 }
 
+/// Audits a durable store's journal against its in-DRAM books.
+///
+/// Loads the highest journal generation with a valid superblock through
+/// the unmodelled snapshot path (no clock charge, no fault hooks) and
+/// checks two invariants a quiescent store must satisfy:
+///
+/// * the committed stream has **no torn tail** — a torn tail means a
+///   crashed append that recovery never truncated
+///   ([`Violation::JournalTornTail`]);
+/// * replaying the stream yields exactly the reference counts the live
+///   content index records, fingerprint by fingerprint
+///   ([`Violation::RecoveryRefcountSkew`]).
+///
+/// A volatile store (no journal on the device) audits clean — there is
+/// nothing to cross-check.
+pub fn audit_journal(store: &cxl_store::Store) -> Vec<Violation> {
+    use cxl_store::journal;
+
+    let mut out = Vec::new();
+    let device = store.device();
+    let found = journal::find_generations(device);
+    if found.is_empty() {
+        return out;
+    }
+    let mut chosen = None;
+    for f in found.iter().rev() {
+        if let Some(loaded) = journal::snapshot_generation(device, f) {
+            chosen = Some((f, loaded));
+            break;
+        }
+    }
+    let Some((gen, loaded)) = chosen else {
+        // Generations exist but none has a valid superblock: the
+        // journal root is lost. Flag the newest region.
+        let newest = found.last().expect("found is non-empty");
+        out.push(Violation::JournalTornTail {
+            region: newest.region,
+            committed_bytes: 0,
+            torn_bytes: 0,
+        });
+        return out;
+    };
+    if loaded.log.torn_bytes > 0 {
+        out.push(Violation::JournalTornTail {
+            region: gen.region,
+            committed_bytes: loaded.log.committed_bytes,
+            torn_bytes: loaded.log.torn_bytes,
+        });
+    }
+
+    let journal_refs = journal::replay_reference_counts(&loaded.log.entries);
+    let mut index_refs: BTreeMap<u64, u64> = store
+        .index_snapshot()
+        .into_iter()
+        .map(|e| (e.fingerprint, e.refs))
+        .collect();
+    for (fingerprint, jrefs) in journal_refs {
+        let irefs = index_refs.remove(&fingerprint).unwrap_or(0);
+        if jrefs != irefs {
+            out.push(Violation::RecoveryRefcountSkew {
+                fingerprint,
+                journal_refs: jrefs,
+                index_refs: irefs,
+            });
+        }
+    }
+    // Fingerprints the index holds but the journal never explains.
+    for (fingerprint, irefs) in index_refs {
+        out.push(Violation::RecoveryRefcountSkew {
+            fingerprint,
+            journal_refs: 0,
+            index_refs: irefs,
+        });
+    }
+    out
+}
+
 /// Audits checkpoint staging regions against the set of live owners:
 /// every *uncommitted* region whose owner is not in `live_owners` is a
 /// torn checkpoint that lease reclamation should have destroyed, and is
@@ -603,7 +680,7 @@ mod tests {
         let datas = vec![PageData::pattern(7), PageData::pattern(7), PageData::Zero];
         let outcome = store.intern_pages(img, &datas, owner).unwrap();
         let meta = device.create_region("ckpt:a");
-        store.commit_image(img, meta);
+        store.commit_image(img, meta).unwrap();
         assert_eq!(audit_store(&store), Vec::new());
 
         // A lost dec_ref (or phantom inc) desynchronizes the index from
@@ -634,7 +711,7 @@ mod tests {
             .intern_pages(img, &[PageData::pattern(7)], owner)
             .unwrap();
         let meta = device.create_region("ckpt:a");
-        store.commit_image(img, meta);
+        store.commit_image(img, meta).unwrap();
 
         // An index entry pointing at a freed device page: dangling (the
         // page is dead) and skewed (no image accounts for it).
@@ -670,6 +747,90 @@ mod tests {
             page: outcome.pages[0],
             observed: Some(PageData::pattern(99).fingerprint()),
         }));
+    }
+
+    #[test]
+    fn journal_audit_flags_replay_skew_and_torn_tail() {
+        use cxl_store::journal;
+
+        let device = Arc::new(CxlDevice::with_capacity_mib(16));
+        let store = cxl_store::Store::with_config(
+            Arc::clone(&device),
+            cxl_store::StoreConfig {
+                durable: true,
+                ..cxl_store::StoreConfig::default()
+            },
+        );
+        let owner = cxl_mem::NodeId(0);
+        let img = store.begin_image("fn:a#1", owner, 1, simclock::SimTime::ZERO);
+        store
+            .intern_pages(img, &[PageData::pattern(7)], owner)
+            .unwrap();
+        let meta = device.create_region("ckpt:a");
+        store.commit_image(img, meta).unwrap();
+        assert_eq!(audit_journal(&store), Vec::new());
+
+        // A volatile store has no journal to disagree with.
+        let volatile = cxl_store::Store::new(Arc::new(CxlDevice::with_capacity_mib(1)));
+        assert_eq!(audit_journal(&volatile), Vec::new());
+
+        // Forge a *sealed* Intern record claiming a phantom reference:
+        // replay now accounts for one more ref than the live index.
+        let gen = journal::find_generations(&device).pop().unwrap();
+        let loaded = journal::snapshot_generation(&device, &gen).unwrap();
+        let entry = &store.index_snapshot()[0];
+        let (fp, page) = (entry.fingerprint, entry.page);
+        let payload = journal::encode_payload(&journal::JournalEntry {
+            seq: 999,
+            owner: 0,
+            epoch: 0,
+            record: journal::Record::Intern {
+                image: 999,
+                entries: vec![(fp, page.0)],
+            },
+        });
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&0x4A4C_5843u32.to_le_bytes()); // record magic
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        rec.push(0xA5); // seal marker
+        let off = loaded.log.committed_bytes as usize;
+        let page_idx = off / cxl_mem::PAGE_SIZE as usize;
+        let in_off = off % cxl_mem::PAGE_SIZE as usize;
+        assert!(
+            in_off + rec.len() <= cxl_mem::PAGE_SIZE as usize,
+            "forged record must fit in the tail page's slack"
+        );
+        let jpage = loaded.data_pages[page_idx];
+        let mut raw = vec![0u8; cxl_mem::PAGE_SIZE as usize];
+        device.snapshot_pages(&[jpage]).unwrap()[0].read(0, &mut raw);
+        raw[in_off..in_off + rec.len()].copy_from_slice(&rec);
+        device
+            .write_page(jpage, PageData::from_bytes(&raw), owner)
+            .unwrap();
+        assert_eq!(
+            audit_journal(&store),
+            vec![Violation::RecoveryRefcountSkew {
+                fingerprint: fp,
+                journal_refs: 2,
+                index_refs: 1,
+            }]
+        );
+
+        // Unseal the forged record (zero its marker): the phantom ref is
+        // gone but the bytes are now a torn tail recovery never saw.
+        raw[in_off + rec.len() - 1] = 0;
+        device
+            .write_page(jpage, PageData::from_bytes(&raw), owner)
+            .unwrap();
+        assert_eq!(
+            audit_journal(&store),
+            vec![Violation::JournalTornTail {
+                region: gen.region,
+                committed_bytes: loaded.log.committed_bytes,
+                torn_bytes: 8 + payload.len() as u64,
+            }]
+        );
     }
 
     #[test]

@@ -39,7 +39,8 @@ pub mod lockorder;
 pub mod seal;
 
 pub use audit::{
-    audit_device, audit_device_with_live, audit_node, audit_staging, audit_store, NodeAudit,
+    audit_device, audit_device_with_live, audit_journal, audit_node, audit_staging, audit_store,
+    NodeAudit,
 };
 pub use lockorder::{check_lock_order, lock_order_cycles};
 pub use seal::SealRegistry;
@@ -261,6 +262,30 @@ pub enum Violation {
         /// last element acquires the first.
         cycle: Vec<&'static str>,
     },
+    /// The store journal's committed stream is followed by a torn
+    /// (unsealed or truncated) tail record. Recovery truncates torn
+    /// tails; seeing one on a live store means a crashed append was
+    /// never recovered — or no generation has a valid superblock at
+    /// all (reported with zero `committed_bytes`).
+    JournalTornTail {
+        /// The journal generation's region.
+        region: RegionId,
+        /// Bytes of sealed, replayable records before the tear.
+        committed_bytes: u64,
+        /// Bytes of the torn tail record.
+        torn_bytes: u64,
+    },
+    /// A content fingerprint whose journal-replayed reference count
+    /// disagrees with the store's in-DRAM index — recovery (or a
+    /// journaling bug) rebuilt different books than the store kept.
+    RecoveryRefcountSkew {
+        /// The fingerprint.
+        fingerprint: u64,
+        /// References the journal replay accounts for.
+        journal_refs: u64,
+        /// References the live index records.
+        index_refs: u64,
+    },
     /// An uncommitted checkpoint staging region whose owner is not in
     /// the live set — a torn checkpoint the lease GC failed to reclaim.
     OrphanStagingRegion {
@@ -432,6 +457,24 @@ impl fmt::Display for Violation {
                 }
                 write!(f, "{}", cycle.first().copied().unwrap_or("?"))
             }
+            Violation::JournalTornTail {
+                region,
+                committed_bytes,
+                torn_bytes,
+            } => write!(
+                f,
+                "journal {region}: {torn_bytes} torn bytes after {committed_bytes} committed — \
+                 a crashed append was never recovered"
+            ),
+            Violation::RecoveryRefcountSkew {
+                fingerprint,
+                journal_refs,
+                index_refs,
+            } => write!(
+                f,
+                "journal: fingerprint {fingerprint:#018x} replays to {journal_refs} refs, \
+                 the live index records {index_refs}"
+            ),
             Violation::OrphanStagingRegion {
                 region,
                 owner,

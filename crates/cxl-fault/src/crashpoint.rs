@@ -1,0 +1,210 @@
+//! Crashpoint sweep infrastructure: deterministic "kill the coordinator
+//! *here*" injection for exhaustive crash-recovery proofs.
+//!
+//! Durable subsystems (the `cxl-store` write-ahead journal) thread named
+//! crash *sites* through their mutation paths via [`CrashpointHook`].
+//! A sweep then runs the same deterministic scenario twice over:
+//!
+//! 1. **Record.** Run once with a [`Recorder`] installed to enumerate
+//!    every site reached, in order. Each sequence position is one
+//!    distinct injection point.
+//! 2. **Kill + recover.** For each position `n`, re-run the scenario
+//!    with a [`Killer`] that panics with a [`CrashpointKill`] payload at
+//!    the `n`‑th site. The harness catches the unwind via
+//!    [`run_to_crash`], drops every DRAM structure (the coordinator is
+//!    dead), runs recovery from the surviving device, and asserts the
+//!    recovered state is sound.
+//!
+//! The kill is a panic, not an error return, on purpose: a crash must
+//! *not* execute the victim's error-handling/rollback code — exactly the
+//! paths a `Result` would trigger. Unwinding out of the mutator models
+//! the coordinator's DRAM vanishing mid-operation, leaving the device in
+//! whatever half-written state the mutation had reached.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+use cxl_mem::lockdep::TrackedMutex;
+
+/// A named crash site observer. Implementations must be cheap: sites sit
+/// on store mutation paths and fire on every pass.
+pub trait CrashpointHook: Send + Sync + fmt::Debug {
+    /// Called each time execution reaches the named crash site.
+    ///
+    /// # Panics
+    ///
+    /// A [`Killer`] panics with a [`CrashpointKill`] payload to simulate
+    /// coordinator death at the site; recording hooks never panic.
+    fn reached(&self, site: &'static str);
+}
+
+/// Panic payload a [`Killer`] unwinds with — the simulated coordinator
+/// death. [`run_to_crash`] catches exactly this payload (and only this
+/// payload) and [`install_silent_kill_hook`] keeps it off stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashpointKill {
+    /// The site that fired.
+    pub site: &'static str,
+    /// Global 0-based index of the `reached` call that fired (the
+    /// sequence position from the recording pass).
+    pub ordinal: u64,
+}
+
+impl fmt::Display for CrashpointKill {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "crashpoint kill at {}#{}", self.site, self.ordinal)
+    }
+}
+
+/// Recording hook: collects the full ordered sequence of sites a
+/// scenario reaches, so the sweep knows every injection point.
+#[derive(Debug)]
+pub struct Recorder {
+    sites: TrackedMutex<Vec<&'static str>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder {
+            sites: TrackedMutex::new("cxl_fault.crashpoint", Vec::new()),
+        }
+    }
+
+    /// The ordered site sequence observed so far. Position `n` in this
+    /// sequence is the injection point `Killer::kill_at(n)` fires on.
+    pub fn sequence(&self) -> Vec<&'static str> {
+        self.sites.lock().clone()
+    }
+
+    /// Distinct site names observed, with hit counts (site-ordered).
+    pub fn site_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for site in self.sites.lock().iter() {
+            *counts.entry(*site).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+impl CrashpointHook for Recorder {
+    fn reached(&self, site: &'static str) {
+        self.sites.lock().push(site);
+    }
+}
+
+/// Killing hook: panics with [`CrashpointKill`] at the `n`‑th `reached`
+/// call (0-based, across all sites), then stays quiet — recovery code
+/// re-armed with the same hook must not die again.
+#[derive(Debug)]
+pub struct Killer {
+    target: u64,
+    count: AtomicU64,
+}
+
+impl Killer {
+    /// A killer that fires at sequence position `target`.
+    pub fn kill_at(target: u64) -> Self {
+        Killer {
+            target,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// How many sites have been reached so far.
+    pub fn reached_count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl CrashpointHook for Killer {
+    fn reached(&self, site: &'static str) {
+        let n = self.count.fetch_add(1, Ordering::Relaxed);
+        if n == self.target {
+            std::panic::panic_any(CrashpointKill { site, ordinal: n });
+        }
+    }
+}
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// stderr backtrace for [`CrashpointKill`] payloads and forwards every
+/// other panic to the previous hook unchanged. A sweep kills the
+/// scenario hundreds of times; real panics must stay loud.
+pub fn install_silent_kill_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashpointKill>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, catching a [`CrashpointKill`] unwind: `Ok(result)` if the
+/// scenario ran to completion, `Err(kill)` if a [`Killer`] fired. Any
+/// other panic is resumed — a sweep must never swallow a real failure.
+///
+/// Installs the silent kill hook as a side effect.
+pub fn run_to_crash<R>(f: impl FnOnce() -> R) -> Result<R, CrashpointKill> {
+    install_silent_kill_hook();
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => match payload.downcast::<CrashpointKill>() {
+            Ok(kill) => Err(*kill),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(hook: &dyn CrashpointHook) -> u32 {
+        hook.reached("a");
+        hook.reached("b");
+        hook.reached("a");
+        42
+    }
+
+    #[test]
+    fn recorder_captures_the_ordered_sequence() {
+        let rec = Recorder::new();
+        assert_eq!(scenario(&rec), 42);
+        assert_eq!(rec.sequence(), vec!["a", "b", "a"]);
+        assert_eq!(rec.site_counts(), BTreeMap::from([("a", 2), ("b", 1)]));
+    }
+
+    #[test]
+    fn killer_fires_at_each_position_and_run_to_crash_catches_it() {
+        for n in 0..3u64 {
+            let killer = Killer::kill_at(n);
+            let err = run_to_crash(|| scenario(&killer)).unwrap_err();
+            assert_eq!(err.ordinal, n);
+            assert_eq!(err.site, ["a", "b", "a"][n as usize]);
+        }
+        // A target past the sequence end: the scenario completes.
+        let killer = Killer::kill_at(99);
+        assert_eq!(run_to_crash(|| scenario(&killer)), Ok(42));
+        assert_eq!(killer.reached_count(), 3);
+    }
+
+    #[test]
+    fn non_kill_panics_are_resumed() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _ = run_to_crash(|| panic!("real failure"));
+        }));
+        assert!(caught.is_err(), "a real panic must escape run_to_crash");
+    }
+}

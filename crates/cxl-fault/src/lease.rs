@@ -35,9 +35,17 @@ impl LeaseTable {
         self.ttl
     }
 
-    /// Renews `node`'s lease as of `now`.
+    /// Renews `node`'s lease as of `now`: the lease is live over the
+    /// half-open window `[now, now + ttl)`.
     pub fn renew(&mut self, node: NodeId, now: SimTime) {
         self.leases.insert(node, now.saturating_add(self.ttl));
+    }
+
+    /// Expiry instant of `node`'s current lease (the first instant at
+    /// which the lease is *dead* — see [`LeaseTable::is_live`]), or
+    /// `None` if the node never renewed or was revoked.
+    pub fn expires_at(&self, node: NodeId) -> Option<SimTime> {
+        self.leases.get(&node).copied()
     }
 
     /// Drops `node`'s lease immediately (an observed crash — no need to
@@ -49,6 +57,14 @@ impl LeaseTable {
     /// Whether `node` holds an unexpired lease at `now`. Nodes that
     /// never renewed are not live: leases are opt-in, so an unknown
     /// owner is treated as dead and its staging regions reclaimable.
+    ///
+    /// The lease window is **half-open**: a lease renewed at `t` is live
+    /// on `[t, t + ttl)` and dead *at* `t + ttl` exactly. The strict
+    /// `<` makes the boundary unambiguous in virtual time — a GC pass
+    /// running at precisely the expiry instant reclaims, and a renewal
+    /// at precisely the expiry instant re-arms the lease for the next
+    /// window with no dead gap (renewal wins because it writes a new
+    /// expiry before any later `is_live` query can observe the old one).
     pub fn is_live(&self, node: NodeId, now: SimTime) -> bool {
         self.leases.get(&node).is_some_and(|expiry| now < *expiry)
     }
@@ -114,6 +130,68 @@ mod tests {
         assert!(t.is_live(n, SimTime::ZERO + SimDuration::from_secs(19)));
         t.revoke(n);
         assert!(!t.is_live(n, SimTime::ZERO + SimDuration::from_secs(11)));
+    }
+
+    #[test]
+    fn lease_boundary_is_half_open_and_renewal_at_expiry_rearms() {
+        let ttl = SimDuration::from_secs(10);
+        let mut t = LeaseTable::new(ttl);
+        let n = NodeId(3);
+        t.renew(n, SimTime::ZERO);
+        let expiry = t.expires_at(n).unwrap();
+        assert_eq!(expiry, SimTime::ZERO + ttl);
+        // Live strictly before expiry, dead at exactly expiry.
+        assert!(t.is_live(
+            n,
+            SimTime::ZERO + SimDuration::from_nanos(ttl.as_nanos() - 1)
+        ));
+        assert!(!t.is_live(n, expiry), "dead at exactly t + ttl");
+        // Renewal at exactly the expiry instant re-arms with no gap.
+        t.renew(n, expiry);
+        assert!(t.is_live(n, expiry));
+        assert_eq!(t.expires_at(n), Some(expiry + ttl));
+    }
+
+    #[test]
+    fn reclaim_orphans_at_exactly_the_expiry_instant() {
+        let device = CxlDevice::new(64);
+        let ttl = SimDuration::from_secs(10);
+        let mut leases = LeaseTable::new(ttl);
+        leases.renew(NodeId(1), SimTime::ZERO);
+        let expiry = leases.expires_at(NodeId(1)).unwrap();
+
+        let staged = device.create_region_staged("boundary-staging", NodeId(1), 1);
+        device.alloc_pages(staged, 2).unwrap();
+
+        // One nanosecond before expiry: the owner is still live, nothing
+        // is reclaimed.
+        let just_before = SimTime::ZERO + SimDuration::from_nanos(ttl.as_nanos() - 1);
+        assert_eq!(
+            reclaim_orphans(&device, &leases, just_before),
+            ReclaimReport::default()
+        );
+
+        // Renewal at exactly the expiry instant keeps the region safe
+        // through the whole next window.
+        let mut renewed = leases.clone();
+        renewed.renew(NodeId(1), expiry);
+        assert_eq!(
+            reclaim_orphans(&device, &renewed, expiry),
+            ReclaimReport::default()
+        );
+        assert_eq!(device.region_usage(staged).unwrap().pages, 2);
+
+        // Without the renewal, a GC pass at exactly the expiry instant
+        // reclaims: the half-open window has closed.
+        let report = reclaim_orphans(&device, &leases, expiry);
+        assert_eq!(
+            report,
+            ReclaimReport {
+                regions: 1,
+                pages: 2
+            }
+        );
+        assert!(device.region_usage(staged).is_err());
     }
 
     #[test]

@@ -45,11 +45,13 @@
 #![warn(missing_docs)]
 
 pub mod crash;
+pub mod crashpoint;
 mod inject;
 pub mod lease;
 pub mod retry;
 
 pub use crash::{CrashSchedule, NodeCrash};
+pub use crashpoint::{run_to_crash, CrashpointHook, CrashpointKill, Killer, Recorder};
 pub use inject::{FaultPlan, FaultRecord, FaultSchedule, FaultStats, InjectedFault, Injector};
 pub use lease::{reclaim_dead, reclaim_orphans, LeaseTable, ReclaimReport};
 pub use retry::{with_backoff, BackoffPolicy, RetryReport};

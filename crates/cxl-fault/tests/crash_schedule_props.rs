@@ -1,0 +1,92 @@
+//! Property tests for [`cxl_fault::CrashSchedule`]: seed determinism of
+//! `from_plan`, and the drain discipline of `due` — events come out in
+//! nondecreasing time order and none is ever lost or duplicated across
+//! repeated calls, whatever the query-time sequence.
+
+use cxl_fault::{CrashSchedule, NodeCrash};
+use proptest::prelude::*;
+use simclock::{SimDuration, SimTime};
+
+fn at(ns: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_nanos(ns)
+}
+
+/// Arbitrary crash events over a 10-virtual-second horizon.
+fn events_strategy() -> impl Strategy<Value = Vec<NodeCrash>> {
+    prop::collection::vec(
+        (0usize..8, 0u64..10_000_000_000, any::<bool>()).prop_map(|(node, ns, mid)| NodeCrash {
+            node,
+            at: at(ns),
+            mid_checkpoint: mid,
+        }),
+        0..32,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn from_plan_is_seed_deterministic(
+        seed in any::<u64>(),
+        nodes in 2usize..16,
+        secs in 1u64..100,
+        count in 0usize..12,
+    ) {
+        let dur = SimDuration::from_secs(secs);
+        let a = CrashSchedule::from_plan(seed, nodes, dur, count);
+        let b = CrashSchedule::from_plan(seed, nodes, dur, count);
+        prop_assert_eq!(a.remaining(), b.remaining(), "same seed, same schedule");
+        prop_assert_eq!(a.len(), count);
+        for e in a.remaining() {
+            prop_assert!(e.node != 0, "node 0 must survive to absorb failover");
+            prop_assert!(e.node < nodes);
+            // Crash times land in the middle 80% of the duration.
+            let ns = e.at.duration_since(SimTime::ZERO).as_nanos();
+            prop_assert!(ns >= dur.as_nanos() / 10);
+            prop_assert!(ns <= dur.as_nanos() - dur.as_nanos() / 10);
+        }
+    }
+
+    #[test]
+    fn due_drains_nondecreasing_with_no_loss_or_duplication(
+        events in events_strategy(),
+        queries in prop::collection::vec(0u64..12_000_000_000, 0..16),
+    ) {
+        let mut schedule = CrashSchedule::from_events(events.clone());
+        let total = schedule.len();
+        prop_assert_eq!(total, events.len(), "from_events keeps every event");
+
+        // Drain with an arbitrary (not necessarily monotone) sequence of
+        // query times, then a final drain-everything pass.
+        let mut drained: Vec<NodeCrash> = Vec::new();
+        for q in queries {
+            let now = at(q);
+            let batch = schedule.due(now);
+            for e in &batch {
+                prop_assert!(e.at <= now, "due returned a future event");
+            }
+            drained.extend(batch);
+        }
+        drained.extend(schedule.due(SimTime::ZERO + SimDuration::MAX));
+        prop_assert!(schedule.is_empty());
+        prop_assert_eq!(schedule.due(SimTime::ZERO + SimDuration::MAX), vec![]);
+
+        // Nondecreasing (at, node) order across every call.
+        for pair in drained.windows(2) {
+            prop_assert!(
+                (pair[0].at, pair[0].node) <= (pair[1].at, pair[1].node),
+                "drain order regressed: {pair:?}"
+            );
+        }
+
+        // No event lost, none duplicated: the concatenated drains are a
+        // permutation of the input.
+        prop_assert_eq!(drained.len(), total);
+        let mut expected = events;
+        expected.sort_by_key(|e| (e.at, e.node, e.mid_checkpoint));
+        let mut got = drained;
+        got.sort_by_key(|e| (e.at, e.node, e.mid_checkpoint));
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -49,8 +49,8 @@ fn runtime_lockdep_agrees_with_the_static_graph() {
         .intern_pages(image, &payload, NodeId(0))
         .expect("intern");
     let meta = device.create_region("lint-cross-check:meta");
-    store.commit_image(image, meta);
-    store.release_image(image);
+    store.commit_image(image, meta).expect("image is pending");
+    store.release_image(image).expect("image is committed");
 
     let runtime: Vec<(String, String)> = lock_order_edges()
         .into_iter()

@@ -161,6 +161,22 @@ struct Region {
     owner: Option<NodeId>,
     /// Owner-supplied epoch (checkpoint sequence number).
     epoch: u64,
+    /// What the region holds (see [`RegionKind`]); recovery scans use
+    /// this to find metadata regions without parsing names.
+    kind: RegionKind,
+}
+
+/// What a region holds. Most regions carry checkpoint page *data*;
+/// [`RegionKind::Metadata`] marks device-resident bookkeeping (e.g. the
+/// store's write-ahead journal) that crash recovery must locate before
+/// any catalog exists to name it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Checkpoint page data (the default for every pre-existing API).
+    #[default]
+    Data,
+    /// Device-resident bookkeeping: journals, catalogs, recovery state.
+    Metadata,
 }
 
 /// Per-node traffic counters for the device.
@@ -214,6 +230,8 @@ pub struct RegionUsage {
     pub pages: u64,
     /// Live bytes (pages × 4 KiB).
     pub bytes: u64,
+    /// What the region holds (data vs. device-resident metadata).
+    pub kind: RegionKind,
 }
 
 /// Usage summary for one page-pool shard, as reported by
@@ -366,7 +384,15 @@ impl CxlDevice {
 
     /// Creates a new (empty) region.
     pub fn create_region(&self, name: &str) -> RegionId {
-        self.create_region_inner(name, true, None, 0)
+        self.create_region_inner(name, true, None, 0, RegionKind::Data)
+    }
+
+    /// Creates a new (empty, committed) *metadata* region — device-
+    /// resident bookkeeping such as the store's write-ahead journal.
+    /// Crash recovery locates these by [`RegionKind::Metadata`] via
+    /// [`CxlDevice::regions`], before any catalog exists to name them.
+    pub fn create_region_meta(&self, name: &str) -> RegionId {
+        self.create_region_inner(name, true, None, 0, RegionKind::Metadata)
     }
 
     /// Creates a new *staging* region for a two-phase checkpoint commit:
@@ -376,7 +402,7 @@ impl CxlDevice {
     /// `epoch` identify the checkpointing node so lease-based GC can
     /// reclaim the region if that node dies mid-checkpoint.
     pub fn create_region_staged(&self, name: &str, owner: NodeId, epoch: u64) -> RegionId {
-        self.create_region_inner(name, false, Some(owner), epoch)
+        self.create_region_inner(name, false, Some(owner), epoch, RegionKind::Data)
     }
 
     fn create_region_inner(
@@ -385,6 +411,7 @@ impl CxlDevice {
         committed: bool,
         owner: Option<NodeId>,
         epoch: u64,
+        kind: RegionKind,
     ) -> RegionId {
         let mut rt = self.regions.write();
         let id = RegionId(rt.next_region);
@@ -397,6 +424,7 @@ impl CxlDevice {
                 committed,
                 owner,
                 epoch,
+                kind,
             },
         );
         id
@@ -658,6 +686,7 @@ impl CxlDevice {
             name: r.name.clone(),
             pages: r.pages,
             bytes: r.pages * PAGE_SIZE,
+            kind: r.kind,
         })
     }
 
@@ -673,6 +702,7 @@ impl CxlDevice {
                         name: r.name.clone(),
                         pages: r.pages,
                         bytes: r.pages * PAGE_SIZE,
+                        kind: r.kind,
                     },
                 )
             })
@@ -964,6 +994,42 @@ impl CxlDevice {
             .into_iter()
             // cxl-lint: allow(device-unwrap): the shard sweep above wrote every input position or returned Err before reaching here
             .map(|f| f.expect("every input position visited in the shard sweep"))
+            .collect())
+    }
+
+    /// Copies the full contents of every page **in input order** without
+    /// advancing traffic counters or consulting the fault hook — an
+    /// integrity/audit primitive like [`CxlDevice::fingerprint_pages`],
+    /// not a modelled transfer. Recovery audits use it to compare journal
+    /// claims against resident bytes; callers that *model* the read (and
+    /// want fault injection) use [`CxlDevice::read_pages`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`CxlError::BadPage`] if any page is not live.
+    pub fn snapshot_pages(&self, pages: &[CxlPageId]) -> Result<Vec<PageData>, CxlError> {
+        let mut by_shard: BTreeMap<usize, Vec<(u64, usize)>> = BTreeMap::new();
+        for (pos, &p) in pages.iter().enumerate() {
+            let (s, l) = self.shard_of(p).ok_or(CxlError::BadPage(p))?;
+            by_shard.entry(s).or_default().push((l, pos));
+        }
+        let mut out: Vec<Option<PageData>> = pages.iter().map(|_| None).collect();
+        for (&s, entries) in &by_shard {
+            let st = self.shards[s].state.read();
+            for &(l, pos) in entries {
+                let data = st
+                    .slots
+                    .get(l as usize)
+                    .and_then(Option::as_ref)
+                    .map(|slot| slot.data.clone())
+                    .ok_or(CxlError::BadPage(pages[pos]))?;
+                out[pos] = Some(data);
+            }
+        }
+        Ok(out
+            .into_iter()
+            // cxl-lint: allow(device-unwrap): the shard sweep above wrote every input position or returned Err before reaching here
+            .map(|d| d.expect("every input position visited in the shard sweep"))
             .collect())
     }
 

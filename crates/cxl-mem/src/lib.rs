@@ -57,8 +57,8 @@ pub mod lockdep;
 mod page;
 
 pub use device::{
-    CxlDevice, CxlDeviceStats, RegionGuard, RegionUsage, ShardUsage, StagingRegion, DEFAULT_SHARDS,
-    MAX_SHARDS,
+    CxlDevice, CxlDeviceStats, RegionGuard, RegionKind, RegionUsage, ShardUsage, StagingRegion,
+    DEFAULT_SHARDS, MAX_SHARDS,
 };
 pub use error::CxlError;
 pub use fs::{CxlFile, CxlFs};

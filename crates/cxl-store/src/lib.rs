@@ -32,18 +32,141 @@
 //! rolls the attempt's device pages back and leaves the index untouched,
 //! so `cxl_fault::with_backoff`-style retries never double-count
 //! references.
+//!
+//! # Crash durability
+//!
+//! All of the state above lives in coordinator DRAM; by itself it dies
+//! with the coordinator even though every data page survives on the
+//! device. A store created with [`StoreConfig::durable`] additionally
+//! write-ahead-journals every mutation to a device-resident metadata
+//! region (see [`journal`]) so that [`Store::recover`] can rebuild the
+//! index, catalog, and pin/lease state from the surviving device alone.
+//! Mutations follow a strict ordering discipline — constructive device
+//! work (page interning) lands *before* its journal record, destructive
+//! work (free/destroy) lands *after* — so that a crash at any
+//! instruction boundary leaves a state recovery can roll forward or
+//! back. The [`cxl_fault::CrashpointHook`] sites threaded through every
+//! mutator let the crashpoint sweep in `tests/` prove exactly that.
+//!
+//! Journal writes ride the same batched `write_pages` path as data and
+//! are charged to the virtual clock via [`InternOutcome::journal_pages`]
+//! and [`Store::commit_image`]'s return value. Control-plane records
+//! (begin, pin, lease) are sub-page and *uncharged* — a documented
+//! modeling approximation, since their callers do not own a clock.
+//! [`Store::touch_restore`] is deliberately **not** journaled: logging
+//! every restore would put a device write on the restore fast path, so
+//! after recovery LRU eviction falls back to creation order until new
+//! restores refresh it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use cxl_fault::LeaseTable;
+use cxl_fault::{with_backoff, BackoffPolicy, CrashpointHook, LeaseTable};
 use cxl_mem::lockdep::TrackedMutex;
-use cxl_mem::{CxlDevice, CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
-use simclock::SimTime;
+use cxl_mem::{CxlDevice, CxlError, CxlPageId, NodeId, PageData, RegionId, RegionKind, PAGE_SIZE};
+use simclock::{SimDuration, SimTime};
+
+pub mod journal;
+
+use journal::{Journal, Record};
 
 /// Telemetry layer name for store counters.
 const TELEMETRY_LAYER: &str = "cxlstore";
+
+/// Name of the store-owned committed region holding deduped data pages.
+/// Fixed so [`Store::recover`] can find it with no catalog to consult.
+const DATA_REGION_NAME: &str = "cxl-store:data";
+
+/// Typed failure for store mutators that take an [`ImageId`]. Earlier
+/// versions silently no-opped on unknown or wrong-state ids, which made
+/// caller bugs (double release, commit of an aborted image) invisible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The image id is not known to the store — never created here, or
+    /// already aborted/released/evicted.
+    UnknownImage {
+        /// The offending id.
+        image: ImageId,
+        /// The mutator that rejected it.
+        op: &'static str,
+    },
+    /// The mutation requires a *pending* image, but the id is already
+    /// committed to the catalog.
+    AlreadyCommitted {
+        /// The offending id.
+        image: ImageId,
+        /// The mutator that rejected it.
+        op: &'static str,
+    },
+    /// The mutation requires a *committed* image, but the id is still
+    /// pending (mid-checkpoint).
+    NotCommitted {
+        /// The offending id.
+        image: ImageId,
+        /// The mutator that rejected it.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownImage { image, op } => {
+                write!(f, "{op}: {image} is not known to the store")
+            }
+            StoreError::AlreadyCommitted { image, op } => {
+                write!(f, "{op}: {image} is already committed")
+            }
+            StoreError::NotCommitted { image, op } => {
+                write!(f, "{op}: {image} is pending, not committed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Virtual time as wire-format nanoseconds since the epoch.
+fn time_nanos(t: SimTime) -> u64 {
+    t.duration_since(SimTime::ZERO).as_nanos()
+}
+
+/// Wire-format nanoseconds back to virtual time.
+fn nanos_time(ns: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_nanos(ns)
+}
+
+/// Rehydrates a journaled image record into catalog form.
+fn meta_from_record(r: &journal::ImageRecord) -> ImageMeta {
+    ImageMeta {
+        label: r.label.clone(),
+        owner: NodeId(r.owner),
+        epoch: r.epoch,
+        pinned: r.pinned,
+        lease: r.lease.map(NodeId),
+        created_at: nanos_time(r.created_at),
+        last_restore: nanos_time(r.last_restore),
+        meta_region: RegionId(r.meta_region),
+        fingerprints: r.fingerprints.clone(),
+    }
+}
+
+/// Replay-time twin of `Store::drop_refs`: decrements refcounts and
+/// forgets zero-ref entries, but never touches the device — page
+/// reconciliation happens once, against the final rebuilt index.
+fn drop_replay_refs(index: &mut BTreeMap<u64, IndexEntry>, fps: &[u64]) {
+    for fp in fps {
+        if let Some(e) = index.get_mut(fp) {
+            e.refs = e.refs.saturating_sub(1);
+            if e.refs == 0 {
+                index.remove(fp);
+            }
+        }
+    }
+}
 
 /// Identifies one checkpoint image in the catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -64,6 +187,15 @@ pub struct StoreConfig {
     /// Utilization eviction drives down to once it starts (hysteresis so
     /// the store does not thrash at the boundary).
     pub low_watermark: f64,
+    /// Write-ahead-journal every mutation to a device-resident metadata
+    /// region so [`Store::recover`] can rebuild the store after
+    /// coordinator death. Off by default: journaling costs device writes
+    /// on every mutation.
+    pub durable: bool,
+    /// Journal size (bytes of record stream) above which
+    /// [`Store::commit_image`] compacts it into a fresh generation
+    /// holding one state snapshot. Only meaningful when `durable`.
+    pub journal_compact_bytes: u64,
 }
 
 impl Default for StoreConfig {
@@ -71,6 +203,8 @@ impl Default for StoreConfig {
         StoreConfig {
             high_watermark: 0.85,
             low_watermark: 0.70,
+            durable: false,
+            journal_compact_bytes: 256 * 1024,
         }
     }
 }
@@ -91,6 +225,10 @@ pub struct InternOutcome {
     pub shared: u64,
     /// Input pages that were all-zero (always transfer-free).
     pub zero: u64,
+    /// Journal pages written for this batch's `Intern` record (0 unless
+    /// the store is durable). Callers fold this into the checkpoint's
+    /// copied-page charge.
+    pub journal_pages: u64,
 }
 
 /// Monotonic counters describing store activity since creation.
@@ -111,6 +249,8 @@ pub struct StoreStats {
     pub evicted_pages: u64,
     /// Images released explicitly by their owner.
     pub released_images: u64,
+    /// Device pages written to the metadata journal (0 unless durable).
+    pub journal_pages_written: u64,
 }
 
 impl StoreStats {
@@ -206,6 +346,47 @@ struct Inner {
     pending: BTreeMap<u64, ImageMeta>,
     next_image: u64,
     stats: StoreStats,
+    /// The live write-ahead journal (durable stores only).
+    journal: Option<Journal>,
+}
+
+/// Everything [`Store::recover`] did, for failover accounting and the
+/// crashpoint sweep's determinism checks. Bit-identical for identical
+/// device states.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journal generation replayed.
+    pub journal_generation: u64,
+    /// Sealed records replayed.
+    pub entries_replayed: u64,
+    /// Bytes of torn journal tail truncated (a record whose commit
+    /// marker never landed).
+    pub torn_tail_bytes: u64,
+    /// Committed images in the recovered catalog.
+    pub committed_images: u64,
+    /// Pending (mid-checkpoint) images rolled back — their coordinator
+    /// died, so they can never complete.
+    pub rolled_back_pending: u64,
+    /// Live data-region pages no journal record referenced (interned but
+    /// never journaled, or half-freed) — freed by reconciliation.
+    pub freed_leaked_pages: u64,
+    /// Checkpoint metadata regions destroyed: half-finished
+    /// release/evictions plus committed regions orphaned by a crash
+    /// between the device commit and the journal commit record.
+    pub destroyed_meta_regions: u64,
+    /// Stale or invalid journal generations destroyed (half-finished
+    /// compactions).
+    pub stale_generations_destroyed: u64,
+    /// Index entries whose device page's content fingerprint no longer
+    /// matches the journal's record — always 0 unless the device is
+    /// corrupt.
+    pub fingerprint_mismatches: u64,
+    /// Journal pages read during scan + replay; charge
+    /// `cxl_batch_read(pages_scanned)` to the virtual clock.
+    pub pages_scanned: u64,
+    /// Pages written compacting the recovered journal; charge
+    /// `cxl_batch_write(compaction_pages_written)`.
+    pub compaction_pages_written: u64,
 }
 
 /// The content-addressed checkpoint image store. Cheap to share
@@ -215,6 +396,11 @@ pub struct Store {
     device: Arc<CxlDevice>,
     config: StoreConfig,
     inner: TrackedMutex<Inner>,
+    /// Crashpoint observer for the sweep harness (see
+    /// [`Store::set_crash_hook`]). Behind its own lock so arming does
+    /// not contend with mutations; `crash_armed` is the fast-path gate.
+    crash_hook: TrackedMutex<Option<Arc<dyn CrashpointHook>>>,
+    crash_armed: AtomicBool,
 }
 
 impl Store {
@@ -223,11 +409,14 @@ impl Store {
         Store::with_config(device, StoreConfig::default())
     }
 
-    /// Creates a store with explicit watermarks.
+    /// Creates a store with explicit configuration. A durable config
+    /// creates journal generation 0 on the device before any mutation
+    /// can run.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < low_watermark <= high_watermark <= 1`.
+    /// Panics unless `0 < low_watermark <= high_watermark <= 1`, or if a
+    /// durable journal cannot be created past retries.
     pub fn with_config(device: Arc<CxlDevice>, config: StoreConfig) -> Self {
         assert!(
             config.low_watermark > 0.0
@@ -235,7 +424,12 @@ impl Store {
                 && config.high_watermark <= 1.0,
             "store watermarks must satisfy 0 < low <= high <= 1, got {config:?}"
         );
-        let region = device.create_region("cxl-store:data");
+        let region = device.create_region(DATA_REGION_NAME);
+        let journal = config.durable.then(|| {
+            let (res, _) = with_backoff(&BackoffPolicy::default(), || Journal::create(&device, 0));
+            // cxl-lint: allow(device-unwrap): journal creation retries transients with backoff; a persistent device failure at store construction is unrecoverable by design
+            res.expect("creating the store journal failed past retries")
+        });
         Store {
             device,
             config,
@@ -248,8 +442,461 @@ impl Store {
                     pending: BTreeMap::new(),
                     next_image: 1,
                     stats: StoreStats::default(),
+                    journal,
                 },
             ),
+            crash_hook: TrackedMutex::new("cxl_store.crash_hook", None),
+            crash_armed: AtomicBool::new(false),
+        }
+    }
+
+    /// Rebuilds a store from the device alone — the coordinator that
+    /// owned the previous [`Store`] is dead and its DRAM gone. Replays
+    /// the highest valid journal generation (truncating any torn tail at
+    /// the last commit marker), rolls back images that were still
+    /// pending (their checkpoints can never complete), reconciles the
+    /// device — frees leaked data pages, destroys half-released and
+    /// orphaned checkpoint metadata regions — cross-checks rebuilt
+    /// refcounts against on-device content fingerprints, and compacts
+    /// the journal into a fresh generation. Deterministic: the same
+    /// device state always yields a bit-identical [`RecoveryReport`].
+    ///
+    /// The caller charges the virtual clock with
+    /// `cxl_batch_read(report.pages_scanned)` plus
+    /// `cxl_batch_write(report.compaction_pages_written)` — the
+    /// replay-time cost the porter surfaces as `journal_replay_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `config.durable` (and the watermarks are valid), if
+    /// the device holds no valid journal generation (the store was never
+    /// durable, or the journal root itself was lost), or on persistent
+    /// device failure past retries.
+    pub fn recover(
+        device: Arc<CxlDevice>,
+        config: StoreConfig,
+        node: NodeId,
+    ) -> (Store, RecoveryReport) {
+        assert!(config.durable, "Store::recover requires a durable config");
+        assert!(
+            config.low_watermark > 0.0
+                && config.low_watermark <= config.high_watermark
+                && config.high_watermark <= 1.0,
+            "store watermarks must satisfy 0 < low <= high <= 1, got {config:?}"
+        );
+        let mut report = RecoveryReport::default();
+
+        // Locate the authoritative journal: the highest generation with
+        // a valid superblock. Generations without one are half-finished
+        // compactions (staged but never published) — stale.
+        let found = journal::find_generations(&device);
+        assert!(
+            !found.is_empty(),
+            "Store::recover: no journal on the device — was the store created durable?"
+        );
+        let mut chosen: Option<(journal::FoundGeneration, journal::LoadedGeneration)> = None;
+        let mut stale: Vec<RegionId> = Vec::new();
+        for f in found.iter().rev() {
+            if chosen.is_none() {
+                let (res, _) = with_backoff(&BackoffPolicy::default(), || {
+                    journal::load_generation(&device, f, node)
+                });
+                // cxl-lint: allow(device-unwrap): journal reads retry transients with backoff; recovery cannot proceed without the log
+                if let Some(loaded) = res.expect("journal scan failed past retries") {
+                    chosen = Some((f.clone(), loaded));
+                    continue;
+                }
+            }
+            stale.push(f.region);
+        }
+        // cxl-lint: allow(device-unwrap): compaction publishes the new superblock before destroying the old generation, so a journaled device always has at least one valid root
+        let (gen, loaded) = chosen.expect("no valid journal superblock — journal root lost");
+        report.journal_generation = gen.generation;
+        report.pages_scanned = loaded.pages_scanned;
+        report.entries_replayed = loaded.log.entries.len() as u64;
+        report.torn_tail_bytes = loaded.log.torn_bytes;
+
+        // Replay the record stream into fresh DRAM state.
+        let mut index: BTreeMap<u64, IndexEntry> = BTreeMap::new();
+        let mut catalog: BTreeMap<u64, ImageMeta> = BTreeMap::new();
+        let mut pending: BTreeMap<u64, ImageMeta> = BTreeMap::new();
+        let mut next_image = 1u64;
+        let mut doomed_meta: Vec<RegionId> = Vec::new();
+        for entry in &loaded.log.entries {
+            match &entry.record {
+                Record::Snapshot(s) => {
+                    next_image = s.next_image;
+                    index = s
+                        .index
+                        .iter()
+                        .map(|&(fp, page)| {
+                            (
+                                fp,
+                                IndexEntry {
+                                    page: CxlPageId(page),
+                                    refs: 0,
+                                },
+                            )
+                        })
+                        .collect();
+                    catalog = s
+                        .catalog
+                        .iter()
+                        .map(|r| (r.id, meta_from_record(r)))
+                        .collect();
+                    pending = s
+                        .pending
+                        .iter()
+                        .map(|r| (r.id, meta_from_record(r)))
+                        .collect();
+                    for meta in catalog.values().chain(pending.values()) {
+                        for fp in &meta.fingerprints {
+                            if let Some(e) = index.get_mut(fp) {
+                                e.refs += 1;
+                            }
+                        }
+                    }
+                }
+                Record::Begin {
+                    image,
+                    created_at,
+                    label,
+                } => {
+                    next_image = next_image.max(image + 1);
+                    pending.insert(
+                        *image,
+                        ImageMeta {
+                            label: label.clone(),
+                            owner: NodeId(entry.owner),
+                            epoch: entry.epoch,
+                            pinned: false,
+                            lease: None,
+                            created_at: nanos_time(*created_at),
+                            last_restore: nanos_time(*created_at),
+                            meta_region: RegionId(u64::MAX),
+                            fingerprints: Vec::new(),
+                        },
+                    );
+                }
+                Record::Intern { image, entries } => {
+                    for &(fp, page) in entries {
+                        index
+                            .entry(fp)
+                            .or_insert(IndexEntry {
+                                page: CxlPageId(page),
+                                refs: 0,
+                            })
+                            .refs += 1;
+                    }
+                    if let Some(meta) = pending.get_mut(image) {
+                        meta.fingerprints.extend(entries.iter().map(|&(fp, _)| fp));
+                    }
+                }
+                Record::Commit { image, meta_region } => {
+                    if let Some(mut meta) = pending.remove(image) {
+                        meta.meta_region = RegionId(*meta_region);
+                        catalog.insert(*image, meta);
+                    }
+                }
+                Record::Abort { image } => {
+                    if let Some(meta) = pending.remove(image) {
+                        drop_replay_refs(&mut index, &meta.fingerprints);
+                    }
+                }
+                Record::Release { image, meta_region } | Record::Evict { image, meta_region } => {
+                    if let Some(meta) = catalog.remove(image) {
+                        drop_replay_refs(&mut index, &meta.fingerprints);
+                    }
+                    doomed_meta.push(RegionId(*meta_region));
+                }
+                Record::SetPinned { image, pinned } => {
+                    if let Some(meta) = catalog.get_mut(image) {
+                        meta.pinned = *pinned;
+                    }
+                }
+                Record::SetLease { image, holder } => {
+                    if let Some(meta) = catalog.get_mut(image) {
+                        meta.lease = holder.map(NodeId);
+                    }
+                }
+            }
+        }
+
+        // The coordinator died: every image still pending was
+        // mid-checkpoint and can never complete. Roll all of them back
+        // (the journal-replay twin of `reclaim_orphan_pending`).
+        report.rolled_back_pending = pending.len() as u64;
+        for meta in std::mem::take(&mut pending).into_values() {
+            drop_replay_refs(&mut index, &meta.fingerprints);
+        }
+        index.retain(|_, e| e.refs > 0);
+        report.committed_images = catalog.len() as u64;
+
+        // The store's data region is found by its fixed name — there is
+        // no catalog to consult before recovery.
+        let data_region = device
+            .regions()
+            .into_iter()
+            .find(|(_, u)| u.kind == RegionKind::Data && u.name == DATA_REGION_NAME)
+            .map(|(r, _)| r)
+            // cxl-lint: allow(device-unwrap): with_config creates the data region before journal generation 0, so any journaled device has one
+            .expect("durable store data region missing from the device");
+
+        // Reconcile the device against the rebuilt index: any live
+        // data-region page the index does not reference was leaked by a
+        // crash between the device write and the journal record (or
+        // between the journal record and the free) — free it.
+        let referenced: BTreeSet<CxlPageId> = index.values().map(|e| e.page).collect();
+        let leaked: Vec<CxlPageId> = device
+            .live_pages()
+            .into_iter()
+            .filter(|(p, r)| *r == data_region && !referenced.contains(p))
+            .map(|(p, _)| p)
+            .collect();
+        if !leaked.is_empty() {
+            let (res, _) = with_backoff(&BackoffPolicy::default(), || device.free_batch(&leaked));
+            report.freed_leaked_pages = res.unwrap_or(0);
+        }
+
+        // Cross-check rebuilt refcounts against on-device content: every
+        // indexed fingerprint must match its page's actual bytes.
+        if !index.is_empty() {
+            let pages: Vec<CxlPageId> = index.values().map(|e| e.page).collect();
+            let (res, _) = with_backoff(&BackoffPolicy::default(), || {
+                device.fingerprint_pages(&pages)
+            });
+            // cxl-lint: allow(device-unwrap): fingerprinting is read-only and retried; recovery must not silently skip the integrity check
+            let actual = res.expect("fingerprint cross-check failed past retries");
+            report.fingerprint_mismatches = index
+                .keys()
+                .zip(&actual)
+                .filter(|(expected, got)| *expected != *got)
+                .count() as u64;
+        }
+
+        // Finish half-done destructive mutations: metadata regions whose
+        // release/evict was journaled but whose destruction may not have
+        // happened. Destroy is idempotent here (BadRegion ignored).
+        for region in doomed_meta {
+            if device.destroy_region(region).is_ok() {
+                report.destroyed_meta_regions += 1;
+            }
+        }
+
+        // Sweep orphaned checkpoint metadata: a committed region nobody
+        // in the recovered catalog references means the crash landed
+        // between the device-side region commit and the journal's Commit
+        // record. Staging regions are left to lease reclamation (the
+        // store cannot judge other nodes' liveness).
+        let staging: BTreeSet<u64> = device
+            .staging_regions()
+            .iter()
+            .map(|s| s.region.0)
+            .collect();
+        let kept: BTreeSet<u64> = catalog.values().map(|m| m.meta_region.0).collect();
+        for (region, usage) in device.regions() {
+            if usage.kind == RegionKind::Data
+                && region != data_region
+                && !staging.contains(&region.0)
+                && !kept.contains(&region.0)
+                && device.destroy_region(region).is_ok()
+            {
+                report.destroyed_meta_regions += 1;
+            }
+        }
+
+        // Drop stale/invalid journal generations, resume the live one,
+        // and immediately compact so the next crash replays one snapshot
+        // instead of the whole history.
+        for region in stale {
+            if device.destroy_region(region).is_ok() {
+                report.stale_generations_destroyed += 1;
+            }
+        }
+        let resumed = journal::resume(&gen, loaded);
+        let store = Store {
+            device,
+            config,
+            inner: TrackedMutex::new(
+                "cxl_store.inner",
+                Inner {
+                    region: data_region,
+                    index,
+                    catalog,
+                    pending: BTreeMap::new(),
+                    next_image,
+                    stats: StoreStats::default(),
+                    journal: Some(resumed),
+                },
+            ),
+            crash_hook: TrackedMutex::new("cxl_store.crash_hook", None),
+            crash_armed: AtomicBool::new(false),
+        };
+        {
+            let mut inner = store.inner.lock();
+            report.compaction_pages_written = store.compact_journal_locked(&mut inner);
+        }
+
+        cxl_telemetry::counter_add(
+            TELEMETRY_LAYER,
+            "recovered_images",
+            Some(node.0),
+            report.committed_images,
+        );
+        cxl_telemetry::counter_add(
+            TELEMETRY_LAYER,
+            "recovery_replayed_entries",
+            Some(node.0),
+            report.entries_replayed,
+        );
+        cxl_telemetry::counter_add(
+            TELEMETRY_LAYER,
+            "recovery_freed_leaked_pages",
+            Some(node.0),
+            report.freed_leaked_pages,
+        );
+        if report.torn_tail_bytes > 0 {
+            cxl_telemetry::counter_add(TELEMETRY_LAYER, "recovery_torn_tails", Some(node.0), 1);
+        }
+        (store, report)
+    }
+
+    /// Installs (or clears) the crashpoint observer. Every mutator
+    /// reports named sites through it — a `cxl_fault::Recorder`
+    /// enumerates the injection points, a `cxl_fault::Killer` simulates
+    /// coordinator death at one of them.
+    pub fn set_crash_hook(&self, hook: Option<Arc<dyn CrashpointHook>>) {
+        self.crash_armed.store(hook.is_some(), Ordering::Relaxed);
+        *self.crash_hook.lock() = hook;
+    }
+
+    /// Reports reaching `site` to the installed hook, if any. A killing
+    /// hook panics here with a `CrashpointKill` payload; the unwind
+    /// abandons the mutation exactly where it stood, modeling the
+    /// coordinator's DRAM vanishing mid-operation.
+    fn crashpoint(&self, site: &'static str) {
+        if !self.crash_armed.load(Ordering::Relaxed) {
+            return;
+        }
+        let hook = self.crash_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook.reached(site);
+        }
+    }
+
+    /// Appends one sealed record to the journal (no-op for non-durable
+    /// stores). `mid_site` fires between the payload write and the
+    /// commit-marker write — the torn-tail crash window. Returns journal
+    /// pages written.
+    fn journal_append(
+        &self,
+        inner: &mut Inner,
+        owner: NodeId,
+        epoch: u64,
+        record: Record,
+        mid_site: Option<&'static str>,
+    ) -> u64 {
+        let mut pages = 0;
+        {
+            let Some(j) = inner.journal.as_mut() else {
+                return 0;
+            };
+            let entry = journal::JournalEntry {
+                seq: j.next_seq(),
+                owner: owner.0,
+                epoch,
+                record,
+            };
+            let payload = journal::encode_payload(&entry);
+            let (res, _) = with_backoff(&BackoffPolicy::default(), || {
+                j.append_payload(&self.device, &payload)
+            });
+            // cxl-lint: allow(device-unwrap): journal appends retry transients (rate ~2e-4) with backoff; P(persistent failure) ~ 1.6e-15, and a store that cannot journal must not claim durability
+            pages += res.expect("journal append failed past retries");
+            if let Some(site) = mid_site {
+                self.crashpoint(site);
+            }
+            let (res, _) = with_backoff(&BackoffPolicy::default(), || j.seal(&self.device));
+            // cxl-lint: allow(device-unwrap): same retry/abundance argument as the payload write above
+            pages += res.expect("journal seal failed past retries");
+        }
+        inner.stats.journal_pages_written += pages;
+        pages
+    }
+
+    /// Compacts the journal into a fresh generation when it has outgrown
+    /// [`StoreConfig::journal_compact_bytes`]. Returns pages written.
+    fn maybe_compact(&self, inner: &mut Inner) -> u64 {
+        let wants = inner
+            .journal
+            .as_ref()
+            .is_some_and(|j| j.wants_compaction(self.config.journal_compact_bytes));
+        if !wants {
+            return 0;
+        }
+        self.compact_journal_locked(inner)
+    }
+
+    /// Rewrites the surviving state as one `Snapshot` record in a new
+    /// journal generation, then destroys the old one. Ordering makes any
+    /// crash safe: the new generation has no superblock (is invisible to
+    /// recovery) until `publish`, and the old generation is destroyed
+    /// only after the new one is authoritative.
+    fn compact_journal_locked(&self, inner: &mut Inner) -> u64 {
+        let Some(old) = inner.journal.take() else {
+            return 0;
+        };
+        let entry = journal::JournalEntry {
+            seq: 0,
+            owner: u32::MAX,
+            epoch: 0,
+            record: Record::Snapshot(Self::snapshot_state(inner)),
+        };
+        let payload = journal::encode_payload(&entry);
+        let generation = old.generation() + 1;
+        let (res, _) = with_backoff(&BackoffPolicy::default(), || {
+            Journal::stage_compacted(&self.device, generation, &payload)
+        });
+        // cxl-lint: allow(device-unwrap): compaction retries transients with backoff; stage_compacted destroys its half-built region before erroring, so retries are clean
+        let (mut fresh, mut pages) = res.expect("journal compaction failed past retries");
+        self.crashpoint("compact.after_snapshot_write");
+        let (res, _) = with_backoff(&BackoffPolicy::default(), || fresh.publish(&self.device));
+        // cxl-lint: allow(device-unwrap): the superblock write is idempotent and retried; see append rationale
+        pages += res.expect("journal publish failed past retries");
+        self.crashpoint("compact.after_publish");
+        let _ = old.destroy(&self.device);
+        self.crashpoint("compact.after_destroy_old");
+        inner.journal = Some(fresh);
+        inner.stats.journal_pages_written += pages;
+        pages
+    }
+
+    /// Compacts the journal now regardless of size (maintenance hook).
+    /// Returns journal pages written; 0 for non-durable stores.
+    pub fn compact_journal(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        self.compact_journal_locked(&mut inner)
+    }
+
+    /// The full store state as a wire-format snapshot.
+    fn snapshot_state(inner: &Inner) -> journal::SnapshotState {
+        let to_record = |(&id, m): (&u64, &ImageMeta)| journal::ImageRecord {
+            id,
+            label: m.label.clone(),
+            owner: m.owner.0,
+            epoch: m.epoch,
+            pinned: m.pinned,
+            lease: m.lease.map(|n| n.0),
+            created_at: time_nanos(m.created_at),
+            last_restore: time_nanos(m.last_restore),
+            meta_region: m.meta_region.0,
+            fingerprints: m.fingerprints.clone(),
+        };
+        journal::SnapshotState {
+            next_image: inner.next_image,
+            index: inner.index.iter().map(|(&fp, e)| (fp, e.page.0)).collect(),
+            catalog: inner.catalog.iter().map(to_record).collect(),
+            pending: inner.pending.iter().map(to_record).collect(),
         }
     }
 
@@ -280,6 +927,19 @@ impl Store {
         let mut inner = self.inner.lock();
         let id = inner.next_image;
         inner.next_image += 1;
+        self.crashpoint("begin.before_journal");
+        self.journal_append(
+            &mut inner,
+            owner,
+            epoch,
+            Record::Begin {
+                image: id,
+                created_at: time_nanos(now),
+                label: label.to_owned(),
+            },
+            None,
+        );
+        self.crashpoint("begin.after_journal");
         inner.pending.insert(
             id,
             ImageMeta {
@@ -351,6 +1011,9 @@ impl Store {
         let allocated = self
             .device
             .alloc_batch(inner.region, miss_payload.len() as u64)?;
+        // Crash here: pages allocated but unjournaled — recovery frees
+        // them as leaked.
+        self.crashpoint("intern.after_alloc");
         // Fresh allocations are already zeroed, so only non-zero misses
         // cross the fabric.
         let writes: Vec<(CxlPageId, PageData)> = miss_payload
@@ -367,6 +1030,10 @@ impl Store {
             });
             return Err(e);
         }
+        // Crash here: content written but unjournaled — still leaked
+        // pages from recovery's point of view. Constructive ordering:
+        // device first, journal second.
+        self.crashpoint("intern.after_data_write");
 
         // Device state is in place — publish to the index and the image.
         for (fp, slot) in &planned {
@@ -393,6 +1060,21 @@ impl Store {
             .fingerprints
             .extend_from_slice(&fps);
 
+        // Journal the published bindings (fingerprint → device page,
+        // with multiplicity) so replay rebuilds exact refcounts.
+        let epoch = inner.pending[&image.0].epoch;
+        let journal_pages = self.journal_append(
+            &mut inner,
+            node,
+            epoch,
+            Record::Intern {
+                image: image.0,
+                entries: fps.iter().copied().zip(pages.iter().map(|p| p.0)).collect(),
+            },
+            Some("intern.after_journal_payload"),
+        );
+        self.crashpoint("intern.after_marker");
+
         let fresh = allocated.len() as u64;
         let written = writes.len() as u64;
         let outcome = InternOutcome {
@@ -401,6 +1083,7 @@ impl Store {
             written,
             shared,
             zero,
+            journal_pages,
         };
         let stats = &mut inner.stats;
         stats.interned_pages += fps.len() as u64;
@@ -416,36 +1099,92 @@ impl Store {
             Some(node.0),
             (fps.len() as u64 - written) * PAGE_SIZE,
         );
+        self.crashpoint("intern.after_publish");
         Ok(outcome)
     }
 
     /// Publishes a pending image into the catalog. `meta_region` is the
     /// checkpoint's committed metadata region; eviction destroys it along
-    /// with the image's data references.
+    /// with the image's data references. Returns journal pages written
+    /// (commit record plus any compaction this commit triggered) for the
+    /// caller to charge to the virtual clock; 0 for non-durable stores.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `image` is not pending.
-    pub fn commit_image(&self, image: ImageId, meta_region: RegionId) {
+    /// [`StoreError::AlreadyCommitted`] if `image` is already in the
+    /// catalog, [`StoreError::UnknownImage`] if it is not pending.
+    pub fn commit_image(&self, image: ImageId, meta_region: RegionId) -> Result<u64, StoreError> {
         let mut inner = self.inner.lock();
-        let mut meta = inner
-            .pending
-            .remove(&image.0)
-            .unwrap_or_else(|| panic!("commit_image on unknown {image}"));
+        if inner.catalog.contains_key(&image.0) {
+            return Err(StoreError::AlreadyCommitted {
+                image,
+                op: "commit_image",
+            });
+        }
+        let Some(mut meta) = inner.pending.remove(&image.0) else {
+            return Err(StoreError::UnknownImage {
+                image,
+                op: "commit_image",
+            });
+        };
         meta.meta_region = meta_region;
+        let (owner, epoch) = (meta.owner, meta.epoch);
+        // Crash here (or mid-record): no sealed Commit — recovery rolls
+        // the image back as pending and sweeps its orphaned meta region.
+        self.crashpoint("commit.before_journal");
+        let mut pages = self.journal_append(
+            &mut inner,
+            owner,
+            epoch,
+            Record::Commit {
+                image: image.0,
+                meta_region: meta_region.0,
+            },
+            Some("commit.mid_record"),
+        );
+        // Crash here: the sealed Commit is the durability point — the
+        // image survives into the recovered catalog.
+        self.crashpoint("commit.after_journal");
         inner.catalog.insert(image.0, meta);
+        pages += self.maybe_compact(&mut inner);
+        Ok(pages)
     }
 
     /// Abandons a pending image (failed checkpoint), dropping its index
     /// references and freeing any now-unreferenced device pages. Returns
-    /// the number of data pages freed. No-op for unknown ids.
-    pub fn abort_image(&self, image: ImageId) -> u64 {
+    /// the number of data pages freed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AlreadyCommitted`] if `image` is committed (release
+    /// it instead), [`StoreError::UnknownImage`] if it is not pending.
+    pub fn abort_image(&self, image: ImageId) -> Result<u64, StoreError> {
         let mut inner = self.inner.lock();
+        if inner.catalog.contains_key(&image.0) {
+            return Err(StoreError::AlreadyCommitted {
+                image,
+                op: "abort_image",
+            });
+        }
         let Some(meta) = inner.pending.remove(&image.0) else {
-            return 0;
+            return Err(StoreError::UnknownImage {
+                image,
+                op: "abort_image",
+            });
         };
-        let fps = meta.fingerprints;
-        Self::drop_refs(&self.device, &mut inner, &fps)
+        // Destructive ordering: journal first, free second — recovery
+        // re-applies a journaled abort idempotently.
+        self.journal_append(
+            &mut inner,
+            meta.owner,
+            meta.epoch,
+            Record::Abort { image: image.0 },
+            None,
+        );
+        self.crashpoint("abort.after_journal");
+        let freed = Self::drop_refs(&self.device, &mut inner, &meta.fingerprints);
+        self.crashpoint("abort.after_free");
+        Ok(freed)
     }
 
     /// True while `image` is restorable (committed and not evicted).
@@ -463,45 +1202,138 @@ impl Store {
         self.inner.lock().catalog.len()
     }
 
+    /// Ids of every committed image, ascending.
+    pub fn images(&self) -> Vec<ImageId> {
+        self.inner
+            .lock()
+            .catalog
+            .keys()
+            .map(|&id| ImageId(id))
+            .collect()
+    }
+
     /// Records a successful restore at `now` (LRU bookkeeping). No-op
-    /// for unknown ids.
+    /// for unknown ids. Deliberately **not** journaled — a device write
+    /// per restore would tax the fast path; after recovery, LRU falls
+    /// back to creation order until restores refresh it.
     pub fn touch_restore(&self, image: ImageId, now: SimTime) {
+        self.crashpoint("restore.touch");
         if let Some(meta) = self.inner.lock().catalog.get_mut(&image.0) {
             meta.last_restore = meta.last_restore.max(now);
         }
     }
 
     /// Pins or unpins an image. Pinned images are never evicted.
-    pub fn set_pinned(&self, image: ImageId, pinned: bool) {
-        if let Some(meta) = self.inner.lock().catalog.get_mut(&image.0) {
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotCommitted`] for pending images,
+    /// [`StoreError::UnknownImage`] otherwise-unknown ids.
+    pub fn set_pinned(&self, image: ImageId, pinned: bool) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let (owner, epoch) = Self::committed_tags(&inner, image, "set_pinned")?;
+        self.journal_append(
+            &mut inner,
+            owner,
+            epoch,
+            Record::SetPinned {
+                image: image.0,
+                pinned,
+            },
+            None,
+        );
+        self.crashpoint("pin.after_journal");
+        if let Some(meta) = inner.catalog.get_mut(&image.0) {
             meta.pinned = pinned;
         }
+        Ok(())
     }
 
     /// Marks `holder` as depending on the image (e.g. running instances
     /// restored from it). While the holder's lease is live, the image is
     /// exempt from eviction. `None` clears the lease.
-    pub fn set_lease(&self, image: ImageId, holder: Option<NodeId>) {
-        if let Some(meta) = self.inner.lock().catalog.get_mut(&image.0) {
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotCommitted`] for pending images,
+    /// [`StoreError::UnknownImage`] otherwise-unknown ids.
+    pub fn set_lease(&self, image: ImageId, holder: Option<NodeId>) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let (owner, epoch) = Self::committed_tags(&inner, image, "set_lease")?;
+        self.journal_append(
+            &mut inner,
+            owner,
+            epoch,
+            Record::SetLease {
+                image: image.0,
+                holder: holder.map(|n| n.0),
+            },
+            None,
+        );
+        self.crashpoint("lease.after_journal");
+        if let Some(meta) = inner.catalog.get_mut(&image.0) {
             meta.lease = holder;
         }
+        Ok(())
+    }
+
+    /// Validates that `image` is committed, returning its (owner, epoch)
+    /// journal tags.
+    fn committed_tags(
+        inner: &Inner,
+        image: ImageId,
+        op: &'static str,
+    ) -> Result<(NodeId, u64), StoreError> {
+        if let Some(meta) = inner.catalog.get(&image.0) {
+            return Ok((meta.owner, meta.epoch));
+        }
+        if inner.pending.contains_key(&image.0) {
+            return Err(StoreError::NotCommitted { image, op });
+        }
+        Err(StoreError::UnknownImage { image, op })
     }
 
     /// Releases a committed image: drops its index references, frees
     /// now-unreferenced data pages, and forgets the catalog entry. The
     /// metadata region is the caller's to destroy (the mechanism owns
-    /// it). Returns the number of data pages freed; no-op for unknown
-    /// ids.
-    pub fn release_image(&self, image: ImageId) -> u64 {
+    /// it) — but the journal records it, so crash recovery destroys it
+    /// if the caller died first. Returns the number of data pages freed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotCommitted`] for pending images,
+    /// [`StoreError::UnknownImage`] otherwise-unknown ids.
+    pub fn release_image(&self, image: ImageId) -> Result<u64, StoreError> {
         let mut inner = self.inner.lock();
+        if inner.pending.contains_key(&image.0) {
+            return Err(StoreError::NotCommitted {
+                image,
+                op: "release_image",
+            });
+        }
         let Some(meta) = inner.catalog.remove(&image.0) else {
-            return 0;
+            return Err(StoreError::UnknownImage {
+                image,
+                op: "release_image",
+            });
         };
-        let fps = meta.fingerprints;
-        let freed = Self::drop_refs(&self.device, &mut inner, &fps);
+        // Destructive ordering: journal first, free second.
+        self.journal_append(
+            &mut inner,
+            meta.owner,
+            meta.epoch,
+            Record::Release {
+                image: image.0,
+                meta_region: meta.meta_region.0,
+            },
+            None,
+        );
+        self.crashpoint("release.after_journal");
+        let freed = Self::drop_refs(&self.device, &mut inner, &meta.fingerprints);
         inner.stats.released_images += 1;
         inner.stats.evicted_pages += freed;
-        freed
+        self.crashpoint("release.after_free");
+        Ok(freed)
     }
 
     /// Evicts images until device utilization is at or below the low
@@ -572,13 +1404,19 @@ impl Store {
             .collect();
         let mut freed = 0;
         for id in orphans {
-            let fps = inner
+            let meta = inner
                 .pending
                 .remove(&id)
                 // cxl-lint: allow(device-unwrap): the orphan id list was collected from this same map under the same lock hold
-                .expect("collected above")
-                .fingerprints;
-            freed += Self::drop_refs(&self.device, &mut inner, &fps);
+                .expect("collected above");
+            self.journal_append(
+                &mut inner,
+                meta.owner,
+                meta.epoch,
+                Record::Abort { image: id },
+                None,
+            );
+            freed += Self::drop_refs(&self.device, &mut inner, &meta.fingerprints);
         }
         freed
     }
@@ -687,10 +1525,23 @@ impl Store {
         let Some(meta) = inner.catalog.remove(&image.0) else {
             return 0;
         };
+        // Destructive ordering: journal first, free second.
+        self.journal_append(
+            &mut inner,
+            meta.owner,
+            meta.epoch,
+            Record::Evict {
+                image: image.0,
+                meta_region: meta.meta_region.0,
+            },
+            None,
+        );
+        self.crashpoint("evict.after_journal");
         let mut freed = Self::drop_refs(&self.device, &mut inner, &meta.fingerprints);
         freed += self.device.destroy_region(meta.meta_region).unwrap_or(0);
         inner.stats.evicted_images += 1;
         inner.stats.evicted_pages += freed;
+        self.crashpoint("evict.after_free");
         freed
     }
 
@@ -746,7 +1597,7 @@ mod tests {
         let img = store.begin_image(label, NodeId(0), 1, now);
         let out = store.intern_pages(img, data, NodeId(0)).unwrap();
         let meta = store.device().create_region(label);
-        store.commit_image(img, meta);
+        store.commit_image(img, meta).unwrap();
         (img, out)
     }
 
@@ -804,7 +1655,7 @@ mod tests {
             t(2),
         );
         let used = d.used_pages();
-        let freed = store.release_image(a);
+        let freed = store.release_image(a).unwrap();
         assert_eq!(freed, 1, "only a's private page is freed");
         assert_eq!(d.used_pages(), used - 1);
         assert!(!store.is_live(a));
@@ -827,7 +1678,7 @@ mod tests {
                 NodeId(1),
             )
             .unwrap();
-        assert_eq!(store.abort_image(img), 1, "private page freed");
+        assert_eq!(store.abort_image(img).unwrap(), 1, "private page freed");
         assert_eq!(d.used_pages(), before);
         // The surviving image's content is untouched.
         assert_eq!(
@@ -896,6 +1747,7 @@ mod tests {
             StoreConfig {
                 high_watermark: 0.3,
                 low_watermark: 0.2,
+                ..StoreConfig::default()
             },
         );
         let mut leases = LeaseTable::new(SimDuration::from_secs(10));
@@ -910,8 +1762,8 @@ mod tests {
         let b = mk(2, t(2));
         let c = mk(3, t(3));
         let e = mk(4, t(4));
-        store.set_pinned(b, true);
-        store.set_lease(c, Some(NodeId(2))); // live lease at t(100)
+        store.set_pinned(b, true).unwrap();
+        store.set_lease(c, Some(NodeId(2))).unwrap(); // live lease at t(100)
         store.touch_restore(a, t(50)); // now e is LRU, then a
 
         assert!(d.utilization() > 0.3);
@@ -953,13 +1805,15 @@ mod tests {
             store
                 .intern_pages(img, &[PageData::pattern(epoch * 7)], NodeId(0))
                 .unwrap();
-            store.commit_image(img, store.device().create_region(label));
+            store
+                .commit_image(img, store.device().create_region(label))
+                .unwrap();
             img
         };
         let old = mk("old", 1);
         let mid = mk("mid", 2);
         let new = mk("new", 3);
-        store.set_pinned(mid, true);
+        store.set_pinned(mid, true).unwrap();
         let report = store.gc_epochs_below(3, &leases, t(10));
         assert_eq!(report.images, 1);
         assert!(!store.is_live(old));
@@ -1000,5 +1854,194 @@ mod tests {
             assert_eq!(expected.get(&e.fingerprint), Some(&e.refs));
         }
         assert_eq!(expected.values().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn mutators_return_typed_errors_instead_of_silent_no_ops() {
+        let store = Store::new(device());
+        let ghost = ImageId(99);
+        assert_eq!(
+            store.commit_image(ghost, RegionId(1)),
+            Err(StoreError::UnknownImage {
+                image: ghost,
+                op: "commit_image"
+            })
+        );
+        assert_eq!(
+            store.abort_image(ghost),
+            Err(StoreError::UnknownImage {
+                image: ghost,
+                op: "abort_image"
+            })
+        );
+        assert_eq!(
+            store.release_image(ghost),
+            Err(StoreError::UnknownImage {
+                image: ghost,
+                op: "release_image"
+            })
+        );
+        assert_eq!(
+            store.set_pinned(ghost, true),
+            Err(StoreError::UnknownImage {
+                image: ghost,
+                op: "set_pinned"
+            })
+        );
+        assert_eq!(
+            store.set_lease(ghost, None),
+            Err(StoreError::UnknownImage {
+                image: ghost,
+                op: "set_lease"
+            })
+        );
+
+        // Pending images: commit works once, committed-only mutators
+        // reject with NotCommitted until then.
+        let img = store.begin_image("typed", NodeId(0), 1, t(1));
+        assert_eq!(
+            store.set_pinned(img, true),
+            Err(StoreError::NotCommitted {
+                image: img,
+                op: "set_pinned"
+            })
+        );
+        assert_eq!(
+            store.release_image(img),
+            Err(StoreError::NotCommitted {
+                image: img,
+                op: "release_image"
+            })
+        );
+        let meta = store.device().create_region("typed-meta");
+        store.commit_image(img, meta).unwrap();
+        // Double commit and late abort both surface AlreadyCommitted.
+        assert_eq!(
+            store.commit_image(img, meta),
+            Err(StoreError::AlreadyCommitted {
+                image: img,
+                op: "commit_image"
+            })
+        );
+        assert_eq!(
+            store.abort_image(img),
+            Err(StoreError::AlreadyCommitted {
+                image: img,
+                op: "abort_image"
+            })
+        );
+        // After release, the id is unknown — a double release says so.
+        store.release_image(img).unwrap();
+        assert_eq!(
+            store.release_image(img),
+            Err(StoreError::UnknownImage {
+                image: img,
+                op: "release_image"
+            })
+        );
+    }
+
+    fn durable_config() -> StoreConfig {
+        StoreConfig {
+            durable: true,
+            ..StoreConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_store_recovers_catalog_index_and_flags() {
+        let d = device();
+        let store = Store::with_config(Arc::clone(&d), durable_config());
+        let shared = PageData::pattern(5);
+
+        let a = store.begin_image("img-a", NodeId(1), 1, t(1));
+        let out_a = store
+            .intern_pages(a, &[shared.clone(), PageData::pattern(6)], NodeId(1))
+            .unwrap();
+        assert!(out_a.journal_pages > 0, "durable interns write the journal");
+        let meta_a = d.create_region("img-a-meta");
+        store.commit_image(a, meta_a).unwrap();
+        store.set_pinned(a, true).unwrap();
+
+        let b = store.begin_image("img-b", NodeId(2), 2, t(2));
+        store
+            .intern_pages(b, &[shared.clone(), PageData::Zero], NodeId(2))
+            .unwrap();
+        let meta_b = d.create_region("img-b-meta");
+        store.commit_image(b, meta_b).unwrap();
+        store.set_lease(b, Some(NodeId(2))).unwrap();
+
+        // A released image must stay gone after recovery.
+        let c = store.begin_image("img-c", NodeId(1), 3, t(3));
+        store
+            .intern_pages(c, &[PageData::pattern(77)], NodeId(1))
+            .unwrap();
+        let meta_c = d.create_region("img-c-meta");
+        store.commit_image(c, meta_c).unwrap();
+        store.release_image(c).unwrap();
+        d.destroy_region(meta_c).unwrap();
+
+        let index_before = store.index_snapshot();
+        let expect_next = store.begin_image("probe", NodeId(1), 4, t(4));
+        store.abort_image(expect_next).unwrap();
+        drop(store); // coordinator dies; only the device survives
+
+        let (recovered, report) = Store::recover(Arc::clone(&d), durable_config(), NodeId(3));
+        assert_eq!(report.committed_images, 2);
+        assert_eq!(report.rolled_back_pending, 0);
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert_eq!(report.freed_leaked_pages, 0);
+        assert_eq!(report.fingerprint_mismatches, 0);
+        assert!(report.pages_scanned > 0);
+        assert!(report.compaction_pages_written > 0);
+
+        assert!(recovered.is_live(a) && recovered.is_live(b));
+        assert!(!recovered.is_live(c));
+        let meta = recovered.image_meta(a).unwrap();
+        assert!(meta.pinned);
+        assert_eq!(meta.owner, NodeId(1));
+        assert_eq!(meta.meta_region, meta_a);
+        assert_eq!(recovered.image_meta(b).unwrap().lease, Some(NodeId(2)));
+        assert_eq!(recovered.index_snapshot(), index_before);
+
+        // Recovery is deterministic: same device state, same report.
+        drop(recovered);
+        let (again, report2) = Store::recover(Arc::clone(&d), durable_config(), NodeId(3));
+        let mut expected = report.clone();
+        // The re-recovery replays the compacted journal (one snapshot)
+        // and sees the fresh generation number.
+        expected.journal_generation += 1;
+        expected.entries_replayed = 1;
+        expected.pages_scanned = report2.pages_scanned;
+        assert_eq!(report2, expected);
+
+        // Ids never repeat across the crash.
+        let next = again.begin_image("post", NodeId(3), 5, t(9));
+        assert!(next.0 > expect_next.0);
+    }
+
+    #[test]
+    fn recovery_frees_pages_interned_but_never_journaled() {
+        let d = device();
+        let store = Store::with_config(Arc::clone(&d), durable_config());
+        let (a, _) = intern(&store, "keep", &[PageData::pattern(1)], t(1));
+
+        // Model a crash between the device write and the journal record:
+        // pages land in the data region with no Intern record. The crash
+        // sweep reaches this state via the `intern.after_data_write`
+        // crashpoint; here we plant it directly.
+        let region = store.data_region();
+        let orphaned = d.alloc_batch(region, 3).unwrap();
+        d.write_pages(&[(orphaned[0], PageData::pattern(9))], NodeId(1))
+            .unwrap();
+        drop(store);
+
+        let (recovered, report) = Store::recover(Arc::clone(&d), durable_config(), NodeId(0));
+        assert_eq!(report.freed_leaked_pages, 3);
+        assert_eq!(report.committed_images, 1);
+        assert!(recovered.is_live(a));
+        // Device accounting is balanced: exactly the surviving image's
+        // page, its meta region page count, and the journal remain.
+        assert_eq!(recovered.index_snapshot().len(), 1);
     }
 }

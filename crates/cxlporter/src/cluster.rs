@@ -28,6 +28,20 @@ impl Cluster {
     /// DRAM each and a `cxl_mib` CXL device.
     pub fn new(node_count: usize, node_mem_mib: u64, cxl_mib: u64, model: LatencyModel) -> Self {
         let device = Arc::new(CxlDevice::with_capacity_mib(cxl_mib));
+        Cluster::with_device(node_count, node_mem_mib, device, model)
+    }
+
+    /// Builds a cluster over an **existing** CXL device. This is the
+    /// failover path: fabric-attached memory outlives the coordinator
+    /// that populated it, so a successor cluster attaches to the same
+    /// device and recovers the durable state it finds there instead of
+    /// starting from an empty device.
+    pub fn with_device(
+        node_count: usize,
+        node_mem_mib: u64,
+        device: Arc<CxlDevice>,
+        model: LatencyModel,
+    ) -> Self {
         let rootfs = Arc::new(SharedFs::new());
         let nodes = (0..node_count)
             .map(|i| {

@@ -202,7 +202,9 @@ fn evicted_image_turns_the_next_restore_into_a_cold_redeploy() {
             .image_id(&entry.checkpoint)
             .expect("store-backed checkpoints carry an image"),
     );
-    istore.set_lease(image, None);
+    istore
+        .set_lease(image, None)
+        .expect("published image is committed");
     let dead_leases = cxl_fault::LeaseTable::new(SimDuration::from_secs(1));
     let evicted = istore.evict_for(u64::MAX, &dead_leases, SimTime::from_nanos(100 * SEC));
     assert_eq!(evicted.images, 1);

@@ -122,6 +122,7 @@ fn watermark_eviction_is_lru_and_spares_pinned_and_leased_images() {
     let mut r = rig(StoreConfig {
         high_watermark: 0.35,
         low_watermark: 0.20,
+        ..StoreConfig::default()
     });
     let now = SimTime::from_nanos(1_000_000_000);
 
@@ -144,8 +145,8 @@ fn watermark_eviction_is_lru_and_spares_pinned_and_leased_images() {
     // Protect image 0 by pin and image 1 by a lease its holder renews;
     // image 3 was restored recently, image 2 never — so 2 is the LRU
     // victim and must go first.
-    r.store.set_pinned(images[0], true);
-    r.store.set_lease(images[1], Some(NodeId(0)));
+    r.store.set_pinned(images[0], true).unwrap();
+    r.store.set_lease(images[1], Some(NodeId(0))).unwrap();
     let mut leases = LeaseTable::new(SimDuration::from_secs(30));
     leases.renew(NodeId(0), now);
     let restored = r
@@ -185,12 +186,13 @@ fn lease_lapse_exposes_a_crashed_owners_images_to_eviction() {
     let mut r = rig(StoreConfig {
         high_watermark: 0.05,
         low_watermark: 0.04,
+        ..StoreConfig::default()
     });
     let t0 = SimTime::from_nanos(1_000_000_000);
     let pid = build_function(&mut r.nodes[0], 0);
     let ckpt = r.fork.checkpoint(&mut r.nodes[0], pid).unwrap();
     let image = ImageId(r.fork.image_id(&ckpt).unwrap());
-    r.store.set_lease(image, Some(NodeId(0)));
+    r.store.set_lease(image, Some(NodeId(0))).unwrap();
 
     let mut leases = LeaseTable::new(SimDuration::from_secs(30));
     leases.renew(NodeId(0), t0);
@@ -213,6 +215,7 @@ fn crash_mid_eviction_run(plan_seed: u64) -> (u64, u64, cxl_store::StoreStats) {
     let mut r = rig(StoreConfig {
         high_watermark: 0.30,
         low_watermark: 0.10,
+        ..StoreConfig::default()
     });
     let injector = Arc::new(Injector::from_plan(
         FaultPlan::new(plan_seed).with_transient_rate(0.02),

@@ -12,6 +12,10 @@
 //! 3. **Post-recovery consistency** — under `--features check`, the
 //!    cross-layer audits of the surviving nodes and the shared device
 //!    report zero violations after recovery.
+//! 4. **Coordinator failover** — when the whole coordinator dies (every
+//!    DRAM structure gone, only the device survives), a successor
+//!    replays the store journal, adopts the recovered images, and
+//!    re-leases them instead of re-deploying cold.
 //!
 //! The seed is overridable with `CXLFAULT_SEED` so CI can sweep it.
 
@@ -198,4 +202,140 @@ fn failover_runs_are_bit_identical() {
     let (a, _, _) = run_failover();
     let (b, _, _) = run_failover();
     assert_eq!(a, b, "failover must be deterministic for a fixed seed");
+}
+
+fn durable_config() -> cxl_store::StoreConfig {
+    cxl_store::StoreConfig {
+        durable: true,
+        ..cxl_store::StoreConfig::default()
+    }
+}
+
+/// One full coordinator-failover cycle: coordinator A publishes durable
+/// images, dies entirely (porter, object store, checkpoint handles, and
+/// the store's DRAM index all dropped — only the device survives), then
+/// successor B attaches to the same device, replays the journal, and
+/// adopts the recovered store.
+fn run_coordinator_failover() -> (
+    PorterReport,
+    cxl_store::RecoveryReport,
+    Vec<cxl_store::ImageId>,
+) {
+    // Coordinator A: durable store wired through both the mechanism
+    // (checkpoints intern through it) and the porter (lease + GC).
+    let cluster = Cluster::new(3, 2048, 8192, LatencyModel::calibrated());
+    let device = Arc::clone(&cluster.device);
+    let store = Arc::new(cxl_store::Store::with_config(
+        Arc::clone(&device),
+        durable_config(),
+    ));
+    let mut porter = CxlPorter::new(
+        cluster,
+        cxlfork::CxlFork::with_store(Arc::clone(&store)),
+        PorterConfig {
+            checkpoint_after: 2,
+            ..PorterConfig::cxlfork_dynamic()
+        },
+    )
+    .with_image_store(Arc::clone(&store));
+    let report_a = porter.run_trace(&failover_trace());
+    assert!(
+        report_a.checkpoints >= 1,
+        "coordinator A must publish images"
+    );
+    let published = store.images();
+    assert!(
+        !published.is_empty(),
+        "published images must be live at death"
+    );
+
+    // The coordinator dies: every DRAM structure goes with it.
+    drop(porter);
+    drop(store);
+
+    // Successor B: same device, fresh DRAM. Recover the store from the
+    // journal, wire the same Arc into mechanism and porter, adopt.
+    let (recovered, recovery) =
+        cxl_store::Store::recover(Arc::clone(&device), durable_config(), NodeId(0));
+    let recovered = Arc::new(recovered);
+    let cluster_b = Cluster::with_device(3, 2048, Arc::clone(&device), LatencyModel::calibrated());
+    let mut porter_b = CxlPorter::new(
+        cluster_b,
+        cxlfork::CxlFork::with_store(Arc::clone(&recovered)),
+        PorterConfig {
+            checkpoint_after: 2,
+            ..PorterConfig::cxlfork_dynamic()
+        },
+    );
+    porter_b.adopt_recovered_store(Arc::clone(&recovered), &recovery, NodeId(0));
+
+    // Every recovered image is re-leased to the adopter — protected
+    // from the watermark GC until its function re-registers.
+    let adopted = recovered.images();
+    assert_eq!(
+        adopted, published,
+        "recovery must rebuild A's exact catalog"
+    );
+    for &image in &adopted {
+        let meta = recovered
+            .image_meta(image)
+            .expect("recovered image is live");
+        assert_eq!(
+            meta.lease,
+            Some(NodeId(0)),
+            "recovered image {image:?} must be re-leased to the adopter"
+        );
+    }
+
+    // The successor serves the same workload; re-checkpoints dedup
+    // against the recovered index instead of re-copying every page.
+    let report_b = porter_b.run_trace(&failover_trace());
+
+    #[cfg(feature = "check")]
+    {
+        let mut violations = porter_b.audit();
+        violations.extend(cxl_check::audit_journal(&recovered));
+        assert!(
+            violations.is_empty(),
+            "post-adoption audit failed: {violations:?}"
+        );
+    }
+
+    (report_b, recovery, adopted)
+}
+
+#[test]
+fn coordinator_crash_adopts_and_re_leases_recovered_images() {
+    let (report, recovery, adopted) = run_coordinator_failover();
+
+    assert!(recovery.committed_images >= 1, "journal must replay images");
+    assert_eq!(recovery.committed_images as usize, adopted.len());
+    assert_eq!(
+        recovery.fingerprint_mismatches, 0,
+        "recovered index must pass the fingerprint cross-check"
+    );
+    assert!(recovery.pages_scanned > 0, "replay must read the journal");
+
+    // Adoption accounting: the report carries the recovered-image count
+    // and the virtual time the adopter spent replaying the journal.
+    assert_eq!(report.recovered_images, recovery.committed_images);
+    assert!(
+        report.journal_replay_ns > 0,
+        "journal replay must cost virtual time"
+    );
+    // Warm continuation: the successor's re-checkpoints dedup against
+    // the recovered index rather than re-copying every page cold.
+    assert!(
+        report.store_deduped_pages > 0,
+        "re-checkpoints must dedup against the recovered store"
+    );
+}
+
+#[test]
+fn coordinator_failover_is_bit_identical() {
+    let (ra, va, ia) = run_coordinator_failover();
+    let (rb, vb, ib) = run_coordinator_failover();
+    assert_eq!(ra, rb, "successor report must be deterministic");
+    assert_eq!(va, vb, "recovery report must be deterministic");
+    assert_eq!(ia, ib, "adopted catalog must be deterministic");
 }
