@@ -65,6 +65,16 @@ CRASH_SWEEP_POSITIONS=6 CRASH_SWEEP_SEEDS=2 \
 CRASH_SWEEP_POSITIONS=6 CRASH_SWEEP_SEEDS=2 \
     cargo test --quiet -p cxlfork-bench --features check --test crashpoint_sweep
 
+echo '== cluster-engine smoke (bounded, both feature states) =='
+# A smoke-scale slice of the cluster determinism suite
+# (tests/cluster_sim.rs): two runs of the same seeded diurnal trace
+# over CLUSTER_SMOKE_NODES nodes must produce bit-identical
+# PorterReports on the cxl-sim discrete-event engine, fairness and
+# crash accounting included. The full 64-node, >=100k-invocation replay
+# is exercised by the BENCH_cluster.json drift gate below.
+CLUSTER_SMOKE_NODES=8 cargo test --quiet -p cxlfork-bench --test cluster_sim
+CLUSTER_SMOKE_NODES=8 cargo test --quiet -p cxlfork-bench --features check --test cluster_sim
+
 echo '== release build =='
 cargo build --workspace --release --quiet
 

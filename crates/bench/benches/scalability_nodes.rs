@@ -1,5 +1,6 @@
 //! Scalability sweep (§8 "Scalability to a high number of nodes"): one
-//! checkpoint, restored and executed on 2–16 nodes concurrently.
+//! checkpoint, restored and executed on 2–64 nodes concurrently with a
+//! deep queue of clones per node.
 //!
 //! The paper could not study many nodes on its two-VM prototype; the
 //! simulation can. Reported per cluster size: per-clone restore latency
@@ -18,7 +19,7 @@ use std::sync::Arc;
 fn main() {
     let spec = faas::by_name("Json").expect("Json in suite");
     let mut rows = Vec::new();
-    for nodes in [2usize, 4, 8, 16] {
+    for nodes in [2usize, 4, 8, 16, 32, 64] {
         let device = Arc::new(cxl_mem::CxlDevice::with_capacity_mib(8192));
         let rootfs = Arc::new(node_os::fs::SharedFs::new());
         let mut cluster: Vec<node_os::Node> = (0..nodes)
@@ -45,7 +46,10 @@ fn main() {
 
         let mut restore_total = simclock::SimDuration::ZERO;
         let mut exec_total = simclock::SimDuration::ZERO;
-        let clones_per_node = 1;
+        // A deep per-node queue: every target node restores and runs
+        // four clones back to back, so the large sizes stress both the
+        // device's read path and per-node memory.
+        let clones_per_node = 4;
         let mut clones = 0u64;
         for node in cluster.iter_mut().skip(1) {
             for _ in 0..clones_per_node {

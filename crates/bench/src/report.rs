@@ -16,7 +16,7 @@ use simclock::stats::LatencyHistogram;
 use simclock::LatencyModel;
 
 use crate::scenarios::{
-    run_availability, run_capacity, run_cold_start, run_tiering, Scenario,
+    run_availability, run_capacity, run_cluster, run_cold_start, run_tiering, Scenario,
     DEFAULT_STEADY_INVOCATIONS,
 };
 
@@ -276,7 +276,88 @@ pub fn capacity_report(model: &LatencyModel) -> ScenarioTelemetry {
     ScenarioTelemetry { report, data }
 }
 
-/// All four scenario reports in `(name, builder)` form, for the binary
+/// Seed the cluster report runs with (fixed, like
+/// [`AVAILABILITY_SEEDS`], so the report is byte-reproducible).
+pub const CLUSTER_SEED: u64 = 6502;
+
+/// Cluster size the report runs at (the scale target the paper's
+/// two-VM prototype could not reach).
+pub const CLUSTER_NODES: usize = 64;
+
+/// Runs the cluster-scale experiment — a ≥100k-invocation multi-tenant
+/// diurnal trace over [`CLUSTER_NODES`] nodes on the discrete-event
+/// engine — with telemetry armed. `e2e` is the porter's end-to-end
+/// request timer; `queue.wait` is the per-node dispatch-queue wait
+/// (`cxlporter.queue.latency` merged across nodes), whose p50/p99 are
+/// the fairness quantities of interest. Throughput, fairness counters,
+/// crash and eviction outcomes land in `cluster.*` counters.
+///
+/// # Panics
+///
+/// If the run leaks or double-executes a request (served +
+/// memory-drops + fairness-drops must equal arrivals + crash
+/// re-dispatches).
+pub fn cluster_report(model: &LatencyModel) -> ScenarioTelemetry {
+    let session = TelemetrySession::start();
+    let outcome = run_cluster(CLUSTER_SEED, CLUSTER_NODES, model);
+    let data = session.finish();
+
+    assert!(
+        outcome.accounting_balances(),
+        "cluster run leaked or double-executed requests"
+    );
+
+    let mut report = BenchReport::new("cluster");
+    report.virtual_ns = virtual_ns(&data);
+    fill_common(&mut report, &data);
+    let e2e = data.registry.timer_across_nodes("cxlporter", "e2e");
+    report.latency(LatencySummary::from_histogram("e2e", &e2e));
+    let queue = data
+        .registry
+        .timer_across_nodes("cxlporter", "queue.latency");
+    report.latency(LatencySummary::from_histogram("queue.wait", &queue));
+
+    let r = &outcome.report;
+    let served = outcome.completed();
+    let secs = outcome.duration.as_nanos() / 1_000_000_000;
+    let per_owner: Vec<u64> = r.per_owner_served.values().copied().collect();
+    for (name, value) in [
+        ("cluster.nodes", CLUSTER_NODES as u64),
+        ("cluster.tenants", u64::from(outcome.tenants)),
+        ("cluster.functions", outcome.functions),
+        ("cluster.trace_len", outcome.trace_len),
+        ("cluster.served", served),
+        // Milli-requests per virtual second: integer so the JSON stays
+        // byte-stable.
+        ("cluster.throughput_mrps", served * 1000 / secs),
+        ("cluster.fair_deferrals", r.fair_deferrals),
+        ("cluster.fair_drops", r.fair_drops),
+        ("cluster.owners_served", per_owner.len() as u64),
+        (
+            "cluster.owner_served_min",
+            per_owner.iter().copied().min().unwrap_or(0),
+        ),
+        (
+            "cluster.owner_served_max",
+            per_owner.iter().copied().max().unwrap_or(0),
+        ),
+        ("cluster.engine_events", r.engine_events),
+        ("cluster.crashes_survived", r.crashes_survived),
+        ("cluster.redispatched", r.redispatched),
+        ("cluster.image_evictions", r.image_evictions),
+        ("cluster.store_deduped_pages", r.store_deduped_pages),
+        (
+            "cluster.store_evicted_pages",
+            outcome.store_stats.evicted_pages,
+        ),
+        ("cluster.device_retries", r.device_retries),
+    ] {
+        report.counters.push((name.to_string(), value));
+    }
+    ScenarioTelemetry { report, data }
+}
+
+/// All five scenario reports in `(name, builder)` form, for the binary
 /// and CI to iterate.
 pub fn all_reports(model: &LatencyModel) -> Vec<ScenarioTelemetry> {
     vec![
@@ -284,5 +365,6 @@ pub fn all_reports(model: &LatencyModel) -> Vec<ScenarioTelemetry> {
         tiering_report(model),
         availability_report(model),
         capacity_report(model),
+        cluster_report(model),
     ]
 }

@@ -586,6 +586,134 @@ pub fn run_capacity(specs: &[FunctionSpec], model: &LatencyModel) -> CapacityOut
     }
 }
 
+/// Outcome of the cluster-scale experiment: a multi-tenant diurnal
+/// trace over a large cluster on the discrete-event engine.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// The porter's full report (fairness, crash, and eviction
+    /// accounting included).
+    pub report: cxlporter::PorterReport,
+    /// Requests in the generated trace.
+    pub trace_len: u64,
+    /// Configured trace duration.
+    pub duration: SimDuration,
+    /// What the device-level injector fired during the run.
+    pub fault_stats: cxl_fault::FaultStats,
+    /// The shared checkpoint store's dedup/eviction counters.
+    pub store_stats: cxl_store::StoreStats,
+    /// Distinct functions in the tenant catalog.
+    pub functions: u64,
+    /// Tenants (owners) in the trace.
+    pub tenants: u32,
+}
+
+impl ClusterOutcome {
+    /// Requests that completed on some node (warm, restored, or cold).
+    pub fn completed(&self) -> u64 {
+        self.report.warm_hits + self.report.restores + self.report.full_cold
+    }
+
+    /// Exactly-once bookkeeping: every trace request and every crash
+    /// re-dispatch lands in precisely one outcome bucket — served,
+    /// memory-dropped, or fairness-dropped.
+    pub fn accounting_balances(&self) -> bool {
+        self.completed() + self.report.dropped + self.report.fair_drops
+            == self.trace_len + self.report.redispatched
+    }
+}
+
+/// Builds the multi-tenant micro-function catalog the cluster
+/// experiment dispatches: one spec per [`DiurnalConfig`] function name,
+/// with footprint/working-set/compute parameters varied
+/// deterministically by catalog position (2–8 MiB footprints — Table-1
+/// functions are far too heavy for a 100k-invocation trace).
+pub fn cluster_catalog(config: &trace_gen::DiurnalConfig) -> faas::Catalog {
+    faas::Catalog::from_specs(config.function_names().iter().enumerate().map(|(i, name)| {
+        let i = i as u64;
+        let footprint_mib = 2 + i % 7; // 2..=8 MiB
+        let ws_pages = 32 + (i % 5) * 16; // 32..=96 pages
+        let compute_ms = 2 + i % 4; // 2..=5 ms
+        faas::micro(name, footprint_mib, ws_pages, compute_ms)
+    }))
+}
+
+/// Runs the cluster-scale experiment: a seeded diurnal/bursty
+/// multi-tenant trace (≥100k invocations from
+/// [`trace_gen::DiurnalConfig::cluster_default`]) dispatched by the
+/// porter's discrete-event engine over `nodes` nodes, with per-owner
+/// fairness quotas on, a seeded crash schedule (one node in sixteen
+/// dies mid-run), transient device faults armed, and checkpoints routed
+/// through a watermark-pressured content-addressed store so the
+/// maintenance sweep actually evicts at scale. The whole run is
+/// deterministic in `seed`.
+pub fn run_cluster(seed: u64, nodes: usize, model: &LatencyModel) -> ClusterOutcome {
+    run_cluster_with(
+        &trace_gen::DiurnalConfig::cluster_default(seed),
+        nodes,
+        model,
+    )
+}
+
+/// [`run_cluster`] with an explicit trace configuration, for
+/// smoke-scale runs (fewer tenants, shorter trace) that keep the same
+/// engine, fairness, crash, and store plumbing. The fault and crash
+/// seeds come from `config.seed`.
+pub fn run_cluster_with(
+    config: &trace_gen::DiurnalConfig,
+    nodes: usize,
+    model: &LatencyModel,
+) -> ClusterOutcome {
+    let seed = config.seed;
+    let trace = trace_gen::generate_diurnal(config);
+    let names = config.function_names();
+    trace_gen::validate(&trace, &names).expect("generated trace validates against its catalog");
+
+    let duration = SimDuration::from_secs(config.duration_secs as u64);
+    let cluster = cxlporter::Cluster::new(nodes, 512, 16384, model.clone());
+    let device = Arc::clone(&cluster.device);
+    let injector = Arc::new(cxl_fault::Injector::from_plan(
+        cxl_fault::FaultPlan::new(seed).with_transient_rate(1e-5),
+    ));
+    injector.arm(&device);
+    // Low watermarks relative to the device keep the image store under
+    // genuine capacity pressure with 2–8 MiB images.
+    let store = Arc::new(cxl_store::Store::with_config(
+        Arc::clone(&device),
+        cxl_store::StoreConfig {
+            high_watermark: 0.02,
+            low_watermark: 0.01,
+            ..cxl_store::StoreConfig::default()
+        },
+    ));
+    let mut porter = cxlporter::CxlPorter::new(
+        cluster,
+        CxlFork::with_store(Arc::clone(&store)),
+        cxlporter::PorterConfig {
+            fairness: Some(cxlporter::FairnessConfig::default()),
+            ..cxlporter::PorterConfig::cxlfork_dynamic()
+        },
+    )
+    .with_image_store(Arc::clone(&store))
+    .with_catalog(cluster_catalog(config));
+    porter.set_crash_schedule(cxl_fault::CrashSchedule::from_plan(
+        seed,
+        nodes,
+        duration,
+        nodes / 16,
+    ));
+
+    let report = porter.run_trace(&trace);
+    ClusterOutcome {
+        report,
+        trace_len: trace.len() as u64,
+        duration,
+        fault_stats: injector.stats(),
+        store_stats: store.stats(),
+        functions: names.len() as u64,
+        tenants: config.tenants,
+    }
+}
+
 /// The warm execution time of a locally forked child (the "local fork in
 /// an environment without CXL memory" baseline of Fig. 9).
 pub fn local_fork_warm(

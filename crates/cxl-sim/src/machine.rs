@@ -1,0 +1,320 @@
+//! Per-node state machines.
+//!
+//! Every node a cluster simulation drives is modelled as a small state
+//! machine: it sits [`NodePhase::Idle`] between activities, enters a
+//! working phase (dispatch, restore, cold-deploy, maintenance) and
+//! returns to idle, or crashes — and [`NodePhase::Crashed`] is
+//! absorbing. The machine checks legality of every transition and
+//! counts phase entries, so a cluster run can report how often each
+//! node restored, cold-deployed or ran maintenance without threading
+//! ad-hoc counters through the scheduler.
+
+use simclock::SimTime;
+
+/// A node's activity phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NodePhase {
+    /// Ready for work; the only phase other phases may be entered from.
+    Idle,
+    /// Dispatching an invocation to a warm instance.
+    Dispatching,
+    /// Restoring an instance from a checkpoint image.
+    Restoring,
+    /// Deploying a function cold (no usable image).
+    ColdDeploying,
+    /// Running periodic maintenance (lease renewal, reclamation, GC).
+    Maintenance,
+    /// Crashed. Absorbing: no transition leaves this phase.
+    Crashed,
+}
+
+/// All phases, in declaration order. Index with [`NodePhase::index`].
+pub const PHASES: [NodePhase; 6] = [
+    NodePhase::Idle,
+    NodePhase::Dispatching,
+    NodePhase::Restoring,
+    NodePhase::ColdDeploying,
+    NodePhase::Maintenance,
+    NodePhase::Crashed,
+];
+
+impl NodePhase {
+    /// Position of this phase in [`PHASES`].
+    pub fn index(self) -> usize {
+        match self {
+            NodePhase::Idle => 0,
+            NodePhase::Dispatching => 1,
+            NodePhase::Restoring => 2,
+            NodePhase::ColdDeploying => 3,
+            NodePhase::Maintenance => 4,
+            NodePhase::Crashed => 5,
+        }
+    }
+
+    /// Short lowercase label, for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodePhase::Idle => "idle",
+            NodePhase::Dispatching => "dispatching",
+            NodePhase::Restoring => "restoring",
+            NodePhase::ColdDeploying => "cold_deploying",
+            NodePhase::Maintenance => "maintenance",
+            NodePhase::Crashed => "crashed",
+        }
+    }
+
+    /// Whether a node in this phase may enter `next`.
+    ///
+    /// Legal moves: working phases and `Crashed` are entered from
+    /// `Idle`; working phases return to `Idle`; any live phase may
+    /// crash; `Crashed` is absorbing. Self-transitions are illegal —
+    /// re-entering a phase the node is already in indicates the driver
+    /// lost track of the node.
+    pub fn can_enter(self, next: NodePhase) -> bool {
+        if self == NodePhase::Crashed {
+            return false;
+        }
+        if next == NodePhase::Crashed {
+            return true;
+        }
+        match (self, next) {
+            (NodePhase::Idle, NodePhase::Idle) => false,
+            (NodePhase::Idle, _) => true,
+            (_, NodePhase::Idle) => true,
+            _ => false,
+        }
+    }
+}
+
+/// One node's state machine: current phase plus entry accounting.
+#[derive(Debug, Clone)]
+pub struct NodeMachine {
+    phase: NodePhase,
+    entered_at: SimTime,
+    entries: [u64; PHASES.len()],
+    transitions: u64,
+}
+
+impl Default for NodeMachine {
+    fn default() -> Self {
+        NodeMachine::new()
+    }
+}
+
+impl NodeMachine {
+    /// A node starting [`NodePhase::Idle`] at time zero.
+    pub fn new() -> Self {
+        NodeMachine {
+            phase: NodePhase::Idle,
+            entered_at: SimTime::ZERO,
+            entries: [0; PHASES.len()],
+            transitions: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> NodePhase {
+        self.phase
+    }
+
+    /// Virtual time the current phase was entered.
+    pub fn entered_at(&self) -> SimTime {
+        self.entered_at
+    }
+
+    /// Moves to `next` at virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an illegal transition (see [`NodePhase::can_enter`]),
+    /// including any attempt to leave [`NodePhase::Crashed`].
+    pub fn enter(&mut self, next: NodePhase, at: SimTime) {
+        assert!(
+            self.phase.can_enter(next),
+            "illegal node transition {} -> {} at t={}ns",
+            self.phase.label(),
+            next.label(),
+            at.as_nanos()
+        );
+        self.phase = next;
+        self.entered_at = at;
+        self.entries[next.index()] += 1;
+        self.transitions += 1;
+    }
+
+    /// Times `phase` has been entered (the initial idle phase is not
+    /// counted as an entry).
+    pub fn entries(&self, phase: NodePhase) -> u64 {
+        self.entries[phase.index()]
+    }
+
+    /// Total transitions taken.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Whether this node has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.phase == NodePhase::Crashed
+    }
+}
+
+/// State machines for a whole cluster, indexed by node id.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMachines {
+    nodes: Vec<NodeMachine>,
+}
+
+impl ClusterMachines {
+    /// Machines for `nodes` nodes, all idle at time zero.
+    pub fn new(nodes: usize) -> Self {
+        ClusterMachines {
+            nodes: vec![NodeMachine::new(); nodes],
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when tracking no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The machine for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node(&self, node: usize) -> &NodeMachine {
+        &self.nodes[node]
+    }
+
+    /// Drives `node` into `next` at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the transition is illegal.
+    pub fn enter(&mut self, node: usize, next: NodePhase, at: SimTime) {
+        self.nodes[node].enter(next, at);
+    }
+
+    /// Convenience: enter a working phase and return to idle at the
+    /// same instant. Cluster drivers use this to account a complete
+    /// activity without holding the machine open across events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or either transition is
+    /// illegal (e.g. the node has crashed).
+    pub fn pulse(&mut self, node: usize, phase: NodePhase, at: SimTime) {
+        self.nodes[node].enter(phase, at);
+        self.nodes[node].enter(NodePhase::Idle, at);
+    }
+
+    /// Total entries into `phase` across all nodes.
+    pub fn phase_entries_total(&self, phase: NodePhase) -> u64 {
+        self.nodes.iter().map(|n| n.entries(phase)).sum()
+    }
+
+    /// Total transitions across all nodes.
+    pub fn transitions_total(&self) -> u64 {
+        self.nodes.iter().map(NodeMachine::transitions).sum()
+    }
+
+    /// Nodes currently crashed.
+    pub fn crashed_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_crashed()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn working_phases_round_trip_through_idle() {
+        let mut m = NodeMachine::new();
+        for phase in [
+            NodePhase::Dispatching,
+            NodePhase::Restoring,
+            NodePhase::ColdDeploying,
+            NodePhase::Maintenance,
+        ] {
+            m.enter(phase, t(10));
+            assert_eq!(m.phase(), phase);
+            m.enter(NodePhase::Idle, t(20));
+        }
+        assert_eq!(m.transitions(), 8);
+        assert_eq!(m.entries(NodePhase::Idle), 4);
+        assert_eq!(m.entries(NodePhase::Restoring), 1);
+    }
+
+    #[test]
+    fn crash_is_reachable_from_any_live_phase() {
+        for phase in [
+            NodePhase::Idle,
+            NodePhase::Dispatching,
+            NodePhase::Restoring,
+            NodePhase::ColdDeploying,
+            NodePhase::Maintenance,
+        ] {
+            let mut m = NodeMachine::new();
+            if phase != NodePhase::Idle {
+                m.enter(phase, t(1));
+            }
+            m.enter(NodePhase::Crashed, t(2));
+            assert!(m.is_crashed());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal node transition")]
+    fn crashed_is_absorbing() {
+        let mut m = NodeMachine::new();
+        m.enter(NodePhase::Crashed, t(1));
+        m.enter(NodePhase::Idle, t(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal node transition")]
+    fn working_phases_do_not_chain() {
+        let mut m = NodeMachine::new();
+        m.enter(NodePhase::Dispatching, t(1));
+        m.enter(NodePhase::Restoring, t(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal node transition")]
+    fn idle_does_not_reenter_idle() {
+        let mut m = NodeMachine::new();
+        m.enter(NodePhase::Idle, t(1));
+    }
+
+    #[test]
+    fn cluster_accounting_sums_across_nodes() {
+        let mut c = ClusterMachines::new(3);
+        c.pulse(0, NodePhase::Restoring, t(5));
+        c.pulse(1, NodePhase::Restoring, t(6));
+        c.pulse(1, NodePhase::Dispatching, t(7));
+        c.enter(2, NodePhase::Crashed, t(8));
+        assert_eq!(c.phase_entries_total(NodePhase::Restoring), 2);
+        assert_eq!(c.phase_entries_total(NodePhase::Dispatching), 1);
+        assert_eq!(c.crashed_count(), 1);
+        assert!(c.node(2).is_crashed());
+        assert_eq!(c.transitions_total(), 7);
+    }
+
+    #[test]
+    fn phases_array_matches_index() {
+        for (i, phase) in PHASES.iter().enumerate() {
+            assert_eq!(phase.index(), i);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The `(time, seq)`-keyed event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use simclock::SimTime;
+
+/// An event scheduled at a virtual instant.
+///
+/// `seq` is the queue-assigned insertion sequence number. Together with
+/// `at` it forms the queue's **total** ordering key: events fire in
+/// `(at, seq)` order, so two events never tie and equal-time events fire
+/// in the order they were scheduled (FIFO among ties).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Virtual firing time.
+    pub at: SimTime,
+    /// Insertion sequence number — unique per queue, monotonically
+    /// increasing, never reused.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+/// Internal heap entry. Ordering deliberately ignores the payload: only
+/// `(at, seq)` participate, and `seq` uniqueness makes the order total,
+/// so `BinaryHeap`'s unstable internals can never leak into results.
+#[derive(Debug)]
+struct Entry<E>(Scheduled<E>);
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest
+        // `(at, seq)` on top.
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// A deterministic virtual-time priority queue of typed events.
+///
+/// # Example
+///
+/// ```
+/// use cxl_sim::EventQueue;
+/// use simclock::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// q.push(SimTime::from_nanos(10), "early-second");
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "early-second");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `at` and returns its sequence number.
+    ///
+    /// Sequence numbers increase with every push, so among events
+    /// scheduled for the same instant, the earlier push fires first.
+    pub fn push(&mut self, at: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(Scheduled { at, seq, event }));
+        seq
+    }
+
+    /// Removes and returns the earliest `(at, seq)` event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.heap.pop().map(|e| e.0);
+        if entry.is_some() {
+            self.popped += 1;
+        }
+        entry
+    }
+
+    /// Firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Events scheduled over the queue's lifetime (equals the largest
+    /// assigned sequence number plus one, or zero).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events dispatched (popped) over the queue's lifetime.
+    pub fn dispatched_total(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3u32);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(t(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_monotonic() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(5), ());
+        let b = q.push(t(1), ());
+        let c = q.push(t(5), ());
+        assert!(a < b && b < c);
+        assert_eq!(q.scheduled_total(), 3);
+        // Popping does not recycle sequence numbers.
+        let _ = q.pop();
+        let d = q.push(t(0), ());
+        assert_eq!(d, 3);
+        assert_eq!(q.dispatched_total(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_total_order() {
+        // Events pushed *during* dispatch (at or after the current pop
+        // time) must still come out in (time, seq) order.
+        let mut q = EventQueue::new();
+        q.push(t(10), "a");
+        q.push(t(30), "d");
+        let first = q.pop().unwrap();
+        assert_eq!(first.event, "a");
+        q.push(first.at + SimDuration::from_nanos(5), "b");
+        q.push(t(30), "e"); // same instant as "d", pushed later
+        q.push(t(20), "c");
+        let rest: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(rest, vec!["b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(42), ());
+        q.push(t(17), ());
+        assert_eq!(q.peek_time(), Some(t(17)));
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.at, t(17));
+        assert_eq!(q.peek_time(), Some(t(42)));
+    }
+}

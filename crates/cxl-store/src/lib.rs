@@ -1344,10 +1344,27 @@ impl Store {
     /// eviction frees the image's unshared data pages and destroys its
     /// metadata region.
     pub fn evict_to_low_watermark(&self, leases: &LeaseTable, now: SimTime) -> EvictionReport {
+        self.evict_to_low_watermark_except(leases, now, &BTreeSet::new())
+    }
+
+    /// [`Store::evict_to_low_watermark`] with an in-memory protection
+    /// set: images in `keep` are skipped even when unpinned and
+    /// unleased. The porter passes the images its live instances were
+    /// restored from — their lease holder may have crashed, but the
+    /// restored processes on surviving nodes still map the image's
+    /// device pages, so freeing them would leave dangling PTEs. The set
+    /// is deliberately not journaled: it is derived state, rebuilt by
+    /// any successor from its own instance table.
+    pub fn evict_to_low_watermark_except(
+        &self,
+        leases: &LeaseTable,
+        now: SimTime,
+        keep: &BTreeSet<u64>,
+    ) -> EvictionReport {
         if self.device.utilization() <= self.config.high_watermark {
             return EvictionReport::default();
         }
-        self.evict_while(leases, now, |device| {
+        self.evict_while(leases, now, keep, |device| {
             device.utilization() > self.config.low_watermark
         })
     }
@@ -1358,7 +1375,19 @@ impl Store {
     /// capacity-aware placement hook. Returns what was freed; check
     /// `device.free_pages()` afterwards to see whether the goal was met.
     pub fn evict_for(&self, pages: u64, leases: &LeaseTable, now: SimTime) -> EvictionReport {
-        self.evict_while(leases, now, |device| device.free_pages() < pages)
+        self.evict_for_except(pages, leases, now, &BTreeSet::new())
+    }
+
+    /// [`Store::evict_for`] with the same protection set as
+    /// [`Store::evict_to_low_watermark_except`].
+    pub fn evict_for_except(
+        &self,
+        pages: u64,
+        leases: &LeaseTable,
+        now: SimTime,
+        keep: &BTreeSet<u64>,
+    ) -> EvictionReport {
+        self.evict_while(leases, now, keep, |device| device.free_pages() < pages)
     }
 
     /// Releases every unpinned, unleased image whose epoch is strictly
@@ -1484,6 +1513,7 @@ impl Store {
         &self,
         leases: &LeaseTable,
         now: SimTime,
+        keep: &BTreeSet<u64>,
         keep_going: impl Fn(&CxlDevice) -> bool,
     ) -> EvictionReport {
         let mut report = EvictionReport::default();
@@ -1493,7 +1523,7 @@ impl Store {
                 inner
                     .catalog
                     .iter()
-                    .filter(|(_, m)| Self::evictable(m, leases, now))
+                    .filter(|(&id, m)| !keep.contains(&id) && Self::evictable(m, leases, now))
                     .min_by_key(|(&id, m)| (m.last_restore, id))
                     .map(|(&id, _)| ImageId(id))
             };

@@ -1,11 +1,63 @@
 //! The simulated CXL-interconnected cluster.
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use cxl_mem::CxlDevice;
 use node_os::fs::SharedFs;
 use node_os::{Node, NodeConfig};
 use simclock::LatencyModel;
+
+/// Incremental least-loaded index: an ordered set of `(scaled load,
+/// node index)` pairs mirroring each node's frame utilization.
+///
+/// The scheduler keeps the index fresh by calling [`Cluster::touch`]
+/// after every placement-relevant mutation; lookups then cost one
+/// ordered-set minimum instead of a full O(n) scan of every node's
+/// allocator. Entries that go stale anyway (tests and tools mutate
+/// nodes directly) are detected and corrected lazily at lookup time, so
+/// the index never changes *what* is returned — only how fast.
+#[derive(Debug, Default)]
+struct LoadIndex {
+    /// `(load, index)` — the minimum is the least-loaded node, ties
+    /// resolving to the lowest index, exactly the documented tie-break.
+    entries: BTreeSet<(u64, usize)>,
+    /// Last load written into `entries` per node.
+    cached: Vec<u64>,
+    /// Whether `entries` currently holds a pair for the node.
+    present: Vec<bool>,
+}
+
+impl LoadIndex {
+    /// Grows per-node bookkeeping to cover `n` nodes.
+    fn grow(&mut self, n: usize) {
+        while self.cached.len() < n {
+            self.cached.push(0);
+            self.present.push(false);
+        }
+    }
+
+    /// Replaces the node's entry with `load`.
+    fn update(&mut self, node: usize, load: u64) {
+        self.grow(node + 1);
+        if self.present[node] {
+            self.entries.remove(&(self.cached[node], node));
+        }
+        self.entries.insert((load, node));
+        self.cached[node] = load;
+        self.present[node] = true;
+    }
+
+    /// Drops the node's entry (failed nodes take no placements).
+    fn remove(&mut self, node: usize) {
+        self.grow(node + 1);
+        if self.present[node] {
+            self.entries.remove(&(self.cached[node], node));
+            self.present[node] = false;
+        }
+    }
+}
 
 /// A cluster of nodes sharing one CXL device and one root filesystem.
 ///
@@ -21,6 +73,9 @@ pub struct Cluster {
     pub rootfs: Arc<SharedFs>,
     /// Per-node failure flags: a failed node takes no new placements.
     failed: Vec<bool>,
+    /// Placement index (interior mutability: lookups lazily repair
+    /// stale entries without requiring `&mut self`).
+    index: RefCell<LoadIndex>,
 }
 
 impl Cluster {
@@ -60,6 +115,7 @@ impl Cluster {
             nodes,
             device,
             rootfs,
+            index: RefCell::new(LoadIndex::default()),
         }
     }
 
@@ -68,18 +124,63 @@ impl Cluster {
         Cluster::new(2, node_mem_mib, 16 * 1024, LatencyModel::calibrated())
     }
 
+    /// Utilization scaled to integers for exact comparison.
+    fn scaled_load(&self, idx: usize) -> u64 {
+        (self.nodes[idx].frames().utilization() * 1e9) as u64
+    }
+
     /// Index of the live node with the most free local memory, or `None`
     /// when every node has failed.
     ///
-    /// Ties break deterministically toward the **lowest node index**: a
-    /// candidate only displaces the incumbent when its load is *strictly*
-    /// lower, so an evenly loaded cluster always places on the first live
-    /// node and repeated runs schedule identically.
+    /// Ties break deterministically toward the **lowest node index**: the
+    /// index is ordered by `(load, node)`, so an evenly loaded cluster
+    /// always places on the first live node and repeated runs schedule
+    /// identically.
+    ///
+    /// Backed by the incremental [`LoadIndex`]: callers that mutate node
+    /// memory should [`touch`](Self::touch) the node to keep lookups
+    /// O(log n); entries left stale are repaired here before any
+    /// candidate is returned, so the answer always matches a full scan.
     pub fn least_loaded(&self) -> Option<usize> {
+        let mut ix = self.index.borrow_mut();
+        // Cover nodes the index has never seen (first call, or a cluster
+        // built before any touch).
+        ix.grow(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            if !ix.present[i] && !self.failed[i] {
+                let load = self.scaled_load(i);
+                ix.update(i, load);
+            }
+        }
+        loop {
+            let &(cached, i) = ix.entries.iter().next()?;
+            if self.is_failed(i) {
+                ix.remove(i);
+                continue;
+            }
+            let actual = self.scaled_load(i);
+            if actual == cached {
+                #[cfg(feature = "check")]
+                debug_assert_eq!(
+                    Some(i),
+                    self.scan_least_loaded(),
+                    "load index disagrees with full scan"
+                );
+                return Some(i);
+            }
+            // Stale entry (the node was mutated without a touch):
+            // correct it and re-evaluate the minimum.
+            ix.update(i, actual);
+        }
+    }
+
+    /// Reference O(n) scan of every live node, used to cross-check the
+    /// index in `check` builds.
+    #[cfg(feature = "check")]
+    fn scan_least_loaded(&self) -> Option<usize> {
         let mut best: Option<(usize, u64)> = None;
         for i in self.live_nodes() {
-            // Utilization scaled to integers for exact comparison.
-            let load = (self.nodes[i].frames().utilization() * 1e9) as u64;
+            let load = self.scaled_load(i);
             let improves = match best {
                 None => true,
                 Some((_, incumbent)) => load < incumbent,
@@ -91,9 +192,23 @@ impl Cluster {
         best.map(|(i, _)| i)
     }
 
+    /// Refreshes the placement index entry for `idx` after its memory
+    /// use changed. The scheduler calls this after every dispatch,
+    /// restore, deployment or reclamation that touched the node.
+    pub fn touch(&mut self, idx: usize) {
+        let ix = self.index.get_mut();
+        if self.failed.get(idx).copied().unwrap_or(true) {
+            ix.remove(idx);
+        } else {
+            let load = (self.nodes[idx].frames().utilization() * 1e9) as u64;
+            ix.update(idx, load);
+        }
+    }
+
     /// Marks a node as failed; it is skipped by placement from now on.
     pub fn mark_failed(&mut self, idx: usize) {
         self.failed[idx] = true;
+        self.index.get_mut().remove(idx);
     }
 
     /// Whether `idx` has been marked failed.
@@ -171,6 +286,32 @@ mod tests {
             }
         }
         assert_eq!(c.least_loaded(), Some(1), "strict improvement wins");
+    }
+
+    #[test]
+    fn load_index_tracks_touches_and_self_repairs() {
+        let mut c = Cluster::new(3, 64, 16, LatencyModel::calibrated());
+        assert_eq!(c.least_loaded(), Some(0));
+        // Scheduler-style mutation: allocate then touch.
+        for _ in 0..300 {
+            c.nodes[0].frames_mut().alloc_zeroed().unwrap();
+        }
+        c.touch(0);
+        assert_eq!(c.least_loaded(), Some(1));
+        // Untracked mutation (no touch): the lookup must still repair
+        // the stale entry and agree with a full scan.
+        for _ in 0..600 {
+            c.nodes[1].frames_mut().alloc_zeroed().unwrap();
+        }
+        assert_eq!(c.least_loaded(), Some(2));
+        // Freeing memory moves a node back to the front once touched.
+        let freed: Vec<_> = (0..300).map(|_| ()).collect();
+        drop(freed);
+        c.touch(1);
+        c.touch(2);
+        assert_eq!(c.least_loaded(), Some(2));
+        c.mark_failed(2);
+        assert_eq!(c.least_loaded(), Some(0));
     }
 
     #[test]

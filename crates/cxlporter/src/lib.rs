@@ -21,7 +21,7 @@ mod porter;
 pub mod store;
 
 pub use cluster::Cluster;
-pub use porter::{CxlPorter, PorterConfig, PorterReport};
+pub use porter::{CxlPorter, FairnessConfig, PorterConfig, PorterReport};
 pub use store::{ObjectStore, StoredCheckpoint};
 
 #[cfg(test)]
@@ -62,6 +62,7 @@ mod tests {
             trace.push(Invocation {
                 time: simclock::SimTime::from_nanos(i * 1_000_000_000),
                 function: function.to_owned(),
+                owner: 0,
             });
         }
         let burst_at = (checkpoint_after + 3) * 1_000_000_000;
@@ -69,6 +70,7 @@ mod tests {
             trace.push(Invocation {
                 time: simclock::SimTime::from_nanos(burst_at + i as u64),
                 function: function.to_owned(),
+                owner: 0,
             });
         }
         trace
@@ -202,6 +204,7 @@ mod tests {
             trace.push(Invocation {
                 time: last + SimDuration::from_secs(5) + SimDuration::from_nanos(i),
                 function: "Json".into(),
+                owner: 0,
             });
         }
         let report = porter.run_trace(&trace);
@@ -248,6 +251,7 @@ mod tests {
         let t = |s_ns: u64| Invocation {
             time: simclock::SimTime::from_nanos(s_ns),
             function: "Float".into(),
+            owner: 0,
         };
         let trace = vec![t(0), t(1_000_000_000), t(1_600_000_000), t(12_000_000_000)];
         let report = porter.run_trace(&trace);
@@ -277,6 +281,7 @@ mod tests {
             trace.push(Invocation {
                 time: offset + SimDuration::from_secs(i),
                 function: "Json".into(),
+                owner: 0,
             });
         }
         let report = porter.run_trace(&trace);
@@ -287,6 +292,129 @@ mod tests {
         );
         assert_eq!(porter.stored_checkpoints(), 1, "only the newest survives");
         assert!(device.utilization() <= 0.75, "device pressure relieved");
+    }
+
+    #[test]
+    fn out_of_order_trace_is_rejected_with_typed_error() {
+        let mut porter = porter_with(PorterConfig::cxlfork_dynamic(), 4096);
+        let t = |ns: u64| Invocation {
+            time: simclock::SimTime::from_nanos(ns),
+            function: "Float".into(),
+            owner: 0,
+        };
+        let trace = vec![t(5), t(3)];
+        let err = porter.try_run_trace(&trace).unwrap_err();
+        assert!(matches!(
+            err,
+            trace_gen::TraceError::OutOfOrder { index: 1, .. }
+        ));
+        // Nothing was dispatched.
+        assert_eq!(porter.live_instances(), 0);
+    }
+
+    #[test]
+    fn custom_catalog_resolves_micro_functions() {
+        let catalog =
+            faas::Catalog::from_specs((0..3).map(|i| faas::micro(&format!("m{i}"), 4, 64, 3)));
+        let cluster = Cluster::new(2, 256, 2048, LatencyModel::calibrated());
+        let mut porter = CxlPorter::new(cluster, CxlFork::new(), PorterConfig::cxlfork_dynamic())
+            .with_catalog(catalog);
+        let t = |ns: u64, f: &str| Invocation {
+            time: simclock::SimTime::from_nanos(ns),
+            function: f.into(),
+            owner: 0,
+        };
+        let trace = vec![
+            t(0, "m0"),
+            t(1_000_000_000, "M1"), // case-insensitive, like by_name
+            t(2_000_000_000, "m2"),
+            t(3_000_000_000, "Float"), // not in this catalog: ignored
+        ];
+        let report = porter.run_trace(&trace);
+        assert_eq!(report.full_cold, 3, "{report:?}");
+        assert_eq!(report.overall.len(), 3, "unknown function is skipped");
+    }
+
+    #[test]
+    fn fairness_quota_defers_and_drops_over_quota_arrivals() {
+        // One owner hammering one function with quota 1: simultaneous
+        // arrivals must serialize behind the single busy instance.
+        let mut porter = porter_with(
+            PorterConfig {
+                fairness: Some(FairnessConfig {
+                    max_inflight_per_owner: 1,
+                    max_deferrals: 32,
+                }),
+                ..PorterConfig::cxlfork_dynamic()
+            },
+            4096,
+        );
+        let t = |ns: u64| Invocation {
+            time: simclock::SimTime::from_nanos(ns),
+            function: "Float".into(),
+            owner: 7,
+        };
+        let trace = vec![t(0), t(1), t(2), t(3)];
+        let report = porter.run_trace(&trace);
+        assert!(report.fair_deferrals >= 3, "{report:?}");
+        assert_eq!(report.fair_drops, 0, "{report:?}");
+        assert_eq!(
+            report.warm_hits + report.restores + report.full_cold,
+            4,
+            "all four eventually served: {report:?}"
+        );
+        assert_eq!(report.per_owner_served.get(&7), Some(&4));
+        // With the budget cut to zero deferrals, over-quota arrivals drop.
+        let mut strict = porter_with(
+            PorterConfig {
+                fairness: Some(FairnessConfig {
+                    max_inflight_per_owner: 1,
+                    max_deferrals: 0,
+                }),
+                ..PorterConfig::cxlfork_dynamic()
+            },
+            4096,
+        );
+        let report = strict.run_trace(&[t(0), t(1), t(2), t(3)]);
+        assert_eq!(report.fair_drops, 3, "{report:?}");
+        assert_eq!(report.per_owner_served.get(&7), Some(&1));
+    }
+
+    #[test]
+    fn fairness_off_reports_no_fairness_activity() {
+        let mut porter = porter_with(PorterConfig::cxlfork_dynamic(), 4096);
+        let report = porter.run_trace(&small_trace(&["Float"], 20.0, 2.0, 9));
+        assert_eq!(report.fair_deferrals, 0);
+        assert_eq!(report.fair_drops, 0);
+    }
+
+    #[test]
+    fn state_machines_account_phases() {
+        let mut porter = porter_with(
+            PorterConfig {
+                checkpoint_after: 4,
+                ..PorterConfig::cxlfork_dynamic()
+            },
+            4096,
+        );
+        let trace = warm_then_burst("Json", 4, 8);
+        let report = porter.run_trace(&trace);
+        let machines = porter.machines();
+        use cxl_sim::NodePhase;
+        assert_eq!(
+            machines.phase_entries_total(NodePhase::ColdDeploying),
+            report.full_cold
+        );
+        assert_eq!(
+            machines.phase_entries_total(NodePhase::Restoring),
+            report.restores
+        );
+        assert_eq!(
+            machines.phase_entries_total(NodePhase::Dispatching),
+            report.warm_hits
+        );
+        assert_eq!(machines.crashed_count(), 0);
+        assert!(report.engine_events >= trace.len() as u64);
     }
 
     #[test]

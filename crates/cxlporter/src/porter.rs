@@ -22,15 +22,16 @@ use std::sync::Arc;
 
 use cxl_fault::{reclaim_dead, reclaim_orphans, CrashSchedule, LeaseTable, NodeCrash};
 use cxl_mem::NodeId;
+use cxl_sim::{ClusterMachines, EventQueue, NodePhase, Scheduled, Simulation};
 use cxl_store::ImageId;
 use node_os::addr::Pid;
 use node_os::OsError;
 use rfork::{RemoteFork, RestoreOptions, TierPolicy};
 use simclock::stats::LatencyHistogram;
 use simclock::{SimDuration, SimTime};
-use trace_gen::Invocation;
+use trace_gen::{Invocation, TraceError};
 
-use faas::{Container, FunctionSpec};
+use faas::{Catalog, Container, FunctionSpec};
 
 use crate::cluster::Cluster;
 use crate::store::ObjectStore;
@@ -79,6 +80,36 @@ pub struct PorterConfig {
     /// applied when the porter resolves an invocation's spec. 0 keeps the
     /// historical fully-private layout.
     pub template_overlap: f64,
+    /// Per-owner fairness quotas for multi-tenant traces. `None` (the
+    /// default) disables quota metering entirely and reproduces the
+    /// historical dispatch behaviour byte-for-byte.
+    pub fairness: Option<FairnessConfig>,
+}
+
+/// Per-owner dispatch quotas.
+///
+/// With fairness on, an arrival whose owner already has
+/// `max_inflight_per_owner` instances busy is *deferred*: re-enqueued
+/// at the earliest instant one of those instances frees up, up to
+/// `max_deferrals` times, after which it is dropped (`fair_drops`).
+/// This bounds how far a single bursty tenant can push everyone else's
+/// queue-wait tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairnessConfig {
+    /// Maximum concurrently busy instances per owner. A quota of 0
+    /// drops every arrival of every owner (useful only in tests).
+    pub max_inflight_per_owner: usize,
+    /// Deferral budget per arrival before it is dropped.
+    pub max_deferrals: u32,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        FairnessConfig {
+            max_inflight_per_owner: 8,
+            max_deferrals: 16,
+        }
+    }
 }
 
 impl Default for PorterConfig {
@@ -98,6 +129,7 @@ impl Default for PorterConfig {
             per_function_keep_alive: BTreeMap::new(),
             lease_ttl: SimDuration::from_secs(30),
             template_overlap: 0.0,
+            fairness: None,
         }
     }
 }
@@ -149,11 +181,18 @@ struct Instance {
     container: Container,
     pid: Pid,
     function: String,
+    /// Owning tenant of the invocation that created the instance.
+    owner: u32,
     busy_until: SimTime,
     last_used: SimTime,
     invocations: u64,
     /// `true` if this instance was cold-deployed (checkpoint candidate).
     cold_started: bool,
+    /// The store image the instance was restored from, if any. MoW/MoA
+    /// restores keep mapping the image's device pages for the life of
+    /// the process, so the porter shields these images from capacity
+    /// eviction even after their lease holder crashes.
+    image: Option<u64>,
 }
 
 /// Per-function latency tracking for SLO-driven tiering (§5: CXLporter
@@ -272,6 +311,16 @@ pub struct PorterReport {
     /// (batched read of the scanned log plus the compacted snapshot
     /// write).
     pub journal_replay_ns: u64,
+    /// Arrivals the per-owner fairness quota deferred (zero unless
+    /// [`PorterConfig::fairness`] is set).
+    pub fair_deferrals: u64,
+    /// Arrivals dropped after exhausting their deferral budget.
+    pub fair_drops: u64,
+    /// Requests served (dispatched without being dropped) per owner.
+    pub per_owner_served: BTreeMap<u32, u64>,
+    /// Events the discrete-event engine dispatched across `run_trace`
+    /// calls (arrivals + crashes + fairness deferrals).
+    pub engine_events: u64,
 }
 
 impl PorterReport {
@@ -324,6 +373,60 @@ pub struct CxlPorter<M: RemoteFork> {
     leases: LeaseTable,
     torn_epoch: u64,
     image_store: Option<Arc<cxl_store::Store>>,
+    catalog: Catalog,
+    machines: ClusterMachines,
+}
+
+/// Event alphabet of a porter trace run. Ordering within the engine's
+/// `(time, seq)` key reproduces the historical straight-line replay
+/// exactly: crashes are enqueued before arrivals (lower seq ⇒ a crash
+/// due at an arrival's instant fires first, like the old inclusive
+/// `due()` drain), and arrivals are enqueued in trace order (same-time
+/// arrivals keep their FIFO order).
+#[derive(Debug)]
+enum PorterEvent {
+    /// A scheduled node crash.
+    Crash(NodeCrash),
+    /// Arrival of `trace[idx]`.
+    Arrival(usize),
+    /// A fairness-deferred arrival of `trace[idx]`, re-dispatched at
+    /// the event's firing time.
+    Deferred {
+        /// Trace index of the deferred invocation.
+        idx: usize,
+        /// Deferrals so far, counted against the budget.
+        attempts: u32,
+    },
+}
+
+/// One trace run bound to the discrete-event engine.
+struct TraceSim<'a, M: RemoteFork> {
+    porter: &'a mut CxlPorter<M>,
+    trace: &'a [Invocation],
+}
+
+impl<M: RemoteFork> Simulation for TraceSim<'_, M> {
+    type Event = PorterEvent;
+
+    fn dispatch(&mut self, ev: Scheduled<PorterEvent>, queue: &mut EventQueue<PorterEvent>) {
+        match ev.event {
+            PorterEvent::Crash(crash) => self.porter.handle_crash(crash),
+            PorterEvent::Arrival(idx) => {
+                let inv = &self.trace[idx];
+                self.porter.maintenance_tick(inv.time);
+                self.porter.dispatch_arrival(inv, idx, 0, queue);
+            }
+            PorterEvent::Deferred { idx, attempts } => {
+                self.porter.maintenance_tick(ev.at);
+                let retry = Invocation {
+                    time: ev.at,
+                    function: self.trace[idx].function.clone(),
+                    owner: self.trace[idx].owner,
+                };
+                self.porter.dispatch_arrival(&retry, idx, attempts, queue);
+            }
+        }
+    }
 }
 
 impl<M: RemoteFork> CxlPorter<M> {
@@ -348,6 +451,7 @@ impl<M: RemoteFork> CxlPorter<M> {
         for idx in 0..cluster.nodes.len() {
             leases.renew(NodeId(idx as u32), SimTime::ZERO);
         }
+        let machines = ClusterMachines::new(cluster.nodes.len());
         CxlPorter {
             mech,
             config,
@@ -365,7 +469,30 @@ impl<M: RemoteFork> CxlPorter<M> {
             leases,
             torn_epoch: 0,
             image_store: None,
+            catalog: Catalog::table1(),
+            machines,
         }
+    }
+
+    /// Replaces the function catalog invocations resolve against. The
+    /// default is the Table 1 suite (matching the historical
+    /// `faas::by_name` lookup); cluster-scale scenarios install their
+    /// synthetic per-tenant namespaces here.
+    #[must_use]
+    pub fn with_catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// The function catalog invocations resolve against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Per-node state machines: phase entry and transition counts
+    /// accumulated over every trace run.
+    pub fn machines(&self) -> &ClusterMachines {
+        &self.machines
     }
 
     /// Attaches a content-addressed checkpoint image store. The
@@ -465,14 +592,67 @@ impl<M: RemoteFork> CxlPorter<M> {
     }
 
     /// Runs a trace to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is out of order (see
+    /// [`try_run_trace`](Self::try_run_trace) for the fallible form).
     pub fn run_trace(&mut self, trace: &[Invocation]) -> PorterReport {
-        for inv in trace {
-            let crashes = self.crash_schedule.due(inv.time);
-            for crash in crashes {
-                self.handle_crash(crash);
+        match self.try_run_trace(trace) {
+            Ok(report) => report,
+            Err(e) => panic!("invalid trace: {e}"),
+        }
+    }
+
+    /// Runs a trace to completion under the discrete-event engine.
+    ///
+    /// The trace is validated first: arrival times must be
+    /// non-decreasing. A queue-driven replay would otherwise silently
+    /// *reorder* an out-of-order trace (the heap dispatches by time),
+    /// diverging from what the caller generated — so the porter refuses
+    /// it instead.
+    ///
+    /// Scheduling: every crash due within the trace horizon and every
+    /// arrival becomes an event in one `(time, seq)`-ordered queue;
+    /// fairness deferrals (when [`PorterConfig::fairness`] is set)
+    /// re-enqueue dispatches mid-run. With fairness off, the event
+    /// order — and therefore the report — is bit-identical to the
+    /// historical straight-line replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OutOfOrder`] for a non-monotonic trace;
+    /// nothing is dispatched in that case.
+    pub fn try_run_trace(&mut self, trace: &[Invocation]) -> Result<PorterReport, TraceError> {
+        for (i, w) in trace.windows(2).enumerate() {
+            if w[1].time < w[0].time {
+                return Err(TraceError::OutOfOrder {
+                    index: i + 1,
+                    time: w[1].time,
+                    prev: w[0].time,
+                });
             }
-            self.maintenance_tick(inv.time);
-            self.handle(inv);
+        }
+        if let Some(last) = trace.last() {
+            let mut queue = EventQueue::new();
+            // Crashes first: lower seq than any same-instant arrival,
+            // matching the old loop's inclusive `due(inv.time)` drain.
+            // Crashes beyond the last arrival stay pending in the
+            // schedule, exactly as the straight-line replay left them.
+            for crash in self.crash_schedule.due(last.time) {
+                queue.push(crash.at, PorterEvent::Crash(crash));
+            }
+            for (idx, inv) in trace.iter().enumerate() {
+                queue.push(inv.time, PorterEvent::Arrival(idx));
+            }
+            let engine = {
+                let mut sim = TraceSim {
+                    porter: self,
+                    trace,
+                };
+                cxl_sim::run(&mut sim, &mut queue)
+            };
+            self.report.engine_events += engine.dispatched;
         }
         let mut report = std::mem::take(&mut self.report);
         // Backstop GC: a crash after the last maintenance tick may have
@@ -512,7 +692,68 @@ impl<M: RemoteFork> CxlPorter<M> {
                 "cluster invariants violated after trace: {violations:?}"
             );
         }
-        report
+        Ok(report)
+    }
+
+    /// Dispatches one (possibly deferred) arrival, metering the owner's
+    /// fairness quota first when one is configured.
+    fn dispatch_arrival(
+        &mut self,
+        inv: &Invocation,
+        idx: usize,
+        attempts: u32,
+        queue: &mut EventQueue<PorterEvent>,
+    ) {
+        if let Some(fairness) = self.config.fairness.clone() {
+            let (busy, next_free) = self.owner_busy(inv.owner, inv.time);
+            if busy >= fairness.max_inflight_per_owner {
+                match next_free {
+                    Some(at) if attempts < fairness.max_deferrals => {
+                        self.report.fair_deferrals += 1;
+                        queue.push(
+                            at,
+                            PorterEvent::Deferred {
+                                idx,
+                                attempts: attempts + 1,
+                            },
+                        );
+                    }
+                    _ => {
+                        // Budget exhausted — or a zero quota, which has
+                        // no busy instance to wait on.
+                        self.report.fair_drops += 1;
+                    }
+                }
+                return;
+            }
+        }
+        let dropped_before = self.report.dropped;
+        self.handle(inv);
+        if self.report.dropped == dropped_before {
+            *self.report.per_owner_served.entry(inv.owner).or_default() += 1;
+        }
+    }
+
+    /// Counts `owner`'s busy instances at `now` and the earliest
+    /// instant one of them frees up.
+    fn owner_busy(&self, owner: u32, now: SimTime) -> (usize, Option<SimTime>) {
+        let mut busy = 0;
+        let mut next_free: Option<SimTime> = None;
+        for inst in &self.instances {
+            if inst.owner == owner && inst.busy_until > now {
+                busy += 1;
+                next_free = Some(next_free.map_or(inst.busy_until, |t| t.min(inst.busy_until)));
+            }
+        }
+        (busy, next_free)
+    }
+
+    /// Store images some live instance was restored from: their device
+    /// pages are still mapped by running processes, so capacity
+    /// eviction must not free them (even when the image's lease holder
+    /// has crashed — the restores outlive the checkpointing node).
+    fn referenced_images(&self) -> std::collections::BTreeSet<u64> {
+        self.instances.iter().filter_map(|i| i.image).collect()
     }
 
     fn maintenance_tick(&mut self, now: SimTime) {
@@ -521,19 +762,23 @@ impl<M: RemoteFork> CxlPorter<M> {
             // Liveness: every surviving node renews its lease, then one
             // GC pass reclaims staging regions whose owner's lease has
             // lapsed (crashed nodes stop renewing).
-            for idx in self.cluster.live_nodes() {
+            let live: Vec<usize> = self.cluster.live_nodes().collect();
+            for &idx in &live {
                 self.leases.renew(NodeId(idx as u32), now);
+                self.machines.pulse(idx, NodePhase::Maintenance, now);
             }
             let r = reclaim_orphans(&self.cluster.device, &self.leases, now);
             self.report.orphan_regions_reclaimed += r.regions;
             self.report.orphan_pages_reclaimed += r.pages;
+            let referenced = self.referenced_images();
             if let Some(istore) = &self.image_store {
                 // Capacity-pressure GC: pending images whose writer's
                 // lease lapsed roll back first, then LRU watermark
-                // eviction (lease-protected images of live nodes
-                // survive; a crashed node's images are fair game).
+                // eviction (lease-protected images of live nodes and
+                // images still mapped by running restores survive; a
+                // crashed node's unreferenced images are fair game).
                 istore.reclaim_orphan_pending(&self.leases, now);
-                let evicted = istore.evict_to_low_watermark(&self.leases, now);
+                let evicted = istore.evict_to_low_watermark_except(&self.leases, now, &referenced);
                 self.report.image_evictions += evicted.images;
             }
             for (_, entry) in self.store.iter() {
@@ -574,13 +819,13 @@ impl<M: RemoteFork> CxlPorter<M> {
 
         // Tear down everything on the dead node. Containers are destroyed
         // outright (their host is gone), never recycled into a pool.
-        let mut in_flight: Vec<String> = Vec::new();
+        let mut in_flight: Vec<(String, u32)> = Vec::new();
         let mut idx = 0;
         while idx < self.instances.len() {
             if self.instances[idx].node == node {
                 let inst = self.instances.swap_remove(idx);
                 if inst.busy_until > crash.at {
-                    in_flight.push(inst.function.clone());
+                    in_flight.push((inst.function.clone(), inst.owner));
                 }
                 let mut container = inst.container;
                 let _ = container.recycle(&mut self.cluster.nodes[node]);
@@ -595,6 +840,7 @@ impl<M: RemoteFork> CxlPorter<M> {
         }
         self.cluster.nodes[node].drop_page_cache();
         self.cluster.mark_failed(node);
+        self.machines.enter(node, NodePhase::Crashed, crash.at);
         self.leases.revoke(NodeId(node as u32));
         self.report.crashes_survived += 1;
 
@@ -604,10 +850,11 @@ impl<M: RemoteFork> CxlPorter<M> {
         let redispatched_before = self.report.redispatched;
         let lost_before = self.report.work_lost;
         in_flight.sort();
-        for function in in_flight {
+        for (function, owner) in in_flight {
             let retry = Invocation {
                 time: crash.at,
                 function,
+                owner,
             };
             let dropped_before = self.report.dropped;
             self.handle(&retry);
@@ -632,7 +879,7 @@ impl<M: RemoteFork> CxlPorter<M> {
     }
 
     fn handle(&mut self, inv: &Invocation) {
-        let Some(spec) = faas::by_name(&inv.function) else {
+        let Some(spec) = self.catalog.get(&inv.function).cloned() else {
             return;
         };
         let spec = spec.with_template_overlap(self.config.template_overlap);
@@ -647,6 +894,7 @@ impl<M: RemoteFork> CxlPorter<M> {
             };
             self.note_queue_wait(node, now);
             self.cluster.nodes[node].clock_mut().advance_to(now);
+            self.machines.pulse(node, NodePhase::Dispatching, now);
             match self.invoke_with_reclaim(node, pid, &spec, inv_idx, now) {
                 Some(result) => {
                     self.report.warm_hits += 1;
@@ -658,11 +906,12 @@ impl<M: RemoteFork> CxlPorter<M> {
                     self.report.dropped += 1;
                 }
             }
+            self.cluster.touch(node);
             return;
         }
 
         // Cold path.
-        match self.cold_start(&spec, now) {
+        match self.cold_start(&spec, now, inv.owner) {
             Some((id, startup)) => {
                 let (node, pid) = {
                     let i = self.instance(id).expect("just created");
@@ -677,6 +926,7 @@ impl<M: RemoteFork> CxlPorter<M> {
                         self.report.dropped += 1;
                     }
                 }
+                self.cluster.touch(node);
             }
             None => {
                 self.report.dropped += 1;
@@ -837,7 +1087,12 @@ impl<M: RemoteFork> CxlPorter<M> {
 
     /// Cold start: restore from checkpoint if one exists, else full cold
     /// deployment. Returns the instance index and the startup latency.
-    fn cold_start(&mut self, spec: &FunctionSpec, now: SimTime) -> Option<(u64, SimDuration)> {
+    fn cold_start(
+        &mut self,
+        spec: &FunctionSpec,
+        now: SimTime,
+        owner: u32,
+    ) -> Option<(u64, SimDuration)> {
         let node = self.cluster.least_loaded()?;
         self.note_queue_wait(node, now);
         self.cluster.nodes[node].clock_mut().advance_to(now);
@@ -901,16 +1156,23 @@ impl<M: RemoteFork> CxlPorter<M> {
                     container.attach_process(&spec.name, r.pid);
                     let id = self.next_instance_id;
                     self.next_instance_id += 1;
+                    self.machines.pulse(node, NodePhase::Restoring, now);
+                    let image = self
+                        .store
+                        .get(&spec.name)
+                        .and_then(|entry| self.mech.image_id(&entry.checkpoint));
                     self.instances.push(Instance {
                         id,
                         node,
                         container,
                         pid: r.pid,
                         function: spec.name.clone(),
+                        owner,
                         busy_until: now,
                         last_used: now,
                         invocations: 0,
                         cold_started: false,
+                        image,
                     });
                     self.report.restores += 1;
                     if cxl_telemetry::is_armed() {
@@ -952,16 +1214,19 @@ impl<M: RemoteFork> CxlPorter<M> {
                     container.attach_process(&spec.name, pid);
                     let id = self.next_instance_id;
                     self.next_instance_id += 1;
+                    self.machines.pulse(node, NodePhase::ColdDeploying, now);
                     self.instances.push(Instance {
                         id,
                         node,
                         container,
                         pid,
                         function: spec.name.clone(),
+                        owner,
                         busy_until: now,
                         last_used: now,
                         invocations: 0,
                         cold_started: true,
+                        image: None,
                     });
                     self.report.full_cold += 1;
                     if cxl_telemetry::is_armed() {
@@ -1022,8 +1287,9 @@ impl<M: RemoteFork> CxlPorter<M> {
     /// they serve no restorable checkpoint — before live checkpoints
     /// are sacrificed.
     fn reclaim_cxl_for(&mut self, pages: u64, keep: &str, now: SimTime) {
-        if let Some(istore) = &self.image_store {
-            let evicted = istore.evict_for(pages, &self.leases, now);
+        if let Some(istore) = self.image_store.clone() {
+            let referenced = self.referenced_images();
+            let evicted = istore.evict_for_except(pages, &self.leases, now, &referenced);
             self.report.image_evictions += evicted.images;
         }
         while self.cluster.device.free_pages() < pages {
@@ -1166,6 +1432,7 @@ impl<M: RemoteFork> CxlPorter<M> {
         let node = inst.node;
         let _ = inst.container.recycle(&mut self.cluster.nodes[node]);
         self.return_container(node, inst.container);
+        self.cluster.touch(node);
     }
 
     /// Live instance count (for tests and reports).

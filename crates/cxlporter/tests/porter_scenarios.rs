@@ -12,6 +12,7 @@ fn at(ns: u64, function: &str) -> Invocation {
     Invocation {
         time: SimTime::from_nanos(ns),
         function: function.to_owned(),
+        owner: 0,
     }
 }
 

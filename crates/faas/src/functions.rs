@@ -17,6 +17,8 @@
 //! * initialization compute time (Fig. 6 measures 250–500 ms) and
 //!   per-invocation compute time.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 /// Pages per MiB (4 KiB pages).
@@ -206,6 +208,115 @@ pub fn by_name(name: &str) -> Option<FunctionSpec> {
         .find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
+/// Builds a synthetic micro-function: a small, fast spec for
+/// cluster-scale experiments where the Table 1 suite's hundred-MiB
+/// footprints would dominate runtime. Composition follows the Fig. 1
+/// averages; the working set and write set scale with the footprint.
+///
+/// # Panics
+///
+/// Panics if the derived spec violates [`FunctionSpec::validate`]
+/// (e.g. `ws_pages` larger than the readable share of `footprint_mib`).
+pub fn micro(name: &str, footprint_mib: u64, ws_pages: u64, compute_ms: u64) -> FunctionSpec {
+    let spec = FunctionSpec {
+        name: name.to_owned(),
+        footprint_mib,
+        init_fraction: 0.70,
+        readonly_fraction: 0.24,
+        readwrite_fraction: 0.06,
+        file_fraction: 0.30,
+        ws_pages,
+        ws_passes: 1,
+        rw_pages_per_invocation: (footprint_mib * PAGES_PER_MIB / 32).max(1),
+        compute_ms,
+        init_compute_ms: 40,
+        template_overlap: 0.0,
+    };
+    spec.validate();
+    spec
+}
+
+/// A registry of function specs, keyed by case-insensitive name.
+///
+/// The porter historically resolved every invocation against the fixed
+/// Table 1 [`suite`]; a catalog makes the namespace explicit so
+/// cluster-scale scenarios can register hundreds of synthetic
+/// per-tenant functions while the default stays byte-identical to the
+/// old [`by_name`] behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    by_lower: BTreeMap<String, FunctionSpec>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// The paper's Table 1 suite — the porter's default namespace.
+    pub fn table1() -> Self {
+        let mut c = Catalog::new();
+        for spec in suite() {
+            c.insert(spec);
+        }
+        c
+    }
+
+    /// A catalog over the given specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on names that collide case-insensitively.
+    pub fn from_specs(specs: impl IntoIterator<Item = FunctionSpec>) -> Self {
+        let mut c = Catalog::new();
+        for spec in specs {
+            c.insert(spec);
+        }
+        c
+    }
+
+    /// Registers a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a different function already claims the name
+    /// (case-insensitive).
+    pub fn insert(&mut self, spec: FunctionSpec) {
+        spec.validate();
+        let key = spec.name.to_ascii_lowercase();
+        if let Some(existing) = self.by_lower.get(&key) {
+            assert_eq!(
+                existing, &spec,
+                "catalog name collision: {:?} registered twice with different specs",
+                spec.name
+            );
+            return;
+        }
+        self.by_lower.insert(key, spec);
+    }
+
+    /// Looks up a function by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<&FunctionSpec> {
+        self.by_lower.get(&name.to_ascii_lowercase())
+    }
+
+    /// Registered function names, in case-normalised order.
+    pub fn names(&self) -> Vec<String> {
+        self.by_lower.values().map(|s| s.name.clone()).collect()
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.by_lower.len()
+    }
+
+    /// `true` when no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_lower.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +402,45 @@ mod tests {
         assert!(by_name("bert").is_some());
         assert!(by_name("BERT").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn catalog_matches_by_name_semantics() {
+        let c = Catalog::table1();
+        assert_eq!(c.len(), 10);
+        for name in ["bert", "BERT", "Float"] {
+            assert_eq!(c.get(name), by_name(name).as_ref(), "{name}");
+        }
+        assert!(c.get("nope").is_none());
+    }
+
+    #[test]
+    fn catalog_accepts_micro_functions() {
+        let mut c = Catalog::new();
+        for i in 0..4 {
+            c.insert(micro(&format!("t000-f{i}"), 4, 96, 5));
+        }
+        assert_eq!(c.len(), 4);
+        assert!(c.get("T000-F2").is_some());
+        // Idempotent re-registration of an identical spec is fine.
+        c.insert(micro("t000-f0", 4, 96, 5));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "name collision")]
+    fn catalog_rejects_conflicting_redefinition() {
+        let mut c = Catalog::new();
+        c.insert(micro("dup", 4, 96, 5));
+        c.insert(micro("DUP", 8, 96, 5));
+    }
+
+    #[test]
+    fn micro_specs_validate_across_sizes() {
+        for mib in [2, 4, 6, 8] {
+            let s = micro("m", mib, 48, 3);
+            s.validate();
+            assert!(s.footprint_pages() >= 512);
+        }
     }
 }

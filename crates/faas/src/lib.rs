@@ -28,6 +28,6 @@ pub mod profile;
 
 pub use container::{Container, BARE_CONTAINER_PAGES};
 pub use engine::{deploy_cold, run_invocation, warm_for_checkpoint, InitReport, InvocationResult};
-pub use functions::{by_name, suite, FunctionSpec};
+pub use functions::{by_name, micro, suite, Catalog, FunctionSpec};
 pub use layout::FunctionLayout;
 pub use profile::{profile_footprint, FootprintBreakdown};

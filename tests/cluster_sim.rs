@@ -1,0 +1,104 @@
+//! Cluster-scale determinism on the discrete-event engine.
+//!
+//! The engine orders every event by `(time, seq)` with sequence numbers
+//! assigned at push, so two runs of the same seeded trace over the same
+//! cluster must produce bit-identical [`cxlporter::PorterReport`]s —
+//! fairness deferrals, crash re-dispatches, and store evictions
+//! included. Plain `cargo test` exercises a smoke-scale trace
+//! (`CLUSTER_SMOKE_NODES` nodes, default 8); setting
+//! `CLUSTER_FULL_SCALE=1` additionally replays the full 64-node,
+//! ≥100k-invocation diurnal trace the `BENCH_cluster.json` report is
+//! built from (CI runs that in release mode).
+
+use cxlfork_bench::{run_cluster, run_cluster_with, ClusterOutcome};
+use simclock::LatencyModel;
+use trace_gen::DiurnalConfig;
+
+fn smoke_nodes() -> usize {
+    std::env::var("CLUSTER_SMOKE_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// A few thousand invocations over a handful of tenants: cheap enough
+/// for debug-mode `cargo test`, busy enough to exercise deferrals,
+/// crashes, and checkpointing.
+fn smoke_config(seed: u64) -> DiurnalConfig {
+    DiurnalConfig {
+        duration_secs: 60.0,
+        total_rps: 40.0,
+        tenants: 8,
+        functions_per_tenant: 2,
+        ..DiurnalConfig::cluster_default(seed)
+    }
+}
+
+fn smoke_run(seed: u64) -> ClusterOutcome {
+    run_cluster_with(
+        &smoke_config(seed),
+        smoke_nodes(),
+        &LatencyModel::calibrated(),
+    )
+}
+
+#[test]
+fn same_seed_is_bit_identical_at_smoke_scale() {
+    let a = smoke_run(33);
+    let b = smoke_run(33);
+    assert_eq!(
+        a.report, b.report,
+        "same seed, same cluster: the two reports must match bit for bit"
+    );
+    assert_eq!(a.trace_len, b.trace_len);
+    assert!(a.trace_len > 1_000, "smoke trace is non-trivial");
+    assert!(
+        a.accounting_balances(),
+        "requests leaked or double-executed: {:?}",
+        a.report
+    );
+    assert!(a.report.engine_events >= a.trace_len);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = smoke_run(33);
+    let b = smoke_run(34);
+    assert_ne!(
+        a.report, b.report,
+        "different seeds must produce different runs"
+    );
+}
+
+#[test]
+fn full_scale_64_nodes_is_bit_identical() {
+    if std::env::var("CLUSTER_FULL_SCALE").map(|v| v == "1") != Ok(true) {
+        eprintln!("skipping full-scale run; set CLUSTER_FULL_SCALE=1 to enable");
+        return;
+    }
+    let model = LatencyModel::calibrated();
+    let a = run_cluster(cxlfork_bench::CLUSTER_SEED, 64, &model);
+    let b = run_cluster(cxlfork_bench::CLUSTER_SEED, 64, &model);
+    assert!(
+        a.trace_len >= 100_000,
+        "full-scale trace must carry at least 100k invocations, got {}",
+        a.trace_len
+    );
+    assert_eq!(
+        a.report, b.report,
+        "64-node runs of the same seed must match bit for bit"
+    );
+    assert!(a.accounting_balances(), "requests leaked: {:?}", a.report);
+    assert!(
+        a.report.fair_deferrals > 0,
+        "the bursty tenants must hit their quota at full scale"
+    );
+    assert!(
+        a.report.crashes_survived > 0,
+        "the seeded crash schedule must fire"
+    );
+    assert!(
+        a.report.image_evictions > 0,
+        "the pressured store must evict at full scale"
+    );
+}

@@ -96,12 +96,14 @@ fn burst_tail_latency_orders_cxlfork_under_criu() {
         t.push(Invocation {
             time: SimTime::from_nanos(i * 1_000_000_000),
             function: "Linpack".into(),
+            owner: 0,
         });
     }
     for i in 0..12u64 {
         t.push(Invocation {
             time: SimTime::from_nanos(9 * 1_000_000_000 + i),
             function: "Linpack".into(),
+            owner: 0,
         });
     }
 

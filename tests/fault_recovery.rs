@@ -99,6 +99,7 @@ fn failover_trace() -> Vec<Invocation> {
         trace.push(Invocation {
             time: t,
             function: functions[(tick % 3) as usize].into(),
+            owner: 0,
         });
     }
     // Bursts at t = 3 s and t = 6 s: twelve simultaneous arrivals force
@@ -110,6 +111,7 @@ fn failover_trace() -> Vec<Invocation> {
             trace.push(Invocation {
                 time: t,
                 function: functions[(i % 3) as usize].into(),
+                owner: 0,
             });
         }
     }
