@@ -75,6 +75,16 @@ echo '== cluster-engine smoke (bounded, both feature states) =='
 CLUSTER_SMOKE_NODES=8 cargo test --quiet -p cxlfork-bench --test cluster_sim
 CLUSTER_SMOKE_NODES=8 cargo test --quiet -p cxlfork-bench --features check --test cluster_sim
 
+echo '== pipeline model property tests (both feature states) =='
+# The overlapped per-shard transfer model (DESIGN.md §15): p = 1 is
+# bit-identical to the serial cost, cost is monotone non-increasing in
+# p, and the critical path never beats the streaming-bandwidth floor
+# that keeps the paper's mechanism ordering intact. Already covered by
+# the workspace suites above; this pass pins the invariants by name so
+# a filtered-out rename fails loudly.
+cargo test --quiet -p simclock pipeline_
+cargo test --quiet -p simclock --features check pipeline_
+
 echo '== release build =='
 cargo build --workspace --release --quiet
 

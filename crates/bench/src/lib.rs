@@ -30,11 +30,11 @@ pub mod report;
 pub mod scenarios;
 
 pub use report::{
-    availability_report, cluster_report, cold_start_report, tiering_report, ScenarioTelemetry,
-    CLUSTER_NODES, CLUSTER_SEED, CORE_PHASES,
+    availability_report, cluster_report, cold_start_report, pipeline_report, tiering_report,
+    ScenarioTelemetry, CLUSTER_NODES, CLUSTER_SEED, CORE_PHASES,
 };
 pub use scenarios::{
-    cluster_catalog, run_availability, run_cluster, run_cluster_with, run_cold_start, run_tiering,
-    AvailabilityOutcome, ClusterOutcome, ColdStartRow, Scenario, TieringRow,
-    DEFAULT_STEADY_INVOCATIONS,
+    cluster_catalog, run_availability, run_cluster, run_cluster_with, run_cold_start, run_pipeline,
+    run_tiering, AvailabilityOutcome, ClusterOutcome, ColdStartRow, PipelineRow, Scenario,
+    TieringRow, DEFAULT_STEADY_INVOCATIONS, PIPELINE_PARALLELISM,
 };

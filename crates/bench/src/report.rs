@@ -16,8 +16,8 @@ use simclock::stats::LatencyHistogram;
 use simclock::LatencyModel;
 
 use crate::scenarios::{
-    run_availability, run_capacity, run_cluster, run_cold_start, run_tiering, Scenario,
-    DEFAULT_STEADY_INVOCATIONS,
+    run_availability, run_capacity, run_cluster, run_cold_start, run_pipeline, run_tiering,
+    Scenario, DEFAULT_STEADY_INVOCATIONS, PIPELINE_PARALLELISM,
 };
 
 /// Functions the cold-start and tiering reports sweep: the same mix the
@@ -76,6 +76,15 @@ fn fill_common(report: &mut BenchReport, data: &TelemetryData) {
             .registry
             .counter("core", &format!("phase.{phase}"), None);
         report.phase(phase, ns);
+    }
+    // Durable stores charge a post-publish journal commit; scenarios
+    // without one never create the counter, and their phase lists (and
+    // committed reports) stay exactly as before.
+    let commit_ns = data
+        .registry
+        .counter("core", "phase.checkpoint.commit_journal", None);
+    if commit_ns > 0 {
+        report.phase("checkpoint.commit_journal", commit_ns);
     }
     report.counters = data
         .registry
@@ -357,7 +366,106 @@ pub fn cluster_report(model: &LatencyModel) -> ScenarioTelemetry {
     ScenarioTelemetry { report, data }
 }
 
-/// All five scenario reports in `(name, builder)` form, for the binary
+/// Runs the pipeline ablation — the unit cold-start experiment over
+/// [`REPORT_FUNCTIONS`] at every [`PIPELINE_PARALLELISM`] setting, with
+/// serial CRIU-CXL and Mitosis-CXL checkpoints riding along as fixed
+/// references. Each parallelism level runs under its own telemetry
+/// session so the `checkpoint.copy_pages` phase can be reported per
+/// level; the serial (`p = 1`) session anchors `virtual_ns` and the
+/// common phase breakdown, which therefore match the serial model
+/// exactly.
+///
+/// # Panics
+///
+/// If the copy phase is not monotonically non-increasing in `p`, has
+/// not strictly shrunk by `p = 8` (the device's bank count), or if
+/// either baseline's checkpoint cost moves with `p` — any of those
+/// would mean the ablation stopped measuring what it claims to.
+pub fn pipeline_report(model: &LatencyModel) -> ScenarioTelemetry {
+    let mut anchor: Option<TelemetryData> = None;
+    let mut e2e = LatencyHistogram::new();
+    // Per level: (p, copy-phase ns, checkpoint ns, e2e distribution).
+    let mut levels: Vec<(u32, u64, u64, LatencyHistogram)> = Vec::new();
+    let mut criu_ns: Option<u64> = None;
+    let mut mitosis_ns: Option<u64> = None;
+    for p in PIPELINE_PARALLELISM {
+        let session = TelemetrySession::start();
+        let mut level_e2e = LatencyHistogram::new();
+        let mut checkpoint_ns = 0u64;
+        let mut level_criu = 0u64;
+        let mut level_mitosis = 0u64;
+        for spec in report_suite() {
+            let row = run_pipeline(&spec, p, model, DEFAULT_STEADY_INVOCATIONS);
+            e2e.record(row.total);
+            level_e2e.record(row.total);
+            checkpoint_ns += row.checkpoint_cost.as_nanos();
+            level_criu += row.criu_checkpoint.as_nanos();
+            level_mitosis += row.mitosis_checkpoint.as_nanos();
+        }
+        let data = session.finish();
+        let copy_ns = data
+            .registry
+            .counter("core", "phase.checkpoint.copy_pages", None);
+        assert_eq!(
+            *criu_ns.get_or_insert(level_criu),
+            level_criu,
+            "CRIU-CXL baseline moved at p = {p}: the knob must not leak into it"
+        );
+        assert_eq!(
+            *mitosis_ns.get_or_insert(level_mitosis),
+            level_mitosis,
+            "Mitosis-CXL baseline moved at p = {p}: the knob must not leak into it"
+        );
+        if let Some((_, prev_copy, _, _)) = levels.last() {
+            assert!(
+                copy_ns <= *prev_copy,
+                "copy phase regressed at p = {p}: {copy_ns} > {prev_copy}"
+            );
+        }
+        levels.push((p, copy_ns, checkpoint_ns, level_e2e));
+        if p == 1 {
+            anchor = Some(data);
+        }
+    }
+    let serial_copy = levels[0].1;
+    let p8_copy = levels
+        .iter()
+        .find(|(p, ..)| *p == 8)
+        .expect("sweep includes p = 8")
+        .1;
+    assert!(
+        p8_copy < serial_copy,
+        "eight streams must beat the serial copy: {p8_copy} vs {serial_copy}"
+    );
+
+    let data = anchor.expect("sweep includes the serial level");
+    let mut report = BenchReport::new("pipeline");
+    report.virtual_ns = virtual_ns(&data);
+    fill_common(&mut report, &data);
+    for (p, copy_ns, checkpoint_ns, _) in &levels {
+        report
+            .counters
+            .push((format!("pipeline.p{p}.copy_pages_ns"), *copy_ns));
+        report
+            .counters
+            .push((format!("pipeline.p{p}.checkpoint_ns"), *checkpoint_ns));
+    }
+    report.counters.push((
+        "pipeline.criu_checkpoint_ns".into(),
+        criu_ns.expect("baseline ran"),
+    ));
+    report.counters.push((
+        "pipeline.mitosis_checkpoint_ns".into(),
+        mitosis_ns.expect("baseline ran"),
+    ));
+    report.latency(LatencySummary::from_histogram("e2e", &e2e));
+    for (p, _, _, h) in &levels {
+        report.latency(LatencySummary::from_histogram(&format!("e2e.p{p}"), h));
+    }
+    ScenarioTelemetry { report, data }
+}
+
+/// All six scenario reports in `(name, builder)` form, for the binary
 /// and CI to iterate.
 pub fn all_reports(model: &LatencyModel) -> Vec<ScenarioTelemetry> {
     vec![
@@ -366,5 +474,6 @@ pub fn all_reports(model: &LatencyModel) -> Vec<ScenarioTelemetry> {
         availability_report(model),
         capacity_report(model),
         cluster_report(model),
+        pipeline_report(model),
     ]
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use criu_cxl::CriuCxl;
 use cxl_mem::{CxlDevice, CxlFs, NodeId};
-use cxlfork::CxlFork;
+use cxlfork::{CxlFork, CxlForkConfig};
 use faas::FunctionSpec;
 use mitosis_cxl::MitosisCxl;
 use node_os::fs::SharedFs;
@@ -242,6 +242,94 @@ fn finish_rfork<M: RemoteFork>(
         fault_count: r.faults,
         checkpoint_cost: meta.checkpoint_cost,
         checkpoint_cxl_pages: meta.cxl_pages,
+    }
+}
+
+/// Stream counts the pipeline ablation sweeps (`BENCH_pipeline.json`).
+/// `1` is the serial model; the device defaults to eight banks, so the
+/// curve is expected to flatten at `p = 8`.
+pub const PIPELINE_PARALLELISM: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// One row of the pipeline ablation: the unit cold-start experiment with
+/// CXLfork's transfer parallelism set to `parallelism`, next to serial
+/// CRIU-CXL and Mitosis-CXL checkpoints of the *same* warmed function so
+/// the speedup stays attributable to the pipeline and not to a baseline
+/// drift.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Shard-stream parallelism the CXLfork run used.
+    pub parallelism: u32,
+    /// Function name.
+    pub function: String,
+    /// CXLfork checkpoint cost at this parallelism.
+    pub checkpoint_cost: SimDuration,
+    /// CXLfork restore latency (pipelined prefetch path).
+    pub restore: SimDuration,
+    /// End-to-end checkpoint + cold start (checkpoint + restore + first
+    /// invocation) — the full path the pipeline overlaps, so this is the
+    /// quantity expected to shrink with `parallelism`.
+    pub total: SimDuration,
+    /// CRIU-CXL checkpoint cost — always serial, must not move with `p`.
+    pub criu_checkpoint: SimDuration,
+    /// Mitosis-CXL checkpoint cost — always serial, must not move with `p`.
+    pub mitosis_checkpoint: SimDuration,
+}
+
+/// Runs the unit experiment with `parallelism` shard streams: warm a
+/// parent, checkpoint it through [`CxlFork`] with the pipeline knob set,
+/// remote-fork it to the second node (MoW + dirty prefetch, the default
+/// scenario), and invoke once. CRIU-CXL and Mitosis-CXL checkpoint the
+/// identically warmed function on fresh clusters and stay serial —
+/// they model page-granular copies with no shard-stream concept.
+pub fn run_pipeline(
+    spec: &FunctionSpec,
+    parallelism: u32,
+    model: &LatencyModel,
+    steady: u64,
+) -> PipelineRow {
+    let (mut nodes, device, _rootfs) = two_node_cluster(model);
+    let mut node1 = nodes.pop().expect("two nodes");
+    let mut node0 = nodes.pop().expect("two nodes");
+    let parent = warm_parent(&mut node0, spec, steady);
+    let fork = CxlFork::with_config(CxlForkConfig::with_parallelism(parallelism));
+    let ckpt = fork
+        .checkpoint(&mut node0, parent)
+        .expect("checkpoint fits CXL");
+    let restored = fork
+        .restore_with(&ckpt, &mut node1, RestoreOptions::mow())
+        .expect("restore fits");
+    let r = faas::run_invocation(&mut node1, restored.pid, spec, 0).expect("invocation");
+    audit_scenario(&[&node0, &node1], &device);
+
+    let (criu_nodes, criu_device, _criu_rootfs) = two_node_cluster(model);
+    let mut criu_node = criu_nodes.into_iter().next().expect("two nodes");
+    let criu_parent = warm_parent(&mut criu_node, spec, steady);
+    let criu = CriuCxl::new(Arc::new(CxlFs::new(Arc::clone(&criu_device))));
+    let criu_ckpt = criu
+        .checkpoint(&mut criu_node, criu_parent)
+        .expect("checkpoint fits CXL");
+    let criu_cost = criu.meta(&criu_ckpt).checkpoint_cost;
+    audit_scenario(&[&criu_node], &criu_device);
+
+    let (mitosis_nodes, mitosis_device, _mitosis_rootfs) = two_node_cluster(model);
+    let mut mitosis_node = mitosis_nodes.into_iter().next().expect("two nodes");
+    let mitosis_parent = warm_parent(&mut mitosis_node, spec, steady);
+    let mitosis = MitosisCxl::new();
+    let mitosis_ckpt = mitosis
+        .checkpoint(&mut mitosis_node, mitosis_parent)
+        .expect("checkpoint");
+    let mitosis_cost = mitosis.meta(&mitosis_ckpt).checkpoint_cost;
+    audit_scenario(&[&mitosis_node], &mitosis_device);
+
+    let checkpoint_cost = fork.meta(&ckpt).checkpoint_cost;
+    PipelineRow {
+        parallelism,
+        function: spec.name.clone(),
+        checkpoint_cost,
+        restore: restored.restore_latency,
+        total: checkpoint_cost + restored.restore_latency + r.total,
+        criu_checkpoint: criu_cost,
+        mitosis_checkpoint: mitosis_cost,
     }
 }
 

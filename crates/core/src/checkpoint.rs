@@ -200,9 +200,11 @@ pub(crate) fn take_checkpoint(
     pid: Pid,
     checkpoint_seq: u64,
     store: Option<&cxl_store::Store>,
+    config: &crate::CxlForkConfig,
 ) -> Result<CxlForkCheckpoint, RforkError> {
     let node_id = node.id();
     let model = node.model().clone();
+    let parallelism = config.parallelism;
 
     // ---- Gather source state (read-only walk). ----
     struct SourceLeaf {
@@ -373,8 +375,12 @@ pub(crate) fn take_checkpoint(
         )?;
         (outcome.pages.clone(), Some(outcome))
     } else {
+        // With stream parallelism, stripe the data pages across shard
+        // banks so the pipelined transfer has real per-bank work; at
+        // the default parallelism this IS `alloc_batch`, page ids
+        // included.
         let dsts = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
-            device.alloc_batch(region, entries.len() as u64)
+            device.alloc_batch_striped(region, entries.len() as u64, parallelism)
         })?;
         let pairs: Vec<(CxlPageId, cxl_mem::PageData)> = dsts.iter().copied().zip(datas).collect();
         if !pairs.is_empty() {
@@ -460,7 +466,6 @@ pub(crate) fn take_checkpoint(
     let task_backing = dev_retry("checkpoint_alloc", &mut retries, &mut retry_backoff, || {
         device.alloc_batch(region, 1)
     })?;
-    let _ = task_backing;
 
     // Global state: light serialization of fd paths + permissions.
     let global_bytes = encode_global_state(&fds)?;
@@ -478,7 +483,30 @@ pub(crate) fn take_checkpoint(
     let copied_pages =
         data_transfer + journal_transfer + leaves.len() as u64 + vma_blocks.len() as u64 + 1;
     let copied_bytes = copied_pages * PAGE_SIZE;
-    let copy_cost = model.cxl_batch_write(copied_pages);
+    // With stream parallelism, cost the transfer as overlapped per-shard
+    // pipelines over the *actual* pages written (data + leaf + VMA +
+    // task backings, partitioned by bank); journal records are an
+    // append-only log on one bank and stay serial. At the default
+    // parallelism the serial batched write is charged unchanged.
+    let stream_partition: Option<Vec<u64>> = (parallelism > 1).then(|| {
+        let mut transfer: Vec<CxlPageId> = match interned.as_ref() {
+            Some(o) => o.written_pages.clone(),
+            None => dsts.clone(),
+        };
+        transfer.extend(leaves.iter().map(|l| l.backing));
+        transfer.extend(vma_blocks.iter().map(|(_, backing)| *backing));
+        transfer.extend(task_backing.iter().copied());
+        device.shard_partition(&transfer)
+    });
+    let copy_cost = match &stream_partition {
+        None => model.cxl_batch_write(copied_pages),
+        Some(counts) => {
+            model
+                .pipeline(parallelism)
+                .batch_write(counts, interned.is_some())
+                + model.cxl_batch_write(journal_transfer)
+        }
+    };
     let rebase_cost = SimDuration::from_nanos(model.rebase_pointer_ns) * rebased_pointers;
     let serialize_cost = model.serialize(global_bytes.len() as u64);
     let cost = copy_cost + rebase_cost + serialize_cost + retry_backoff;
@@ -488,31 +516,6 @@ pub(crate) fn take_checkpoint(
     if retries > 0 {
         node.counters_add("cxl_transient_retry", retries);
     }
-    if cxl_telemetry::is_armed() {
-        // The four phase children partition [t0, t0+cost] contiguously,
-        // so their durations sum exactly to the parent span (Fig. 7a).
-        let track = node_id.0;
-        cxl_telemetry::span_open(
-            "core.checkpoint",
-            track,
-            t0,
-            &[("pages", data_pages), ("bytes", copied_bytes)],
-        );
-        let mut cursor = t0;
-        for (phase, d) in [
-            ("checkpoint.copy_pages", copy_cost),
-            ("checkpoint.rebase", rebase_cost),
-            ("checkpoint.serialize", serialize_cost),
-            ("checkpoint.retry_backoff", retry_backoff),
-        ] {
-            let end = cursor + d;
-            cxl_telemetry::record_span(&format!("core.{phase}"), track, cursor, end, &[]);
-            cxl_telemetry::counter_add("core", &format!("phase.{phase}"), None, d.as_nanos());
-            cursor = end;
-        }
-        cxl_telemetry::span_close(track, cursor);
-        cxl_telemetry::timer_record("core", "checkpoint.latency", Some(track), cost);
-    }
 
     let region_usage = device.region_usage(region)?;
     // Phase two: every page is in place — publish atomically, then
@@ -521,6 +524,7 @@ pub(crate) fn take_checkpoint(
     device.commit_region(region)?;
     let region = guard.commit();
     let mut cost = cost;
+    let mut commit_cost = SimDuration::ZERO;
     let image = match image_guard {
         Some(g) => {
             let (image, commit_journal_pages) = g.commit(region);
@@ -528,7 +532,7 @@ pub(crate) fn take_checkpoint(
             // with a compaction snapshot behind it); it lands strictly
             // after the publish, so its cost is charged here.
             if commit_journal_pages > 0 {
-                let commit_cost = model.cxl_batch_write(commit_journal_pages);
+                commit_cost = model.cxl_batch_write(commit_journal_pages);
                 node.clock_mut().advance(commit_cost);
                 cost += commit_cost;
             }
@@ -536,6 +540,61 @@ pub(crate) fn take_checkpoint(
         }
         None => None,
     };
+
+    if cxl_telemetry::is_armed() {
+        // The phase children partition [t0, t0+cost] contiguously, so
+        // their durations sum exactly to the parent span (Fig. 7a) —
+        // including the post-publish journal commit, which a durable
+        // store charges after the region is live; recording the span
+        // here (after the commit) is what keeps `checkpoint.latency`
+        // and the closed span reconciled with the `PorterReport` e2e
+        // time.
+        let track = node_id.0;
+        cxl_telemetry::span_open(
+            "core.checkpoint",
+            track,
+            t0,
+            &[("pages", data_pages), ("bytes", copied_bytes)],
+        );
+        let mut cursor = t0;
+        let mut phases = vec![
+            ("checkpoint.copy_pages", copy_cost),
+            ("checkpoint.rebase", rebase_cost),
+            ("checkpoint.serialize", serialize_cost),
+            ("checkpoint.retry_backoff", retry_backoff),
+        ];
+        if commit_cost > SimDuration::ZERO {
+            phases.push(("checkpoint.commit_journal", commit_cost));
+        }
+        for (phase, d) in phases {
+            let end = cursor + d;
+            cxl_telemetry::record_span(&format!("core.{phase}"), track, cursor, end, &[]);
+            cxl_telemetry::counter_add("core", &format!("phase.{phase}"), None, d.as_nanos());
+            if phase == "checkpoint.copy_pages" {
+                if let Some(counts) = &stream_partition {
+                    // Per-stream children partition the copy phase: each
+                    // stream starts with the phase and runs its own
+                    // critical path (clamped to the phase — the modelled
+                    // cost may be the serial floor).
+                    let pipeline = model.pipeline(parallelism);
+                    for (i, load) in pipeline.stream_loads(counts).iter().enumerate() {
+                        let stream_end =
+                            cursor + pipeline.stream_write_cost(*load, interned.is_some()).min(d);
+                        cxl_telemetry::record_span(
+                            "core.checkpoint.copy_pages.stream",
+                            track,
+                            cursor,
+                            stream_end,
+                            &[("stream", i as u64), ("pages", *load)],
+                        );
+                    }
+                }
+            }
+            cursor = end;
+        }
+        cxl_telemetry::span_close(track, cursor);
+        cxl_telemetry::timer_record("core", "checkpoint.latency", Some(track), cost);
+    }
     Ok(CxlForkCheckpoint {
         meta: CheckpointMeta {
             comm: task.comm.clone(),

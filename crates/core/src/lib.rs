@@ -75,10 +75,45 @@ use node_os::addr::Pid;
 use node_os::Node;
 use rfork::{CheckpointMeta, RemoteFork, RestoreOptions, Restored, RforkError};
 
+/// Tuning knobs for the CXLfork mechanism.
+///
+/// The default configuration reproduces the paper's serial transfer
+/// model bit-for-bit; every knob is opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CxlForkConfig {
+    /// Number of overlapped per-shard streams a checkpoint or restore
+    /// transfer may drive concurrently (the device pool is banked into
+    /// shards, each with an independent port). `1` — the default — keeps
+    /// the single-stream serial cost model, virtual-time-identical to a
+    /// build without the knob; higher values cost bulk transfers as the
+    /// critical path over per-shard pipelines
+    /// ([`simclock::PipelineModel`]) and stripe checkpoint allocations
+    /// across banks so each stream has real work. CRIU/Mitosis baselines
+    /// ignore this knob and stay serial, preserving the paper's
+    /// mechanism ordering.
+    pub parallelism: u32,
+}
+
+impl Default for CxlForkConfig {
+    fn default() -> Self {
+        CxlForkConfig { parallelism: 1 }
+    }
+}
+
+impl CxlForkConfig {
+    /// A config with the given stream parallelism and everything else
+    /// default.
+    pub fn with_parallelism(parallelism: u32) -> Self {
+        CxlForkConfig { parallelism }
+    }
+}
+
 /// The CXLfork mechanism.
 #[derive(Debug)]
 pub struct CxlFork {
     next_seq: AtomicU64,
+    /// Tuning knobs (stream parallelism).
+    config: CxlForkConfig,
     /// Content-addressed image store. When set, checkpoint data pages
     /// are interned (deduplicated across images, zero pages elided) and
     /// restores of an evicted image fail with a typed
@@ -95,6 +130,7 @@ impl Default for CxlFork {
     fn default() -> Self {
         CxlFork {
             next_seq: AtomicU64::new(0),
+            config: CxlForkConfig::default(),
             store: None,
             #[cfg(feature = "check")]
             seals: cxl_mem::lockdep::TrackedMutex::new(
@@ -121,6 +157,32 @@ impl CxlFork {
             store: Some(store),
             ..CxlFork::default()
         }
+    }
+
+    /// Creates the mechanism with explicit tuning knobs (no store).
+    pub fn with_config(config: CxlForkConfig) -> Self {
+        CxlFork {
+            config,
+            ..CxlFork::default()
+        }
+    }
+
+    /// Creates the mechanism with both a content-addressed store and
+    /// explicit tuning knobs.
+    pub fn with_store_and_config(
+        store: std::sync::Arc<cxl_store::Store>,
+        config: CxlForkConfig,
+    ) -> Self {
+        CxlFork {
+            config,
+            store: Some(store),
+            ..CxlFork::default()
+        }
+    }
+
+    /// The mechanism's tuning knobs.
+    pub fn config(&self) -> &CxlForkConfig {
+        &self.config
     }
 
     /// The image store, if the mechanism was built with one.
@@ -176,7 +238,8 @@ impl RemoteFork for CxlFork {
 
     fn checkpoint(&self, node: &mut Node, pid: Pid) -> Result<CxlForkCheckpoint, RforkError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let ckpt = checkpoint::take_checkpoint(node, pid, seq, self.store.as_deref())?;
+        let ckpt =
+            checkpoint::take_checkpoint(node, pid, seq, self.store.as_deref(), &self.config)?;
         #[cfg(feature = "check")]
         self.with_seals(|seals| {
             seals
@@ -200,7 +263,7 @@ impl RemoteFork for CxlFork {
                 return Err(RforkError::EvictedImage { image: image.0 });
             }
         }
-        let restored = restore::restore(checkpoint, node, options)?;
+        let restored = restore::restore(checkpoint, node, options, &self.config)?;
         if let (Some(store), Some(image)) = (&self.store, checkpoint.image) {
             store.touch_restore(image, node.now());
         }
@@ -1150,5 +1213,156 @@ mod tests {
         c.fork.release(c2, &c.nodes[0]).unwrap();
         assert_eq!(c.device.used_pages(), base);
         assert!(store.index_snapshot().is_empty());
+    }
+
+    /// 4096 anonymous pages, all written — big enough that the striped
+    /// allocation spreads real work across every device bank.
+    fn build_big_process(node: &mut Node) -> Pid {
+        let pid = node.spawn("big").unwrap();
+        node.process_mut(pid)
+            .unwrap()
+            .mm
+            .map_anonymous(1 << 20, 4096, Protection::read_write(), "heap")
+            .unwrap();
+        for i in 0..4096u64 {
+            node.access(pid, (1 << 20) + i, Access::Write).unwrap();
+        }
+        pid
+    }
+
+    #[test]
+    fn default_config_is_bit_identical_to_explicit_serial() {
+        let mut default_c = cluster(1);
+        let mut p1_c = cluster(1);
+        p1_c.fork = CxlFork::with_config(CxlForkConfig::with_parallelism(1));
+        let d_pid = build_big_process(&mut default_c.nodes[0]);
+        let p_pid = build_big_process(&mut p1_c.nodes[0]);
+        let d_ck = default_c
+            .fork
+            .checkpoint(&mut default_c.nodes[0], d_pid)
+            .unwrap();
+        let p_ck = p1_c.fork.checkpoint(&mut p1_c.nodes[0], p_pid).unwrap();
+        assert_eq!(
+            d_ck.meta().checkpoint_cost,
+            p_ck.meta().checkpoint_cost,
+            "parallelism = 1 must reproduce the default serial model exactly"
+        );
+        assert_eq!(default_c.nodes[0].now(), p1_c.nodes[0].now());
+        assert_eq!(
+            default_c.device.used_pages(),
+            p1_c.device.used_pages(),
+            "p = 1 striped allocation degenerates to first-fit"
+        );
+    }
+
+    #[test]
+    fn pipelined_checkpoint_beats_serial_on_a_striped_footprint() {
+        let mut serial = cluster(2);
+        let mut piped = cluster(2);
+        piped.fork = CxlFork::with_config(CxlForkConfig::with_parallelism(8));
+        let s_pid = build_big_process(&mut serial.nodes[0]);
+        let p_pid = build_big_process(&mut piped.nodes[0]);
+        let s_ck = serial.fork.checkpoint(&mut serial.nodes[0], s_pid).unwrap();
+        let p_ck = piped.fork.checkpoint(&mut piped.nodes[0], p_pid).unwrap();
+        assert!(
+            p_ck.meta().checkpoint_cost < s_ck.meta().checkpoint_cost,
+            "8 shard streams should overlap the copy: p8 {} vs serial {}",
+            p_ck.meta().checkpoint_cost,
+            s_ck.meta().checkpoint_cost
+        );
+        // The image itself is identical — only the transfer schedule
+        // (and therefore the virtual-time cost) changes.
+        assert_eq!(p_ck.data_pages, s_ck.data_pages);
+        assert_eq!(p_ck.meta().footprint_pages, s_ck.meta().footprint_pages);
+
+        // Restore inherits the knob on the prefetch paths and can only
+        // get cheaper (the pipelined cost is clamped by the serial one).
+        let opts = rfork::RestoreOptions {
+            policy: rfork::TierPolicy::MigrateOnWrite,
+            prefetch_dirty: true,
+            sync_hot_prefetch: false,
+        };
+        let r_serial = serial
+            .fork
+            .restore_with(&s_ck, &mut serial.nodes[1], opts)
+            .unwrap();
+        let r_piped = piped
+            .fork
+            .restore_with(&p_ck, &mut piped.nodes[1], opts)
+            .unwrap();
+        assert!(
+            r_piped.restore_latency <= r_serial.restore_latency,
+            "pipelined prefetch regressed: {} vs {}",
+            r_piped.restore_latency,
+            r_serial.restore_latency
+        );
+    }
+
+    #[test]
+    fn durable_checkpoint_phases_reconcile_with_the_latency_timer() {
+        // The telemetry sink is process-global; a distinctive track keeps
+        // spans from any concurrently running test out of the assertions.
+        const TRACK: u32 = 4242;
+        let device = Arc::new(CxlDevice::with_capacity_mib(256));
+        let rootfs = Arc::new(SharedFs::new());
+        rootfs.create("/usr/lib/libpython.so", 64 * PAGE_SIZE, 3);
+        let mut node = Node::with_rootfs(
+            NodeConfig::default().with_id(TRACK).with_local_mem_mib(256),
+            Arc::clone(&device),
+            Arc::clone(&rootfs),
+        );
+        let store = Arc::new(cxl_store::Store::with_config(
+            Arc::clone(&device),
+            cxl_store::StoreConfig {
+                durable: true,
+                ..cxl_store::StoreConfig::default()
+            },
+        ));
+        let fork = CxlFork::with_store(Arc::clone(&store));
+        let pid = build_process(&mut node);
+
+        let session = cxl_telemetry::TelemetrySession::start();
+        let ckpt = fork.checkpoint(&mut node, pid).unwrap();
+        let data = session.finish();
+
+        let spans: Vec<&cxl_telemetry::SpanRecord> =
+            data.spans.iter().filter(|s| s.track == TRACK).collect();
+        let parent = spans
+            .iter()
+            .find(|s| s.name == "core.checkpoint")
+            .expect("checkpoint parent span");
+        let mut children: Vec<&cxl_telemetry::SpanRecord> = spans
+            .iter()
+            .filter(|s| s.depth == 1 && s.name.starts_with("core.checkpoint."))
+            .filter(|s| !s.name.ends_with(".stream"))
+            .copied()
+            .collect();
+        children.sort_by_key(|s| s.start);
+        // The post-publish journal commit is a visible phase child, not
+        // silent cost the timer would otherwise underreport.
+        assert!(
+            children
+                .iter()
+                .any(|s| s.name == "core.checkpoint.commit_journal" && s.dur_ns() > 0),
+            "durable commit must appear as a phase child: {children:?}"
+        );
+        // The children partition the parent contiguously and sum exactly.
+        let mut cursor = parent.start;
+        for child in &children {
+            assert_eq!(child.start, cursor, "gap before {}", child.name);
+            cursor = child.end;
+        }
+        assert_eq!(cursor, parent.end, "children must cover the parent");
+        let child_sum: u64 = children.iter().map(|s| s.dur_ns()).sum();
+        assert_eq!(child_sum, parent.dur_ns());
+        // Span, timer and the checkpoint's own meta all agree — the
+        // commit cost is no longer excluded from any of the three.
+        assert_eq!(parent.dur_ns(), ckpt.meta().checkpoint_cost.as_nanos());
+        let timer = data
+            .registry
+            .timer("core", "checkpoint.latency", Some(TRACK))
+            .expect("checkpoint.latency timer");
+        assert_eq!(timer.len(), 1);
+        assert_eq!(timer.mean(), ckpt.meta().checkpoint_cost);
     }
 }

@@ -41,6 +41,7 @@ pub(crate) fn restore(
     checkpoint: &CxlForkCheckpoint,
     node: &mut Node,
     options: RestoreOptions,
+    config: &crate::CxlForkConfig,
 ) -> Result<Restored, RforkError> {
     let model = node.model().clone();
     let device = std::sync::Arc::clone(node.device());
@@ -85,7 +86,7 @@ pub(crate) fn restore(
         process.task.fds = table;
     }
 
-    match attach_state(checkpoint, node, options, pid, cost) {
+    match attach_state(checkpoint, node, options, pid, cost, config) {
         Ok(restored) => Ok(restored),
         Err(e) => {
             // Roll back the half-restored process: a failed restore
@@ -106,7 +107,9 @@ fn attach_state(
     options: RestoreOptions,
     pid: Pid,
     mut cost: SimDuration,
+    config: &crate::CxlForkConfig,
 ) -> Result<Restored, RforkError> {
+    let parallelism = config.parallelism;
     let node_id = node.id();
     let model = node.model().clone();
     let device = std::sync::Arc::clone(node.device());
@@ -223,7 +226,17 @@ fn attach_state(
                             .retarget(PhysAddr::Local(pfn)),
                     );
                 }
-                cost += model.prefetch_pages(hot_fills.len() as u64);
+                // With stream parallelism, the hot set splits across
+                // shard banks and the batch read costs the bottleneck
+                // stream's critical path; serial (the default) is the
+                // single-stream batched read, unchanged.
+                cost += if parallelism > 1 {
+                    model
+                        .pipeline(parallelism)
+                        .batch_read(&device.shard_partition(&hot_pages))
+                } else {
+                    model.prefetch_pages(hot_fills.len() as u64)
+                };
             }
             node.with_process_ctx(pid, |p, _| {
                 for (leaf_index, local) in install {
@@ -279,7 +292,18 @@ fn attach_state(
                 }
             };
             prefetched = filled.installed;
-            cost += model.prefetch_pages(filled.installed);
+            // Pipelined prefetch costs the per-shard critical path of
+            // the dirty set, clamped by the serial charge for the pages
+            // actually installed (fill can skip already-present pages);
+            // serial (the default) is unchanged.
+            cost += if parallelism > 1 {
+                model
+                    .pipeline(parallelism)
+                    .batch_read(&device.shard_partition(&dirty_pages))
+                    .min(model.prefetch_pages(filled.installed))
+            } else {
+                model.prefetch_pages(filled.installed)
+            };
             // Installing a mapping may leaf-CoW an attached leaf: one
             // local copy of the 4 KiB leaf each.
             cost += model.cxl_copy(cxl_mem::PAGE_SIZE) * filled.leaf_cows;

@@ -495,14 +495,24 @@ impl CxlDevice {
     /// filled first-fit in ascending offset order, recycling freed slots
     /// (LIFO) before extending a shard's slab — which keeps page-id
     /// sequences identical to the pre-shard allocator for alloc-only
-    /// workloads. The fault hook is consulted once per *batch* (exactly
-    /// as the scalar-era `alloc_pages` consulted it once per call).
+    /// workloads. The fault hook is consulted once per *non-empty*
+    /// batch (exactly as the scalar-era `alloc_pages` consulted it once
+    /// per call); a zero-page batch is a no-op — it cannot fault, costs
+    /// nothing and touches no telemetry.
     ///
     /// # Errors
     ///
     /// [`CxlError::OutOfDeviceMemory`] if fewer than `n` pages are free;
     /// [`CxlError::BadRegion`] if the region does not exist.
     pub fn alloc_batch(&self, region: RegionId, n: u64) -> Result<Vec<CxlPageId>, CxlError> {
+        if n == 0 {
+            // Still validate the region — an empty batch must be free,
+            // not a way to smuggle a dangling region id past the table.
+            if !self.regions.read().regions.contains_key(&region) {
+                return Err(CxlError::BadRegion(region));
+            }
+            return Ok(Vec::new());
+        }
         // Allocations are not attributed to a node at this layer; the
         // sentinel id keeps the hook signature uniform.
         if let Some(err) = self.injected(DeviceOp::Alloc, None, NodeId(u32::MAX)) {
@@ -525,27 +535,7 @@ impl CxlDevice {
             if remaining == 0 {
                 break;
             }
-            let mut st = shard.state.write();
-            while remaining > 0 {
-                let local = if let Some(l) = st.free.pop() {
-                    st.slots[l as usize] = Some(PageSlot {
-                        data: PageData::zeroed(),
-                        region,
-                    });
-                    l
-                } else if (st.slots.len() as u64) < shard.capacity {
-                    st.slots.push(Some(PageSlot {
-                        data: PageData::zeroed(),
-                        region,
-                    }));
-                    (st.slots.len() - 1) as u64
-                } else {
-                    break;
-                };
-                st.used += 1;
-                out.push(CxlPageId(shard.base + local));
-                remaining -= 1;
-            }
+            remaining -= Self::fill_from_shard(shard, region, remaining, &mut out);
         }
         debug_assert_eq!(remaining, 0, "capacity check vs shard sweep drifted");
         rt.used_pages += n;
@@ -554,6 +544,123 @@ impl CxlDevice {
         }
         cxl_telemetry::counter_add(TELEMETRY_LAYER, "pages_allocated", None, n);
         Ok(out)
+    }
+
+    /// Fills up to `want` zeroed pages from one shard into `out`,
+    /// recycling freed slots (LIFO) before extending the slab; returns
+    /// how many pages it produced (less than `want` only when the shard
+    /// is full). The caller holds the region-table write lock, so page
+    /// liveness is pinned across the per-shard lock acquisitions.
+    fn fill_from_shard(
+        shard: &PageShard,
+        region: RegionId,
+        want: u64,
+        out: &mut Vec<CxlPageId>,
+    ) -> u64 {
+        let mut st = shard.state.write();
+        let mut got = 0u64;
+        while got < want {
+            let local = if let Some(l) = st.free.pop() {
+                st.slots[l as usize] = Some(PageSlot {
+                    data: PageData::zeroed(),
+                    region,
+                });
+                l
+            } else if (st.slots.len() as u64) < shard.capacity {
+                st.slots.push(Some(PageSlot {
+                    data: PageData::zeroed(),
+                    region,
+                }));
+                (st.slots.len() - 1) as u64
+            } else {
+                break;
+            };
+            st.used += 1;
+            out.push(CxlPageId(shard.base + local));
+            got += 1;
+        }
+        got
+    }
+
+    /// Allocates `n` zeroed pages into `region`, **striping** the batch
+    /// across up to `streams` shards in balanced shares so a pipelined
+    /// transfer has real per-bank work to overlap. First-fit allocation
+    /// ([`CxlDevice::alloc_batch`]) packs small working sets entirely
+    /// into shard 0, which would leave a multi-stream pipeline with one
+    /// populated bank; checkpointing with `parallelism > 1` allocates
+    /// through this path instead. `streams <= 1` (and `n == 0`)
+    /// delegates to `alloc_batch`, byte-identical page ids included.
+    ///
+    /// Shares that do not fit their target shard (a full bank) fall back
+    /// to a first-fit sweep over every shard, so the call succeeds
+    /// whenever `alloc_batch` would — striping is a placement hint, not
+    /// a capacity contract. All-or-nothing on failure, and the fault
+    /// hook is consulted once per non-empty batch, exactly like
+    /// `alloc_batch`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CxlDevice::alloc_batch`].
+    pub fn alloc_batch_striped(
+        &self,
+        region: RegionId,
+        n: u64,
+        streams: u32,
+    ) -> Result<Vec<CxlPageId>, CxlError> {
+        if streams <= 1 || n == 0 {
+            return self.alloc_batch(region, n);
+        }
+        if let Some(err) = self.injected(DeviceOp::Alloc, None, NodeId(u32::MAX)) {
+            return Err(err);
+        }
+        let mut rt = self.regions.write();
+        if !rt.regions.contains_key(&region) {
+            return Err(CxlError::BadRegion(region));
+        }
+        let available = self.capacity_pages - rt.used_pages;
+        if n > available {
+            return Err(CxlError::OutOfDeviceMemory {
+                requested: n,
+                available,
+            });
+        }
+        let lanes = (streams as usize).min(self.shards.len()).max(1) as u64;
+        let mut out = Vec::with_capacity(n as usize);
+        let mut remaining = n;
+        for (i, shard) in self.shards.iter().take(lanes as usize).enumerate() {
+            let share = (n / lanes + u64::from((i as u64) < n % lanes)).min(remaining);
+            remaining -= Self::fill_from_shard(shard, region, share, &mut out);
+        }
+        // Shortfall from full banks: first-fit over the whole pool.
+        for shard in &self.shards {
+            if remaining == 0 {
+                break;
+            }
+            remaining -= Self::fill_from_shard(shard, region, remaining, &mut out);
+        }
+        debug_assert_eq!(remaining, 0, "capacity check vs striped sweep drifted");
+        rt.used_pages += n;
+        if let Some(r) = rt.regions.get_mut(&region) {
+            r.pages += n;
+        }
+        cxl_telemetry::counter_add(TELEMETRY_LAYER, "pages_allocated", None, n);
+        Ok(out)
+    }
+
+    /// Partitions a page set by owning shard: returns one count per
+    /// shard (`len == shard_count`), in shard order, of how many of the
+    /// given pages each bank holds. Pages outside the device are
+    /// skipped — the caller is costing a transfer, not validating ids.
+    /// This is the shape [`simclock::PipelineModel`]-style critical-path
+    /// costing consumes.
+    pub fn shard_partition(&self, pages: &[CxlPageId]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.shards.len()];
+        for &p in pages {
+            if let Some((s, _)) = self.shard_of(p) {
+                counts[s] += 1;
+            }
+        }
+        counts
     }
 
     /// Allocates enough pages in `region` to back `bytes` of checkpointed
@@ -1544,5 +1651,120 @@ mod tests {
             CxlError::Transient { op: "read" }
         );
         assert_eq!(d.stats().total_reads(), 0, "failed batch counts nothing");
+    }
+
+    #[derive(Debug, Default)]
+    struct CountAllocConsults {
+        // cxl-lint: allow(raw-lock): test-local counter; tracking it would pollute the lockdep class graph the tests assert on
+        consults: std::sync::Mutex<u64>,
+    }
+
+    impl FaultHook for CountAllocConsults {
+        fn inject(&self, op: DeviceOp, _: Option<CxlPageId>, _: NodeId) -> Option<CxlError> {
+            if op == DeviceOp::Alloc {
+                *self.consults.lock().unwrap() += 1;
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn zero_length_alloc_batch_is_free_and_skips_the_fault_hook() {
+        let d = dev();
+        let r = d.create_region("r");
+        let hook = Arc::new(CountAllocConsults::default());
+        d.set_fault_hook(Some(hook.clone()));
+        assert!(d.alloc_batch(r, 0).unwrap().is_empty());
+        assert!(d.alloc_batch_striped(r, 0, 8).unwrap().is_empty());
+        assert!(d.alloc_bytes(r, 0).unwrap().is_empty());
+        assert_eq!(
+            *hook.consults.lock().unwrap(),
+            0,
+            "an empty batch must not consult the fault hook"
+        );
+        assert_eq!(d.used_pages(), 0);
+        // A non-empty batch still consults exactly once.
+        d.alloc_batch(r, 1).unwrap();
+        assert_eq!(*hook.consults.lock().unwrap(), 1);
+        // An empty batch is free, not unvalidated: a dangling region id
+        // still errors.
+        let bogus = RegionId(99);
+        assert_eq!(
+            d.alloc_batch(bogus, 0).unwrap_err(),
+            CxlError::BadRegion(bogus)
+        );
+    }
+
+    #[test]
+    fn striped_alloc_spreads_the_batch_across_shards() {
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let pages = d.alloc_batch_striped(r, 16, 4).unwrap();
+        assert_eq!(pages.len(), 16);
+        let counts = d.shard_partition(&pages);
+        assert_eq!(counts, vec![4, 4, 4, 4, 0, 0, 0, 0]);
+        // More streams than shards clamps to the shard count.
+        let more = d.alloc_batch_striped(r, 8, 32).unwrap();
+        let counts = d.shard_partition(&more);
+        assert_eq!(counts, vec![1; 8]);
+        assert_eq!(d.used_pages(), 24);
+    }
+
+    #[test]
+    fn striped_alloc_with_one_stream_matches_first_fit_exactly() {
+        let a = CxlDevice::with_shards(64, 8);
+        let b = CxlDevice::with_shards(64, 8);
+        let ra = a.create_region("r");
+        let rb = b.create_region("r");
+        // streams <= 1 must delegate: byte-identical page-id sequences.
+        assert_eq!(
+            a.alloc_batch_striped(ra, 10, 1).unwrap(),
+            b.alloc_batch(rb, 10).unwrap()
+        );
+        assert_eq!(
+            a.alloc_batch_striped(ra, 5, 0).unwrap(),
+            b.alloc_batch(rb, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn striped_alloc_falls_back_when_target_banks_are_full() {
+        // 8 pages per shard (64 / 8). Fill shard 0 completely, then
+        // stripe 14 pages over 2 streams: stream 0's share cannot fit in
+        // shard 0, so the shortfall first-fits into later shards — the
+        // call still succeeds whenever a plain batch would.
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let fill = d.alloc_batch(r, 8).unwrap();
+        assert_eq!(d.shard_partition(&fill), vec![8, 0, 0, 0, 0, 0, 0, 0]);
+        let pages = d.alloc_batch_striped(r, 14, 2).unwrap();
+        assert_eq!(pages.len(), 14);
+        let counts = d.shard_partition(&pages);
+        assert_eq!(counts.iter().sum::<u64>(), 14);
+        assert_eq!(counts[0], 0, "shard 0 was full");
+        assert_eq!(counts[1], 8, "stream 1's share landed in shard 1");
+        // All-or-nothing past capacity, even striped.
+        assert_eq!(
+            d.alloc_batch_striped(r, 64, 4).unwrap_err(),
+            CxlError::OutOfDeviceMemory {
+                requested: 64,
+                available: 42
+            }
+        );
+        assert_eq!(d.used_pages(), 22);
+    }
+
+    #[test]
+    fn shard_partition_counts_pages_per_bank() {
+        let d = CxlDevice::with_shards(64, 4);
+        let r = d.create_region("r");
+        let pages = d.alloc_batch_striped(r, 6, 3).unwrap();
+        let counts = d.shard_partition(&pages);
+        assert_eq!(counts.len(), d.shard_count());
+        assert_eq!(counts, vec![2, 2, 2, 0]);
+        // Out-of-range ids are skipped, not counted.
+        let bogus = [CxlPageId(u64::MAX)];
+        assert_eq!(d.shard_partition(&bogus), vec![0; 4]);
+        assert!(d.shard_partition(&[]).iter().all(|&c| c == 0));
     }
 }

@@ -229,6 +229,10 @@ pub struct InternOutcome {
     /// the store is durable). Callers fold this into the checkpoint's
     /// copied-page charge.
     pub journal_pages: u64,
+    /// The device pages whose bytes actually crossed the fabric
+    /// (`written` of them) — the concrete page set a pipelined
+    /// checkpoint partitions by shard to cost the transfer.
+    pub written_pages: Vec<CxlPageId>,
 }
 
 /// Monotonic counters describing store activity since creation.
@@ -1084,6 +1088,7 @@ impl Store {
             shared,
             zero,
             journal_pages,
+            written_pages: writes.iter().map(|(p, _)| *p).collect(),
         };
         let stats = &mut inner.stats;
         stats.interned_pages += fps.len() as u64;

@@ -15,9 +15,19 @@ use simclock::LatencyModel;
 /// The scheduler keeps the index fresh by calling [`Cluster::touch`]
 /// after every placement-relevant mutation; lookups then cost one
 /// ordered-set minimum instead of a full O(n) scan of every node's
-/// allocator. Entries that go stale anyway (tests and tools mutate
-/// nodes directly) are detected and corrected lazily at lookup time, so
-/// the index never changes *what* is returned — only how fast.
+/// allocator.
+///
+/// Lazy repair at lookup time only ever visits the entry at the
+/// *minimum*, so it corrects exactly one kind of staleness: untracked
+/// load **increases** (a stale-low entry surfaces at the front, is
+/// re-costed, and sinks to its true position). An untracked **decrease**
+/// leaves a stale-high entry buried above the minimum where no lookup
+/// will re-examine it, so every path that shrinks a node's load
+/// (instance teardown, crash reclamation) must `touch` the node —
+/// [`Cluster::mark_failed`] drops the entry outright so a dead node can
+/// never win a placement regardless of what its entry said. The
+/// porter's mutators all follow this contract, and `check` builds
+/// cross-check every lookup against a full scan.
 #[derive(Debug, Default)]
 struct LoadIndex {
     /// `(load, index)` — the minimum is the least-loaded node, ties
@@ -139,8 +149,10 @@ impl Cluster {
     ///
     /// Backed by the incremental [`LoadIndex`]: callers that mutate node
     /// memory should [`touch`](Self::touch) the node to keep lookups
-    /// O(log n); entries left stale are repaired here before any
-    /// candidate is returned, so the answer always matches a full scan.
+    /// O(log n). Entries left stale by untracked load *increases* are
+    /// repaired here before any candidate is returned; untracked
+    /// *decreases* require the `touch` (see [`LoadIndex`] for why the
+    /// lazy repair cannot see them).
     pub fn least_loaded(&self) -> Option<usize> {
         let mut ix = self.index.borrow_mut();
         // Cover nodes the index has never seen (first call, or a cluster
@@ -312,6 +324,96 @@ mod tests {
         assert_eq!(c.least_loaded(), Some(2));
         c.mark_failed(2);
         assert_eq!(c.least_loaded(), Some(0));
+    }
+
+    #[test]
+    fn load_index_agrees_with_scan_over_a_seeded_64_node_trace() {
+        // Test-local splitmix64: the trace must be deterministic but
+        // must not perturb any simulation RNG stream.
+        fn next(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        // Reference brute-force scan, independent of the index (and of
+        // the `check`-only `scan_least_loaded`).
+        fn scan(c: &Cluster) -> Option<usize> {
+            let mut best: Option<(usize, u64)> = None;
+            for i in c.live_nodes() {
+                let load = (c.nodes[i].frames().utilization() * 1e9) as u64;
+                if best.is_none_or(|(_, incumbent)| load < incumbent) {
+                    best = Some((i, load));
+                }
+            }
+            best.map(|(i, _)| i)
+        }
+
+        const NODES: usize = 64;
+        let mut c = Cluster::new(NODES, 16, 64, LatencyModel::calibrated());
+        let mut held: Vec<Vec<node_os::Pfn>> = vec![Vec::new(); NODES];
+        let mut rng = 0x5EED_u64;
+        for step in 0..2000u32 {
+            let op = next(&mut rng) % 100;
+            let i = (next(&mut rng) % NODES as u64) as usize;
+            if op < 50 {
+                // Scheduler-style placement: allocate, then touch.
+                if !c.is_failed(i) {
+                    for _ in 0..=(next(&mut rng) % 32) {
+                        if let Ok(pfn) = c.nodes[i].frames_mut().alloc_zeroed() {
+                            held[i].push(pfn);
+                        }
+                    }
+                    c.touch(i);
+                }
+            } else if op < 70 {
+                // Instance teardown: free, then touch — untracked
+                // decreases are exactly what the lazy repair cannot see.
+                if !c.is_failed(i) {
+                    for _ in 0..=(next(&mut rng) % 16) {
+                        if let Some(pfn) = held[i].pop() {
+                            c.nodes[i].frames_mut().dec_ref(pfn);
+                        }
+                    }
+                    c.touch(i);
+                }
+            } else if op < 85 {
+                // Untracked growth (tools and tests mutate nodes
+                // directly): the lookup must self-repair.
+                if !c.is_failed(i) {
+                    if let Ok(pfn) = c.nodes[i].frames_mut().alloc_zeroed() {
+                        held[i].push(pfn);
+                    }
+                }
+            } else if op < 90 {
+                // Crash teardown in the porter's order: reclaim the
+                // node's memory, then mark it failed (which drops the
+                // index entry — no touch on the way down).
+                if !c.is_failed(i) && c.live_nodes().count() > 8 {
+                    for pfn in held[i].drain(..) {
+                        c.nodes[i].frames_mut().dec_ref(pfn);
+                    }
+                    c.mark_failed(i);
+                }
+            } else {
+                // Fairness-deferral shape: repeated lookups with no
+                // mutation in between must be stable.
+                assert_eq!(c.least_loaded(), c.least_loaded(), "step {step}");
+            }
+            let got = c.least_loaded();
+            assert_eq!(got, scan(&c), "index diverged from scan at step {step}");
+            if let Some(winner) = got {
+                assert!(
+                    !c.is_failed(winner),
+                    "crashed node {winner} won placement at step {step}"
+                );
+            }
+        }
+        assert!(
+            c.live_nodes().count() >= 8,
+            "trace should leave survivors to keep the assertions meaningful"
+        );
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub struct LatencyModel {
     /// Fixed cost of opening/creating one image file on the shared fs.
     pub image_file_open_ns: u64,
 
+    /// Effective bandwidth fingerprinting page content for the
+    /// content-addressed store (an xxh3-class hash running out of local
+    /// DRAM; only the intern path pays it).
+    pub fingerprint_bytes_per_ns: f64,
+
     /// Per-PTE cost of Mitosis-style OS-state descriptor encoding.
     pub descriptor_encode_pte_ns: u64,
     /// Per-PTE cost of Mitosis-style OS-state descriptor decoding on the
@@ -137,6 +142,11 @@ impl LatencyModel {
             serialize_ns_per_byte: 1.55,
             deserialize_ns_per_byte: 0.42,
             image_file_open_ns: 25_000,
+
+            // xxh3-class content hash out of local DRAM (~25 GB/s):
+            // cheaper per page than the gather copy, so fingerprinting
+            // never becomes the pipeline bottleneck stage.
+            fingerprint_bytes_per_ns: 25.6,
 
             // Mitosis restore of BERT (≈161k PTEs) takes ≈15 ms.
             descriptor_encode_pte_ns: 35,
@@ -302,6 +312,24 @@ impl LatencyModel {
         SimDuration::from_nanos(self.ghost_trigger_ns)
     }
 
+    /// Fingerprinting one page of content for the content-addressed
+    /// store (local DRAM hash; not a fabric operation, so the Fig. 9
+    /// round-trip sweep leaves it untouched).
+    pub fn fingerprint_page(&self) -> SimDuration {
+        SimDuration::from_secs_f64(PAGE_SIZE as f64 / self.fingerprint_bytes_per_ns / 1e9)
+    }
+
+    /// A view of this model that costs batched transfers as `parallelism`
+    /// overlapped per-shard streams instead of one serial stream. See
+    /// [`PipelineModel`]; `parallelism <= 1` reproduces the serial costs
+    /// bit-for-bit.
+    pub fn pipeline(&self, parallelism: u32) -> PipelineModel<'_> {
+        PipelineModel {
+            model: self,
+            parallelism,
+        }
+    }
+
     /// Serializing `bytes` into an image.
     pub fn serialize(&self, bytes: u64) -> SimDuration {
         SimDuration::from_secs_f64(bytes as f64 * self.serialize_ns_per_byte / 1e9)
@@ -358,6 +386,145 @@ impl LatencyModelBuilder {
     /// Finalizes the model.
     pub fn build(self) -> LatencyModel {
         self.model
+    }
+}
+
+/// Costs a batched transfer as `p` overlapped per-shard streams.
+///
+/// The device pool is banked into shards, each with an independent port;
+/// a transfer split across `p` streams finishes on the **critical path**
+/// — the `max` over per-stream stage chains (gather → fingerprint/intern
+/// → write on the checkpoint side, request → read on the restore side)
+/// — instead of the serial sum charged by
+/// [`LatencyModel::cxl_batch_write`] / [`LatencyModel::cxl_batch_read`].
+///
+/// The model is analytic rather than a per-assignment schedule: with
+/// `active = min(p, populated shards)` streams, the bottleneck stream
+/// carries at least `ceil(total / active)` pages (bandwidth floor) and at
+/// least the largest single shard's count (a shard is one bank — its
+/// pages cannot be split across streams). Costing that lower-bound
+/// makespan keeps the cost **monotonically non-increasing in `p`**,
+/// which a concrete round-robin shard→stream assignment does not
+/// guarantee (e.g. shard counts `[9, 1, 1, 9]` round-robin to a
+/// 10-page stream at `p = 2` but an 18-page stream at `p = 3`).
+///
+/// Every result is clamped from above by the serial cost, so a pipeline
+/// can never lose to the single-stream model it replaces, and
+/// `parallelism <= 1` short-circuits to the serial methods exactly —
+/// the default configuration stays bit-identical to the pre-pipeline
+/// simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineModel<'m> {
+    /// The underlying serial cost model.
+    model: &'m LatencyModel,
+    /// Number of concurrent shard streams the transfer may use.
+    parallelism: u32,
+}
+
+impl<'m> PipelineModel<'m> {
+    /// The configured stream count.
+    pub fn parallelism(&self) -> u32 {
+        self.parallelism
+    }
+
+    /// How many streams actually run for a batch with the given
+    /// per-shard page counts: one per populated shard, capped at the
+    /// configured parallelism, and never zero (a degenerate batch still
+    /// nominally owns one stream).
+    pub fn active_streams(&self, shard_counts: &[u64]) -> u64 {
+        let populated = shard_counts.iter().filter(|&&n| n > 0).count() as u64;
+        u64::from(self.parallelism).min(populated).max(1)
+    }
+
+    /// Pages carried by the modelled bottleneck stream: the larger of
+    /// the balanced share `ceil(total / active)` and the largest single
+    /// shard (one shard's pages ride one stream).
+    pub fn stream_pages(&self, shard_counts: &[u64]) -> u64 {
+        let total: u64 = shard_counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let active = self.active_streams(shard_counts);
+        let max_shard = shard_counts.iter().copied().max().unwrap_or(0);
+        total.div_ceil(active).max(max_shard)
+    }
+
+    /// A deterministic longest-processing-time assignment of shards to
+    /// streams, for telemetry: each populated shard goes to the
+    /// currently lightest stream (ties to the lowest stream index),
+    /// heaviest shards first. Returns one load per active stream; the
+    /// loads sum to the batch total. Used to label per-stream spans —
+    /// the *cost* uses [`PipelineModel::stream_pages`].
+    pub fn stream_loads(&self, shard_counts: &[u64]) -> Vec<u64> {
+        let active = self.active_streams(shard_counts) as usize;
+        let mut loads = vec![0u64; active];
+        let mut shards: Vec<u64> = shard_counts.iter().copied().filter(|&n| n > 0).collect();
+        shards.sort_unstable_by(|a, b| b.cmp(a));
+        for n in shards {
+            let lightest = (0..active).min_by_key(|&i| (loads[i], i)).unwrap_or(0);
+            loads[lightest] += n;
+        }
+        loads
+    }
+
+    /// Critical-path cost of one checkpoint-side stream carrying
+    /// `pages`: a startup round trip to claim the shard port, pipeline
+    /// fill of the first page through the gather (local copy) and —
+    /// when interning into the content-addressed store — fingerprint
+    /// stages, then the write stage streaming every page. The write
+    /// stage is the slowest per page, so steady state runs at streaming
+    /// write bandwidth and the earlier stages surface only as fill.
+    pub fn stream_write_cost(&self, pages: u64, fingerprint: bool) -> SimDuration {
+        if pages == 0 {
+            return SimDuration::ZERO;
+        }
+        let mut fill = self.model.cxl_read_round_trip() + self.model.local_copy(PAGE_SIZE);
+        if fingerprint {
+            fill += self.model.fingerprint_page();
+        }
+        fill + self.model.cxl_batch_write(pages)
+    }
+
+    /// Critical-path cost of one restore-side stream reading `pages`:
+    /// exactly the serial batched read, whose first-page scalar cost
+    /// already includes the stream's startup round trip.
+    pub fn stream_read_cost(&self, pages: u64) -> SimDuration {
+        self.model.cxl_batch_read(pages)
+    }
+
+    /// Cost of writing a batch whose pages land on shards with the
+    /// given per-shard counts, split across up to `parallelism`
+    /// streams. `fingerprint` charges the intern path's content-hash
+    /// stage. Zero pages cost zero; `parallelism <= 1` is the serial
+    /// model exactly; otherwise the bottleneck stream's critical path,
+    /// never exceeding the serial cost.
+    pub fn batch_write(&self, shard_counts: &[u64], fingerprint: bool) -> SimDuration {
+        let total: u64 = shard_counts.iter().sum();
+        if total == 0 {
+            return SimDuration::ZERO;
+        }
+        let serial = self.model.cxl_batch_write(total);
+        if self.parallelism <= 1 {
+            return serial;
+        }
+        serial.min(self.stream_write_cost(self.stream_pages(shard_counts), fingerprint))
+    }
+
+    /// Cost of reading a batch whose pages land on shards with the
+    /// given per-shard counts, split across up to `parallelism`
+    /// streams. Zero pages cost zero; `parallelism <= 1` is the serial
+    /// model exactly; otherwise the bottleneck stream's critical path,
+    /// never exceeding the serial cost.
+    pub fn batch_read(&self, shard_counts: &[u64]) -> SimDuration {
+        let total: u64 = shard_counts.iter().sum();
+        if total == 0 {
+            return SimDuration::ZERO;
+        }
+        let serial = self.model.cxl_batch_read(total);
+        if self.parallelism <= 1 {
+            return serial;
+        }
+        serial.min(self.stream_read_cost(self.stream_pages(shard_counts)))
     }
 }
 
@@ -456,6 +623,159 @@ mod tests {
         );
         // An extra read-ahead page is cheaper than a full major fault.
         assert!(m.file_readahead(1) < m.file_major_fault());
+    }
+
+    /// Shard-count partitions exercised by the pipeline property tests:
+    /// balanced, skewed, single-shard, adversarial (the round-robin
+    /// counterexample), sparse, and tiny.
+    const PARTITIONS: [&[u64]; 8] = [
+        &[64, 64, 64, 64, 64, 64, 64, 64],
+        &[1000, 1, 1, 1],
+        &[1000],
+        &[9, 1, 1, 9],
+        &[0, 0, 512, 0, 0, 512, 0, 0],
+        &[1],
+        &[3, 7],
+        &[17, 0, 17, 0, 17, 0, 17, 0, 17, 0, 17, 0, 17, 0, 17, 0],
+    ];
+
+    #[test]
+    fn pipeline_p1_is_bit_identical_to_serial() {
+        // The knob's default must not move a single nanosecond, across
+        // the whole Fig. 9 sweep and for p = 0 (treated as serial).
+        for rt in [100u64, 200, 391, 400] {
+            let m = LatencyModel::builder().cxl_round_trip_ns(rt).build();
+            for counts in PARTITIONS {
+                let total: u64 = counts.iter().sum();
+                for p in [0u32, 1] {
+                    let pl = m.pipeline(p);
+                    for fp in [false, true] {
+                        assert_eq!(pl.batch_write(counts, fp), m.cxl_batch_write(total));
+                    }
+                    assert_eq!(pl.batch_read(counts), m.cxl_batch_read(total));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_cost_is_monotone_non_increasing_in_p() {
+        let m = LatencyModel::calibrated();
+        for counts in PARTITIONS {
+            for fp in [false, true] {
+                let mut prev_w = SimDuration::MAX;
+                let mut prev_r = SimDuration::MAX;
+                for p in 1..=32u32 {
+                    let pl = m.pipeline(p);
+                    let w = pl.batch_write(counts, fp);
+                    let r = pl.batch_read(counts);
+                    assert!(w <= prev_w, "write cost rose at p={p} for {counts:?}");
+                    assert!(r <= prev_r, "read cost rose at p={p} for {counts:?}");
+                    prev_w = w;
+                    prev_r = r;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_never_beats_streaming_bandwidth_floor() {
+        // The PR 4 invariant that keeps the Mitosis < CXLfork checkpoint
+        // ordering honest: the critical path can never outrun the
+        // fabric's streaming bandwidth on the pages one stream must
+        // carry — at least ceil(total / p) of them, and at least the
+        // largest single shard (a shard is one bank).
+        let m = LatencyModel::calibrated();
+        for counts in PARTITIONS {
+            let total: u64 = counts.iter().sum();
+            let max_shard = counts.iter().copied().max().unwrap();
+            for p in 1..=32u32 {
+                let pl = m.pipeline(p);
+                let floor_share = m.cxl_batch_write(total.div_ceil(u64::from(p)));
+                let floor_shard = m.cxl_batch_write(max_shard);
+                let w = pl.batch_write(counts, true);
+                assert!(w >= floor_share, "p={p} {counts:?} beats balanced share");
+                assert!(w >= floor_shard, "p={p} {counts:?} splits a shard bank");
+                // And never worse than the serial model it replaces.
+                assert!(w <= m.cxl_batch_write(total));
+                assert!(pl.batch_read(counts) <= m.cxl_batch_read(total));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_batch_of_zero_is_free_and_batch_of_one_is_scalar() {
+        let m = LatencyModel::calibrated();
+        for p in [1u32, 2, 4, 8, 16] {
+            let pl = m.pipeline(p);
+            for counts in [&[][..], &[0, 0, 0][..]] {
+                assert_eq!(pl.batch_write(counts, true), SimDuration::ZERO);
+                assert_eq!(pl.batch_read(counts), SimDuration::ZERO);
+            }
+            // One page cannot pipeline: extra streams only add startup
+            // cost, so the serial clamp keeps batch-of-1 ≡ scalar.
+            assert_eq!(
+                pl.batch_write(&[0, 1, 0], false),
+                m.cxl_write_copy(PAGE_SIZE)
+            );
+            assert_eq!(pl.batch_read(&[0, 1, 0]), m.cxl_copy(PAGE_SIZE));
+        }
+    }
+
+    #[test]
+    fn pipeline_stream_accounting_is_consistent() {
+        let m = LatencyModel::calibrated();
+        for counts in PARTITIONS {
+            let total: u64 = counts.iter().sum();
+            let populated = counts.iter().filter(|&&n| n > 0).count() as u64;
+            for p in 1..=20u32 {
+                let pl = m.pipeline(p);
+                let active = pl.active_streams(counts);
+                assert_eq!(active, u64::from(p).min(populated).max(1));
+                let loads = pl.stream_loads(counts);
+                assert_eq!(loads.len() as u64, active);
+                assert_eq!(loads.iter().sum::<u64>(), total);
+                // The modelled bottleneck is an optimistic makespan
+                // bound: no concrete assignment — including the greedy
+                // one the telemetry reports — can load its heaviest
+                // stream below it.
+                assert!(loads.iter().copied().max().unwrap() >= pl.stream_pages(counts));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_fingerprint_stage_is_fill_only() {
+        // Fingerprinting is cheaper per page than the write stage, so it
+        // must surface as pipeline fill (one page's hash), not as a
+        // per-page charge on the critical path.
+        let m = LatencyModel::calibrated();
+        assert!(m.fingerprint_page() < m.cxl_write_copy(PAGE_SIZE));
+        assert!(m.fingerprint_page() < m.local_copy(PAGE_SIZE));
+        let pl = m.pipeline(8);
+        let counts = [64u64; 8];
+        let plain = pl.batch_write(&counts, false);
+        let interned = pl.batch_write(&counts, true);
+        assert!(interned >= plain);
+        assert!(interned - plain <= m.fingerprint_page());
+        // Sweeping the fabric latency must leave the local hash alone.
+        let fast = LatencyModel::builder().cxl_round_trip_ns(100).build();
+        assert_eq!(fast.fingerprint_page(), m.fingerprint_page());
+    }
+
+    #[test]
+    fn pipeline_speedup_shows_up_at_scale() {
+        // The headline the ablation bench reproduces: a large balanced
+        // batch over 8 shards gets close to 8x cheaper at p = 8, and
+        // extra streams beyond the populated shard count change nothing.
+        let m = LatencyModel::calibrated();
+        let counts = [4096u64; 8];
+        let total: u64 = counts.iter().sum();
+        let serial = m.cxl_batch_write(total);
+        let p8 = m.pipeline(8).batch_write(&counts, false);
+        assert!(p8 * 7 < serial, "p=8 speedup below 7x on a balanced batch");
+        assert!(p8 * 9 > serial, "p=8 speedup above 9x is impossible");
+        assert_eq!(p8, m.pipeline(16).batch_write(&counts, false));
     }
 
     #[test]
