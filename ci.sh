@@ -85,6 +85,21 @@ echo '== pipeline model property tests (both feature states) =='
 cargo test --quiet -p simclock pipeline_
 cargo test --quiet -p simclock --features check pipeline_
 
+echo '== fabric queueing + contention properties (both feature states) =='
+# The fabric model (DESIGN.md §16): queueing delay is exactly zero at
+# zero load (attaching an idle fabric reproduces the flat 391 ns model
+# byte for byte), monotone in in-flight bytes and background load, and
+# telemetry-invariant; end to end, contention erodes the pipelined
+# copy's win and striping beats locality once traffic overlaps. The
+# BENCH_contention.json drift gate below pins the full surface; these
+# named passes pin the invariants so a filtered-out rename fails loudly.
+cargo test --quiet -p simclock queueing_
+cargo test --quiet -p simclock --features check queueing_
+cargo test --quiet -p cxl-fabric
+cargo test --quiet -p cxl-fabric --features check
+cargo test --quiet -p cxlfork-bench --test contention
+cargo test --quiet -p cxlfork-bench --features check --test contention
+
 echo '== release build =='
 cargo build --workspace --release --quiet
 

@@ -30,11 +30,14 @@ pub mod report;
 pub mod scenarios;
 
 pub use report::{
-    availability_report, cluster_report, cold_start_report, pipeline_report, tiering_report,
-    ScenarioTelemetry, CLUSTER_NODES, CLUSTER_SEED, CORE_PHASES,
+    availability_report, cluster_report, cold_start_report, contention_report, pipeline_report,
+    tiering_report, ScenarioTelemetry, CLUSTER_NODES, CLUSTER_SEED, CORE_PHASES,
+    PLACEMENT_CHECKPOINTS,
 };
 pub use scenarios::{
-    cluster_catalog, run_availability, run_cluster, run_cluster_with, run_cold_start, run_pipeline,
-    run_tiering, AvailabilityOutcome, ClusterOutcome, ColdStartRow, PipelineRow, Scenario,
-    TieringRow, DEFAULT_STEADY_INVOCATIONS, PIPELINE_PARALLELISM,
+    cluster_catalog, run_availability, run_cluster, run_cluster_with, run_cold_start,
+    run_contention, run_pipeline, run_placement, run_tiering, AvailabilityOutcome, ClusterOutcome,
+    ColdStartRow, ContentionRow, PipelineRow, Scenario, TieringRow, CONTENTION_LOADS,
+    CONTENTION_PARALLELISM, CONTENTION_ROUND_TRIPS, DEFAULT_STEADY_INVOCATIONS,
+    PIPELINE_PARALLELISM,
 };

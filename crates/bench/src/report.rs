@@ -16,8 +16,9 @@ use simclock::stats::LatencyHistogram;
 use simclock::LatencyModel;
 
 use crate::scenarios::{
-    run_availability, run_capacity, run_cluster, run_cold_start, run_pipeline, run_tiering,
-    Scenario, DEFAULT_STEADY_INVOCATIONS, PIPELINE_PARALLELISM,
+    run_availability, run_capacity, run_cluster, run_cold_start, run_contention, run_pipeline,
+    run_placement, run_tiering, Scenario, CONTENTION_LOADS, CONTENTION_PARALLELISM,
+    CONTENTION_ROUND_TRIPS, DEFAULT_STEADY_INVOCATIONS, PIPELINE_PARALLELISM,
 };
 
 /// Functions the cold-start and tiering reports sweep: the same mix the
@@ -465,7 +466,102 @@ pub fn pipeline_report(model: &LatencyModel) -> ScenarioTelemetry {
     ScenarioTelemetry { report, data }
 }
 
-/// All six scenario reports in `(name, builder)` form, for the binary
+/// Images each placement-policy sweep checkpoints back to back.
+pub const PLACEMENT_CHECKPOINTS: u64 = 4;
+
+/// Runs the round-trip × offered-load contention surface (Float, p = 8)
+/// plus the stripe-vs-locality placement sweep, and summarizes both as
+/// the `contention` report. Two properties are enforced at generation
+/// time, so a committed `BENCH_contention.json` always exhibits them:
+/// within each round trip, end-to-end cost never decreases as the
+/// background load rises (and strictly rises by the 900 ‰ cell), and
+/// striping consecutive checkpoints across the two-device pool beats
+/// pinning them all to one device.
+pub fn contention_report(model: &LatencyModel) -> ScenarioTelemetry {
+    let spec = faas::by_name("Float").expect("Float is in the suite");
+    let session = TelemetrySession::start();
+    let mut e2e = LatencyHistogram::new();
+    let mut cells = Vec::new();
+    for rt in CONTENTION_ROUND_TRIPS {
+        let mut idle: Option<u64> = None;
+        let mut prev: Option<u64> = None;
+        for load in CONTENTION_LOADS {
+            let row = run_contention(
+                &spec,
+                CONTENTION_PARALLELISM,
+                rt,
+                load,
+                DEFAULT_STEADY_INVOCATIONS,
+            );
+            let total = row.total.as_nanos();
+            if let Some(prev) = prev {
+                assert!(
+                    total >= prev,
+                    "contention cost fell with load at rt = {rt}: {total} < {prev}"
+                );
+            }
+            prev = Some(total);
+            idle.get_or_insert(total);
+            e2e.record(row.total);
+            cells.push(row);
+        }
+        let idle = idle.expect("sweep includes load = 0");
+        let loaded = prev.expect("sweep includes load = 900");
+        assert!(
+            loaded > idle,
+            "900 ‰ background load must cost more than an idle fabric at rt = {rt}"
+        );
+    }
+    let locality = run_placement(
+        &spec,
+        cxl_fabric::PlacementPolicy::Locality,
+        PLACEMENT_CHECKPOINTS,
+        model,
+        DEFAULT_STEADY_INVOCATIONS,
+    );
+    let stripe = run_placement(
+        &spec,
+        cxl_fabric::PlacementPolicy::Stripe,
+        PLACEMENT_CHECKPOINTS,
+        model,
+        DEFAULT_STEADY_INVOCATIONS,
+    );
+    assert!(
+        stripe < locality,
+        "striping must relieve the per-device backlog: {stripe:?} vs {locality:?}"
+    );
+    let data = session.finish();
+    let mut report = BenchReport::new("contention");
+    report.virtual_ns = virtual_ns(&data);
+    fill_common(&mut report, &data);
+    for row in &cells {
+        let key = format!(
+            "contention.rt{}.load{}",
+            row.round_trip_ns, row.background_load_permille
+        );
+        report.counters.push((
+            format!("{key}.checkpoint_ns"),
+            row.checkpoint_cost.as_nanos(),
+        ));
+        report
+            .counters
+            .push((format!("{key}.restore_ns"), row.restore.as_nanos()));
+        report
+            .counters
+            .push((format!("{key}.total_ns"), row.total.as_nanos()));
+    }
+    report.counters.push((
+        "contention.placement.locality_ns".into(),
+        locality.as_nanos(),
+    ));
+    report
+        .counters
+        .push(("contention.placement.stripe_ns".into(), stripe.as_nanos()));
+    report.latency(LatencySummary::from_histogram("e2e", &e2e));
+    ScenarioTelemetry { report, data }
+}
+
+/// All seven scenario reports in `(name, builder)` form, for the binary
 /// and CI to iterate.
 pub fn all_reports(model: &LatencyModel) -> Vec<ScenarioTelemetry> {
     vec![
@@ -475,5 +571,6 @@ pub fn all_reports(model: &LatencyModel) -> Vec<ScenarioTelemetry> {
         capacity_report(model),
         cluster_report(model),
         pipeline_report(model),
+        contention_report(model),
     ]
 }

@@ -824,3 +824,134 @@ pub fn local_fork_warm(
     audit_scenario(&[&node1], &device);
     (cold, warm)
 }
+
+/// Round trips the contention surface sweeps (ns). Matches the Fig. 9
+/// axis: the paper's calibrated 391 ns plus faster/slower fabrics.
+pub const CONTENTION_ROUND_TRIPS: [u64; 4] = [100, 200, 391, 400];
+
+/// Offered background load on the switch ports, in permille of each
+/// link's window capacity. 0 is the calibration cell: it must reproduce
+/// the flat latency model exactly.
+pub const CONTENTION_LOADS: [u32; 5] = [0, 250, 500, 750, 900];
+
+/// Shard-stream parallelism the contention cells run at (the pipelined
+/// fast path is exactly where fabric queueing hurts most).
+pub const CONTENTION_PARALLELISM: u32 = 8;
+
+/// One cell of the round-trip × offered-load contention surface.
+#[derive(Debug, Clone)]
+pub struct ContentionRow {
+    /// CXL round-trip latency of this cell's model (ns).
+    pub round_trip_ns: u64,
+    /// Background switch load, permille of window capacity.
+    pub background_load_permille: u32,
+    /// Shard-stream parallelism used.
+    pub parallelism: u32,
+    /// Function name.
+    pub function: String,
+    /// Checkpoint cost including fabric queueing delay.
+    pub checkpoint_cost: SimDuration,
+    /// Restore latency including fabric queueing delay.
+    pub restore: SimDuration,
+    /// Checkpoint + restore + first invocation.
+    pub total: SimDuration,
+}
+
+/// Runs the unit experiment (warm → checkpoint → remote fork → invoke)
+/// with a single-device fabric attached at the given background load.
+///
+/// The target node's clock is advanced past the fabric window before the
+/// restore so the checkpoint's own traffic has aged out of the sliding
+/// windows: each cell then measures *offered-load* contention only, and
+/// the `load = 0` cell reproduces the flat model byte for byte
+/// (`fabric = None` gives identical costs, which
+/// `tests/contention.rs` pins).
+pub fn run_contention(
+    spec: &FunctionSpec,
+    parallelism: u32,
+    round_trip_ns: u64,
+    load_permille: u32,
+    steady: u64,
+) -> ContentionRow {
+    let model = LatencyModel::builder()
+        .cxl_round_trip_ns(round_trip_ns)
+        .build();
+    let (mut nodes, device, _rootfs) = two_node_cluster(&model);
+    let mut node1 = nodes.pop().expect("two nodes");
+    let mut node0 = nodes.pop().expect("two nodes");
+    let topology = Arc::new(cxl_fabric::FabricTopology::new(cxl_fabric::FabricConfig {
+        background_load_permille: load_permille,
+        ..cxl_fabric::FabricConfig::default()
+    }));
+    let window_ns = topology.config().window_ns;
+    let link: Arc<dyn cxl_mem::FabricLink> = Arc::clone(&topology) as _;
+    device.attach_fabric(Some((link, 0)));
+
+    let parent = warm_parent(&mut node0, spec, steady);
+    let fork = CxlFork::with_config(CxlForkConfig::with_parallelism(parallelism));
+    let ckpt = fork
+        .checkpoint(&mut node0, parent)
+        .expect("checkpoint fits CXL");
+    node1.clock_mut().advance_to(node0.now());
+    node1
+        .clock_mut()
+        .advance(SimDuration::from_nanos(2 * window_ns));
+    let restored = fork
+        .restore_with(&ckpt, &mut node1, RestoreOptions::mow())
+        .expect("restore fits");
+    let r = faas::run_invocation(&mut node1, restored.pid, spec, 0).expect("invocation");
+    audit_scenario(&[&node0, &node1], &device);
+
+    let checkpoint_cost = fork.meta(&ckpt).checkpoint_cost;
+    ContentionRow {
+        round_trip_ns,
+        background_load_permille: load_permille,
+        parallelism,
+        function: spec.name.clone(),
+        checkpoint_cost,
+        restore: restored.restore_latency,
+        total: checkpoint_cost + restored.restore_latency + r.total,
+    }
+}
+
+/// Consecutive checkpoints routed under `policy` across a two-device
+/// pool sharing one wide fabric window, returning the summed checkpoint
+/// cost. Locality pins every image of the function to one device, so
+/// each checkpoint queues behind the previous one's in-flight bytes;
+/// stripe alternates devices and halves the per-port backlog. The
+/// stripe-vs-locality delta in `BENCH_contention.json` comes from here.
+pub fn run_placement(
+    spec: &FunctionSpec,
+    policy: cxl_fabric::PlacementPolicy,
+    checkpoints: u64,
+    model: &LatencyModel,
+    steady: u64,
+) -> SimDuration {
+    let (mut nodes, device, _rootfs) = two_node_cluster(model);
+    let mut node0 = nodes.remove(0);
+    // A window wide enough (1 s of virtual time) that every checkpoint
+    // in the run still sees its predecessors' traffic in flight.
+    let topology = Arc::new(cxl_fabric::FabricTopology::new(cxl_fabric::FabricConfig {
+        devices: 2,
+        window_ns: 1_000_000_000,
+        ..cxl_fabric::FabricConfig::default()
+    }));
+    let pool = cxl_fabric::DevicePool::attach(
+        Arc::clone(&topology),
+        (0..2).map(|_| Arc::new(CxlDevice::new(64))).collect(),
+    );
+    let fork = CxlFork::new();
+    let mut total = SimDuration::ZERO;
+    for nth in 0..checkpoints {
+        let idx = pool.place_with(policy, 0x5eed, nth);
+        let link: Arc<dyn cxl_mem::FabricLink> = Arc::clone(&topology) as _;
+        device.attach_fabric(Some((link, idx as u32)));
+        let parent = warm_parent(&mut node0, spec, steady);
+        let ckpt = fork
+            .checkpoint(&mut node0, parent)
+            .expect("checkpoint fits CXL");
+        total += fork.meta(&ckpt).checkpoint_cost;
+    }
+    audit_scenario(&[&node0], &device);
+    total
+}

@@ -487,25 +487,43 @@ pub(crate) fn take_checkpoint(
     // pipelines over the *actual* pages written (data + leaf + VMA +
     // task backings, partitioned by bank); journal records are an
     // append-only log on one bank and stay serial. At the default
-    // parallelism the serial batched write is charged unchanged.
-    let stream_partition: Option<Vec<u64>> = (parallelism > 1).then(|| {
-        let mut transfer: Vec<CxlPageId> = match interned.as_ref() {
-            Some(o) => o.written_pages.clone(),
-            None => dsts.clone(),
-        };
-        transfer.extend(leaves.iter().map(|l| l.backing));
-        transfer.extend(vma_blocks.iter().map(|(_, backing)| *backing));
-        transfer.extend(task_backing.iter().copied());
-        device.shard_partition(&transfer)
-    });
+    // parallelism the serial batched write is charged unchanged. The
+    // same per-bank partition feeds the fabric, which also needs it
+    // when the transfer itself runs serially.
+    let stream_partition: Option<Vec<u64>> =
+        (parallelism > 1 || device.fabric_armed()).then(|| {
+            let mut transfer: Vec<CxlPageId> = match interned.as_ref() {
+                Some(o) => o.written_pages.clone(),
+                None => dsts.clone(),
+            };
+            transfer.extend(leaves.iter().map(|l| l.backing));
+            transfer.extend(vma_blocks.iter().map(|(_, backing)| *backing));
+            transfer.extend(task_backing.iter().copied());
+            device.shard_partition(&transfer)
+        });
+    // An attached fabric charges the whole transfer — journal records
+    // ride bank 0's port with the append-only log — and answers with
+    // the queueing delay this checkpoint suffers under contention.
+    // Detached (the default) this is exactly zero.
+    let fabric_wait = match &stream_partition {
+        Some(counts) if device.fabric_armed() => {
+            let mut charged = counts.clone();
+            if let Some(slot) = charged.first_mut() {
+                *slot += journal_transfer;
+            }
+            device.fabric_charge(node.now(), &charged)
+        }
+        _ => SimDuration::ZERO,
+    };
     let copy_cost = match &stream_partition {
-        None => model.cxl_batch_write(copied_pages),
-        Some(counts) => {
+        Some(counts) if parallelism > 1 => {
             model
                 .pipeline(parallelism)
+                .with_queue_delay(fabric_wait)
                 .batch_write(counts, interned.is_some())
                 + model.cxl_batch_write(journal_transfer)
         }
+        _ => model.cxl_batch_write(copied_pages) + fabric_wait,
     };
     let rebase_cost = SimDuration::from_nanos(model.rebase_pointer_ns) * rebased_pointers;
     let serialize_cost = model.serialize(global_bytes.len() as u64);
@@ -571,7 +589,7 @@ pub(crate) fn take_checkpoint(
             cxl_telemetry::record_span(&format!("core.{phase}"), track, cursor, end, &[]);
             cxl_telemetry::counter_add("core", &format!("phase.{phase}"), None, d.as_nanos());
             if phase == "checkpoint.copy_pages" {
-                if let Some(counts) = &stream_partition {
+                if let Some(counts) = stream_partition.as_ref().filter(|_| parallelism > 1) {
                     // Per-stream children partition the copy phase: each
                     // stream starts with the phase and runs its own
                     // critical path (clamped to the phase — the modelled

@@ -229,13 +229,17 @@ fn attach_state(
                 // With stream parallelism, the hot set splits across
                 // shard banks and the batch read costs the bottleneck
                 // stream's critical path; serial (the default) is the
-                // single-stream batched read, unchanged.
+                // single-stream batched read, unchanged. An attached
+                // fabric adds the queueing delay this read finds on its
+                // ports (exactly zero detached or idle).
+                let fabric_wait = device.fabric_charge_pages(node.now(), &hot_pages);
                 cost += if parallelism > 1 {
                     model
                         .pipeline(parallelism)
+                        .with_queue_delay(fabric_wait)
                         .batch_read(&device.shard_partition(&hot_pages))
                 } else {
-                    model.prefetch_pages(hot_fills.len() as u64)
+                    model.prefetch_pages(hot_fills.len() as u64) + fabric_wait
                 };
             }
             node.with_process_ctx(pid, |p, _| {
@@ -295,14 +299,18 @@ fn attach_state(
             // Pipelined prefetch costs the per-shard critical path of
             // the dirty set, clamped by the serial charge for the pages
             // actually installed (fill can skip already-present pages);
-            // serial (the default) is unchanged.
+            // serial (the default) is unchanged. Fabric queueing delay
+            // rides on top of either side of the clamp — contention
+            // slows pipelined and serial prefetch alike.
+            let fabric_wait = device.fabric_charge_pages(node.now(), &dirty_pages);
             cost += if parallelism > 1 {
                 model
                     .pipeline(parallelism)
+                    .with_queue_delay(fabric_wait)
                     .batch_read(&device.shard_partition(&dirty_pages))
-                    .min(model.prefetch_pages(filled.installed))
+                    .min(model.prefetch_pages(filled.installed) + fabric_wait)
             } else {
-                model.prefetch_pages(filled.installed)
+                model.prefetch_pages(filled.installed) + fabric_wait
             };
             // Installing a mapping may leaf-CoW an attached leaf: one
             // local copy of the 4 KiB leaf each.

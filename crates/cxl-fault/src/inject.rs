@@ -45,6 +45,14 @@ pub enum InjectedFault {
 
 /// One explicit trigger: fire `fault` on the `after`-th operation of
 /// kind `op` (0-based, counted from injector arming).
+///
+/// A trigger may additionally target one fabric **port** (see
+/// [`Injector::set_port_geometry`]): it still arms at the `after`-th
+/// operation of its kind, but it and any burst it starts only fail
+/// operations whose page rides the targeted port — a link-level error
+/// is a property of one switch port, not of the whole device. With
+/// `port: None` (every pre-existing constructor) behavior is
+/// bit-identical to the un-ported injector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Trigger {
     /// Operation kind that this trigger counts and matches.
@@ -53,6 +61,8 @@ pub struct Trigger {
     pub after: u64,
     /// The fault to inject.
     pub fault: InjectedFault,
+    /// Fabric port the fault is pinned to (`None` = whole device).
+    pub port: Option<u32>,
 }
 
 /// An explicit, ordered set of fault triggers.
@@ -81,6 +91,7 @@ impl FaultSchedule {
             op,
             after,
             fault: InjectedFault::Poison,
+            port: None,
         })
     }
 
@@ -92,6 +103,24 @@ impl FaultSchedule {
             op,
             after,
             fault: InjectedFault::Transient { burst },
+            port: None,
+        })
+    }
+
+    /// Like [`FaultSchedule::transient_after`], but the burst is pinned
+    /// to one fabric `port`: it arms at the `after`-th operation of
+    /// kind `op` and then fails the next `burst` operations of that
+    /// kind *whose page rides the targeted port*. Requires the
+    /// injector's port geometry to be set (see
+    /// [`Injector::set_port_geometry`]); without it the burst never
+    /// matches.
+    #[must_use]
+    pub fn transient_after_on_port(self, op: DeviceOp, after: u64, burst: u32, port: u32) -> Self {
+        self.with(Trigger {
+            op,
+            after,
+            fault: InjectedFault::Transient { burst },
+            port: Some(port),
         })
     }
 
@@ -103,6 +132,7 @@ impl FaultSchedule {
             op: DeviceOp::Alloc,
             after,
             fault: InjectedFault::AllocExhausted { burst },
+            port: None,
         })
     }
 
@@ -197,6 +227,48 @@ pub struct FaultRecord {
 /// availability runs from accumulating unbounded logs).
 const FAULT_LOG_CAP: usize = 256;
 
+/// Page → fabric-port mapping, mirroring how the device's offset-range
+/// shards land on switch ports (shard `i` rides port
+/// `i % ports_per_device`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortGeometry {
+    /// Pages per device shard ([`cxl_mem::CxlDevice::pages_per_shard`]).
+    pub pages_per_shard: u64,
+    /// Switch ports the device exposes.
+    pub ports_per_device: u32,
+}
+
+impl PortGeometry {
+    /// The fabric port a page's traffic rides.
+    pub fn port_of(&self, page: CxlPageId) -> u32 {
+        let shard = page.0 / self.pages_per_shard.max(1);
+        u32::try_from(shard % u64::from(self.ports_per_device.max(1))).unwrap_or(0)
+    }
+}
+
+/// Does an operation on `page` ride the targeted port? `None` targets
+/// the whole device (always matches — the pre-port behavior); a
+/// concrete port requires geometry and a page on that port.
+fn port_hit(geometry: Option<PortGeometry>, port: Option<u32>, page: Option<CxlPageId>) -> bool {
+    match port {
+        None => true,
+        Some(target) => match (geometry, page) {
+            (Some(g), Some(p)) => g.port_of(p) == target,
+            _ => false,
+        },
+    }
+}
+
+/// One active transient/exhaustion burst.
+#[derive(Debug, Clone, Copy)]
+struct Burst {
+    op: DeviceOp,
+    remaining: u32,
+    oom: bool,
+    /// Fabric port the burst is pinned to (`None` = whole device).
+    port: Option<u32>,
+}
+
 #[derive(Debug)]
 struct InjectorState {
     schedule: Vec<Trigger>,
@@ -206,8 +278,10 @@ struct InjectorState {
     counts: BTreeMap<DeviceOp, u64>,
     /// Pages permanently poisoned.
     poisoned: BTreeSet<CxlPageId>,
-    /// Active transient/exhaustion bursts: (kind, remaining ops, oom?).
-    bursts: Vec<(DeviceOp, u32, bool)>,
+    /// Active transient/exhaustion bursts.
+    bursts: Vec<Burst>,
+    /// Page → port mapping for port-targeted triggers.
+    geometry: Option<PortGeometry>,
     stats: FaultStats,
     log: Vec<FaultRecord>,
 }
@@ -236,6 +310,7 @@ impl Injector {
                     counts: BTreeMap::new(),
                     poisoned: BTreeSet::new(),
                     bursts: Vec::new(),
+                    geometry: None,
                     stats: FaultStats::default(),
                     log: Vec::new(),
                 },
@@ -256,6 +331,27 @@ impl Injector {
     /// Installs this injector as the device's fault hook.
     pub fn arm(self: &std::sync::Arc<Self>, device: &cxl_mem::CxlDevice) {
         device.set_fault_hook(Some(self.clone()));
+    }
+
+    /// Sets the page → fabric-port mapping that port-targeted triggers
+    /// (e.g. [`FaultSchedule::transient_after_on_port`]) resolve pages
+    /// against. Untargeted triggers ignore it entirely.
+    pub fn set_port_geometry(&self, geometry: PortGeometry) {
+        self.state.lock().geometry = Some(geometry);
+    }
+
+    /// [`Injector::arm`] plus port geometry derived from the device's
+    /// shard layout and the fabric's `ports_per_device`.
+    pub fn arm_with_ports(
+        self: &std::sync::Arc<Self>,
+        device: &cxl_mem::CxlDevice,
+        ports_per_device: u32,
+    ) {
+        self.set_port_geometry(PortGeometry {
+            pages_per_shard: device.pages_per_shard(),
+            ports_per_device,
+        });
+        self.arm(device);
     }
 
     /// Directly poisons a page (test convenience; no operation needed).
@@ -305,16 +401,18 @@ impl FaultHook for Injector {
             }
         }
 
-        // 2. Active error bursts from earlier triggers.
+        // 2. Active error bursts from earlier triggers. A port-pinned
+        // burst only fails operations whose page rides its port;
+        // untargeted bursts (`port: None`) match exactly as before.
         if let Some(pos) = st
             .bursts
             .iter()
-            .position(|(o, rem, _)| *o == op && *rem > 0)
+            .position(|b| b.op == op && b.remaining > 0 && port_hit(st.geometry, b.port, page))
         {
-            let (_, rem, oom) = &mut st.bursts[pos];
-            *rem -= 1;
-            let oom = *oom;
-            if *rem == 0 {
+            let burst = &mut st.bursts[pos];
+            burst.remaining -= 1;
+            let oom = burst.oom;
+            if burst.remaining == 0 {
                 st.bursts.swap_remove(pos);
             }
             record(st, op, index, page);
@@ -330,41 +428,75 @@ impl FaultHook for Injector {
             });
         }
 
-        // 3. Scheduled triggers firing at this exact op index.
+        // 3. Scheduled triggers firing at this exact op index. A
+        // port-pinned trigger arms at its index either way, but only
+        // fails the current operation if it rides the targeted port;
+        // otherwise the full burst stays pending for step 2 and the
+        // operation falls through to the plan checks.
         if let Some(pos) = st
             .schedule
             .iter()
             .position(|t| t.op == op && t.after == index)
         {
             let trigger = st.schedule.swap_remove(pos);
+            let on_port = port_hit(st.geometry, trigger.port, page);
             match trigger.fault {
                 InjectedFault::Poison => {
                     if let Some(p) = page {
-                        if st.poisoned.insert(p) {
-                            st.stats.poisons += 1;
+                        if on_port {
+                            if st.poisoned.insert(p) {
+                                st.stats.poisons += 1;
+                            }
+                            record(st, op, index, page);
+                            return Some(CxlError::Poisoned(p));
                         }
-                        record(st, op, index, page);
-                        return Some(CxlError::Poisoned(p));
+                        // Off-port: the targeted page never came by.
                     }
                     // No page to poison (alloc): fall through benignly.
                 }
                 InjectedFault::Transient { burst } => {
-                    if burst > 1 {
-                        st.bursts.push((op, burst - 1, false));
+                    if on_port {
+                        if burst > 1 {
+                            st.bursts.push(Burst {
+                                op,
+                                remaining: burst - 1,
+                                oom: false,
+                                port: trigger.port,
+                            });
+                        }
+                        st.stats.transients += 1;
+                        record(st, op, index, page);
+                        return Some(CxlError::Transient { op: op.name() });
                     }
-                    st.stats.transients += 1;
-                    record(st, op, index, page);
-                    return Some(CxlError::Transient { op: op.name() });
+                    st.bursts.push(Burst {
+                        op,
+                        remaining: burst,
+                        oom: false,
+                        port: trigger.port,
+                    });
                 }
                 InjectedFault::AllocExhausted { burst } => {
-                    if burst > 1 {
-                        st.bursts.push((op, burst - 1, true));
+                    if on_port {
+                        if burst > 1 {
+                            st.bursts.push(Burst {
+                                op,
+                                remaining: burst - 1,
+                                oom: true,
+                                port: trigger.port,
+                            });
+                        }
+                        st.stats.alloc_failures += 1;
+                        record(st, op, index, page);
+                        return Some(CxlError::OutOfDeviceMemory {
+                            requested: 0,
+                            available: 0,
+                        });
                     }
-                    st.stats.alloc_failures += 1;
-                    record(st, op, index, page);
-                    return Some(CxlError::OutOfDeviceMemory {
-                        requested: 0,
-                        available: 0,
+                    st.bursts.push(Burst {
+                        op,
+                        remaining: burst,
+                        oom: true,
+                        port: trigger.port,
                     });
                 }
             }
@@ -475,6 +607,80 @@ mod tests {
         ));
         assert!(d.alloc_page(r).is_ok());
         assert_eq!(inj.stats().alloc_failures, 1);
+    }
+
+    #[test]
+    fn port_targeted_burst_only_fails_traffic_on_its_port() {
+        // 8 shards of 8 pages behind 4 ports: shard i → port i % 4, so
+        // page 0 rides port 0 and page 8 (shard 1) rides port 1.
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let on_port = d.alloc_page(r).unwrap(); // shard 0 → port 0
+        let off_port = CxlPageId(8); // shard 1 → port 1
+        let off_port = {
+            // Land a page in shard 1 via striped allocation.
+            let pages = d.alloc_batch_striped(r, 2, 2).unwrap();
+            assert_eq!(
+                pages[1].0 / d.pages_per_shard(),
+                1,
+                "second stripe lands in shard 1"
+            );
+            let _ = off_port;
+            pages[1]
+        };
+        let inj = Arc::new(Injector::from_schedule(
+            FaultSchedule::new().transient_after_on_port(DeviceOp::Read, 0, 2, 0),
+        ));
+        inj.arm_with_ports(&d, 4);
+
+        // The trigger arms on read 0 — which rides port 1, so it is NOT
+        // failed and the burst stays fully pending.
+        assert!(d.read_page(off_port, NodeId(0)).is_ok());
+        // Port-0 traffic now burns the burst...
+        assert!(d.read_page(on_port, NodeId(0)).is_err());
+        // ...port-1 traffic in between is untouched and consumes nothing...
+        assert!(d.read_page(off_port, NodeId(0)).is_ok());
+        assert!(d.read_page(on_port, NodeId(0)).is_err());
+        // ...and once the burst is spent, port 0 recovers too.
+        assert!(d.read_page(on_port, NodeId(0)).is_ok());
+        assert_eq!(inj.stats().transients, 2);
+    }
+
+    #[test]
+    fn port_targeted_burst_without_geometry_never_matches() {
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let p = d.alloc_page(r).unwrap();
+        let inj = Arc::new(Injector::from_schedule(
+            FaultSchedule::new().transient_after_on_port(DeviceOp::Read, 0, 4, 0),
+        ));
+        inj.arm(&d); // no geometry
+        for _ in 0..8 {
+            assert!(d.read_page(p, NodeId(0)).is_ok());
+        }
+        assert_eq!(inj.stats().transients, 0);
+    }
+
+    #[test]
+    fn untargeted_schedule_is_identical_with_geometry_set() {
+        // Setting geometry must not perturb `port: None` triggers — the
+        // single-device bit-identity contract.
+        let run = |with_geometry: bool| {
+            let d = CxlDevice::new(16);
+            let r = d.create_region("r");
+            let p = d.alloc_page(r).unwrap();
+            let inj = Arc::new(Injector::from_schedule(
+                FaultSchedule::new().transient_after(DeviceOp::Read, 1, 2),
+            ));
+            if with_geometry {
+                inj.arm_with_ports(&d, 8);
+            } else {
+                inj.arm(&d);
+            }
+            let outcomes: Vec<bool> = (0..6).map(|_| d.read_page(p, NodeId(0)).is_ok()).collect();
+            (outcomes, inj.fault_log())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     fn plan_log(seed: u64) -> Vec<FaultRecord> {

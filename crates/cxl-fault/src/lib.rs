@@ -52,6 +52,9 @@ pub mod retry;
 
 pub use crash::{CrashSchedule, NodeCrash};
 pub use crashpoint::{run_to_crash, CrashpointHook, CrashpointKill, Killer, Recorder};
-pub use inject::{FaultPlan, FaultRecord, FaultSchedule, FaultStats, InjectedFault, Injector};
+pub use inject::{
+    FaultPlan, FaultRecord, FaultSchedule, FaultStats, InjectedFault, Injector, PortGeometry,
+    Trigger,
+};
 pub use lease::{reclaim_dead, reclaim_orphans, LeaseTable, ReclaimReport};
 pub use retry::{with_backoff, BackoffPolicy, RetryReport};

@@ -23,8 +23,10 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fabric::{FabricAttachment, FabricLink};
 use crate::injection::{DeviceOp, FaultHook};
 use crate::lockdep::TrackedRwLock;
+use simclock::{SimDuration, SimTime};
 
 use crate::{CxlError, CxlPageId, NodeId, PageData, RegionId, PAGE_SIZE};
 
@@ -108,6 +110,12 @@ pub struct CxlDevice {
     /// flag keeps the unhooked fast path to one relaxed atomic load.
     hook: TrackedRwLock<Option<Arc<dyn FaultHook>>>,
     hook_armed: AtomicBool,
+    /// Fabric attachment (see [`crate::FabricLink`]). Same structure as
+    /// the fault hook: charged *after* a batched transfer's state
+    /// changes, with an armed flag keeping the unattached fast path to
+    /// one relaxed atomic load and a delay of exactly zero.
+    fabric: TrackedRwLock<Option<FabricAttachment>>,
+    fabric_armed: AtomicBool,
 }
 
 /// One offset-range shard of the page pool.
@@ -297,6 +305,8 @@ impl CxlDevice {
             regions: TrackedRwLock::new("cxl_mem.device.regions", RegionTable::default()),
             hook: TrackedRwLock::new("cxl_mem.device.hook", None),
             hook_armed: AtomicBool::new(false),
+            fabric: TrackedRwLock::new("cxl_mem.device.fabric", None),
+            fabric_armed: AtomicBool::new(false),
         }
     }
 
@@ -320,6 +330,55 @@ impl CxlDevice {
         hook.inject(op, page, node)
     }
 
+    /// Attaches this device to a fabric as device `device_index`, or
+    /// detaches it with `None`.
+    ///
+    /// Once attached, callers that charge batched transfer costs should
+    /// also charge [`CxlDevice::fabric_charge`]; with no fabric the
+    /// charge is a single relaxed atomic load returning zero delay, so
+    /// the default single-device configuration is bit-identical to the
+    /// pre-fabric simulation.
+    pub fn attach_fabric(&self, link: Option<(Arc<dyn FabricLink>, u32)>) {
+        let mut slot = self.fabric.write();
+        self.fabric_armed.store(link.is_some(), Ordering::Release);
+        *slot = link.map(|(link, device_index)| FabricAttachment { link, device_index });
+    }
+
+    /// Whether a fabric is attached (one relaxed atomic load).
+    pub fn fabric_armed(&self) -> bool {
+        self.fabric_armed.load(Ordering::Relaxed)
+    }
+
+    /// Charges one batched transfer of `shard_pages[i]` pages through
+    /// each shard `i` to the attached fabric at virtual time `now`,
+    /// returning the queueing delay it suffered. Exactly zero when no
+    /// fabric is attached or the batch is empty.
+    pub fn fabric_charge(&self, now: SimTime, shard_pages: &[u64]) -> SimDuration {
+        if !self.fabric_armed.load(Ordering::Relaxed) {
+            return SimDuration::ZERO;
+        }
+        if shard_pages.iter().all(|&n| n == 0) {
+            return SimDuration::ZERO;
+        }
+        let Some(attachment) = self.fabric.read().clone() else {
+            return SimDuration::ZERO;
+        };
+        let port_bytes: Vec<u64> = shard_pages.iter().map(|n| n * PAGE_SIZE).collect();
+        attachment
+            .link
+            .charge_transfer(attachment.device_index, now, &port_bytes)
+    }
+
+    /// Charges a batched transfer of the given pages to the attached
+    /// fabric (their [`CxlDevice::shard_partition`] grouped per shard).
+    /// Exactly zero when no fabric is attached or `pages` is empty.
+    pub fn fabric_charge_pages(&self, now: SimTime, pages: &[CxlPageId]) -> SimDuration {
+        if !self.fabric_armed.load(Ordering::Relaxed) || pages.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.fabric_charge(now, &self.shard_partition(pages))
+    }
+
     /// Creates a device with a capacity given in MiB (the evaluation
     /// platform has a 16 GiB DIMM; tests use much smaller devices).
     pub fn with_capacity_mib(mib: u64) -> Self {
@@ -334,6 +393,13 @@ impl CxlDevice {
     /// Number of page-pool shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Pages per shard (the offset-range partition stride). Page id `p`
+    /// lives in shard `p / pages_per_shard()`; fabric tooling uses this
+    /// to map pages onto switch ports without holding device locks.
+    pub fn pages_per_shard(&self) -> u64 {
+        self.pages_per_shard
     }
 
     /// Maps a global page id to `(shard index, shard-local index)`, or
@@ -1693,6 +1759,74 @@ mod tests {
             d.alloc_batch(bogus, 0).unwrap_err(),
             CxlError::BadRegion(bogus)
         );
+    }
+
+    /// A fabric stub that charges 1 ns per byte seen and records calls.
+    #[derive(Debug, Default)]
+    struct RecordingLink {
+        // cxl-lint: allow(raw-lock): test-local call log; tracking it would pollute the lockdep class graph the tests assert on
+        calls: std::sync::Mutex<Vec<(u32, u64, Vec<u64>)>>,
+    }
+
+    impl FabricLink for RecordingLink {
+        fn charge_transfer(&self, device: u32, now: SimTime, port_bytes: &[u64]) -> SimDuration {
+            let total: u64 = port_bytes.iter().sum();
+            self.calls
+                .lock()
+                .unwrap()
+                .push((device, now.as_nanos(), port_bytes.to_vec()));
+            SimDuration::from_nanos(total)
+        }
+    }
+
+    #[test]
+    fn fabric_attachment_charges_only_when_armed_and_non_empty() {
+        let d = CxlDevice::with_shards(64, 8);
+        let r = d.create_region("r");
+        let pages = d.alloc_batch_striped(r, 8, 4).unwrap();
+        let now = SimTime::from_nanos(5);
+
+        // Detached: zero delay, no fabric consulted.
+        assert!(!d.fabric_armed());
+        assert_eq!(d.fabric_charge_pages(now, &pages), SimDuration::ZERO);
+
+        let link = Arc::new(RecordingLink::default());
+        d.attach_fabric(Some((link.clone(), 3)));
+        assert!(d.fabric_armed());
+
+        // Empty batches stay free and never reach the link.
+        assert_eq!(d.fabric_charge_pages(now, &[]), SimDuration::ZERO);
+        assert_eq!(d.fabric_charge(now, &[0, 0, 0]), SimDuration::ZERO);
+        assert!(link.calls.lock().unwrap().is_empty());
+
+        // A real batch forwards its per-shard byte counts and device id.
+        let delay = d.fabric_charge_pages(now, &pages);
+        assert_eq!(delay, SimDuration::from_nanos(8 * PAGE_SIZE));
+        {
+            let calls = link.calls.lock().unwrap();
+            assert_eq!(calls.len(), 1);
+            let (device, t, bytes) = &calls[0];
+            assert_eq!(*device, 3);
+            assert_eq!(*t, 5);
+            assert_eq!(
+                bytes,
+                &vec![
+                    2 * PAGE_SIZE,
+                    2 * PAGE_SIZE,
+                    2 * PAGE_SIZE,
+                    2 * PAGE_SIZE,
+                    0,
+                    0,
+                    0,
+                    0
+                ]
+            );
+        }
+
+        d.attach_fabric(None);
+        assert!(!d.fabric_armed());
+        assert_eq!(d.fabric_charge_pages(now, &pages), SimDuration::ZERO);
+        assert_eq!(link.calls.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Fabric attachment point for the device.
+//!
+//! The device itself has no notion of bandwidth: a [`FabricLink`]
+//! installed via [`CxlDevice::attach_fabric`](crate::CxlDevice::attach_fabric)
+//! is charged after each batched transfer and answers with the queueing
+//! delay the transfer experienced on its switch port(s). With no fabric
+//! attached the check is a single relaxed atomic load and the delay is
+//! exactly [`SimDuration::ZERO`] — the flat calibrated round-trip model
+//! survives bit-for-bit. The stateful topology (sliding-window credit
+//! accounting, multi-device switch) lives in `crates/cxl-fabric`;
+//! keeping only the trait here keeps `cxl-mem` free of any policy
+//! dependency, mirroring [`crate::FaultHook`].
+
+use simclock::{SimDuration, SimTime};
+
+/// One device's view of the shared fabric.
+///
+/// `charge_transfer` both *queries* and *records*: the returned delay is
+/// computed from the bytes already in flight on the involved ports
+/// **before** this transfer's own bytes are added, then the transfer is
+/// recorded so later traffic sees it. An isolated transfer therefore
+/// always sees zero delay, which is the zero-load calibration contract.
+///
+/// Implementations must be deterministic given the call sequence — the
+/// simulator's reproducibility guarantee extends to fabric contention —
+/// and must treat the link as a leaf lock (never call back into the
+/// device).
+pub trait FabricLink: Send + Sync + std::fmt::Debug {
+    /// Charges one batched transfer issued by fabric-port-attached
+    /// device `device` at virtual time `now`.
+    ///
+    /// `port_bytes[i]` is the byte count the transfer moves through the
+    /// device's shard `i` (shards map onto switch ports modulo the
+    /// port count). Returns the queueing delay the transfer suffers;
+    /// an all-zero batch must cost zero and leave the link untouched.
+    fn charge_transfer(&self, device: u32, now: SimTime, port_bytes: &[u64]) -> SimDuration;
+}
+
+/// A [`FabricLink`] plus this device's index on it, as installed by
+/// [`CxlDevice::attach_fabric`](crate::CxlDevice::attach_fabric).
+#[derive(Debug, Clone)]
+pub(crate) struct FabricAttachment {
+    pub(crate) link: std::sync::Arc<dyn FabricLink>,
+    pub(crate) device_index: u32,
+}

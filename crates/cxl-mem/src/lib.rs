@@ -50,6 +50,7 @@
 
 mod device;
 mod error;
+mod fabric;
 mod fs;
 mod ids;
 mod injection;
@@ -61,6 +62,7 @@ pub use device::{
     DEFAULT_SHARDS, MAX_SHARDS,
 };
 pub use error::CxlError;
+pub use fabric::FabricLink;
 pub use fs::{CxlFile, CxlFs};
 pub use ids::{CxlOffset, CxlPageId, NodeId, RegionId};
 pub use injection::{DeviceOp, FaultHook};

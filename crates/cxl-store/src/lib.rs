@@ -63,6 +63,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+pub use cxl_fabric::PlacementPolicy;
 use cxl_fault::{with_backoff, BackoffPolicy, CrashpointHook, LeaseTable};
 use cxl_mem::lockdep::TrackedMutex;
 use cxl_mem::{CxlDevice, CxlError, CxlPageId, NodeId, PageData, RegionId, RegionKind, PAGE_SIZE};
@@ -196,6 +197,13 @@ pub struct StoreConfig {
     /// [`Store::commit_image`] compacts it into a fresh generation
     /// holding one state snapshot. Only meaningful when `durable`.
     pub journal_compact_bytes: u64,
+    /// How fresh content allocations spread across the device's banks
+    /// (and thus its fabric ports): [`PlacementPolicy::Locality`] (the
+    /// default) packs them first-fit, bit-identical to the
+    /// pre-placement store; [`PlacementPolicy::Stripe`] spreads each
+    /// intern batch round-robin across every bank, trading allocator
+    /// locality for balanced per-port fabric load under contention.
+    pub placement: PlacementPolicy,
 }
 
 impl Default for StoreConfig {
@@ -205,6 +213,7 @@ impl Default for StoreConfig {
             low_watermark: 0.70,
             durable: false,
             journal_compact_bytes: 256 * 1024,
+            placement: PlacementPolicy::Locality,
         }
     }
 }
@@ -1012,9 +1021,16 @@ impl Store {
             }
         }
 
-        let allocated = self
-            .device
-            .alloc_batch(inner.region, miss_payload.len() as u64)?;
+        let allocated = match self.config.placement {
+            PlacementPolicy::Locality => self
+                .device
+                .alloc_batch(inner.region, miss_payload.len() as u64)?,
+            PlacementPolicy::Stripe => {
+                let streams = u32::try_from(self.device.shard_count()).unwrap_or(u32::MAX);
+                self.device
+                    .alloc_batch_striped(inner.region, miss_payload.len() as u64, streams)?
+            }
+        };
         // Crash here: pages allocated but unjournaled — recovery frees
         // them as leaked.
         self.crashpoint("intern.after_alloc");
@@ -1651,6 +1667,33 @@ mod tests {
         assert_eq!(stats.interned_pages, 4);
         assert_eq!(stats.deduped_pages, 2);
         assert_eq!(stats.bytes_saved(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn stripe_placement_spreads_fresh_pages_across_banks() {
+        // Locality (the default) packs a miss batch first-fit — same
+        // page ids the store always produced — while stripe spreads it
+        // across every bank so each fabric port carries an even share.
+        let payload: Vec<PageData> = (1..=16u64).map(PageData::pattern).collect();
+
+        let d = Arc::new(CxlDevice::with_shards(256, 8));
+        let store = Store::new(Arc::clone(&d));
+        let (_, out) = intern(&store, "packed", &payload, t(1));
+        let counts = d.shard_partition(&out.written_pages);
+        assert_eq!(counts[0], 16, "locality packs into the first bank");
+
+        let d = Arc::new(CxlDevice::with_shards(256, 8));
+        let store = Store::with_config(
+            Arc::clone(&d),
+            StoreConfig {
+                placement: PlacementPolicy::Stripe,
+                ..StoreConfig::default()
+            },
+        );
+        let (_, out) = intern(&store, "striped", &payload, t(1));
+        assert_eq!(out.fresh, 16);
+        let counts = d.shard_partition(&out.written_pages);
+        assert_eq!(counts, vec![2; 8], "stripe balances every bank");
     }
 
     #[test]

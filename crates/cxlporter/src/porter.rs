@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use cxl_fabric::{DevicePool, PlacementPolicy};
 use cxl_fault::{reclaim_dead, reclaim_orphans, CrashSchedule, LeaseTable, NodeCrash};
 use cxl_mem::NodeId;
 use cxl_sim::{ClusterMachines, EventQueue, NodePhase, Scheduled, Simulation};
@@ -84,6 +85,12 @@ pub struct PorterConfig {
     /// default) disables quota metering entirely and reproduces the
     /// historical dispatch behaviour byte-for-byte.
     pub fairness: Option<FairnessConfig>,
+    /// Image-placement policy across the fabric device pool (only
+    /// meaningful once [`CxlPorter::with_device_pool`] attaches one).
+    /// `Locality` pins every checkpoint of a function to one
+    /// seed-derived device; `Stripe` round-robins consecutive
+    /// checkpoints across the pool.
+    pub placement: PlacementPolicy,
 }
 
 /// Per-owner dispatch quotas.
@@ -130,6 +137,7 @@ impl Default for PorterConfig {
             lease_ttl: SimDuration::from_secs(30),
             template_overlap: 0.0,
             fairness: None,
+            placement: PlacementPolicy::Locality,
         }
     }
 }
@@ -321,6 +329,9 @@ pub struct PorterReport {
     /// Events the discrete-event engine dispatched across `run_trace`
     /// calls (arrivals + crashes + fairness deferrals).
     pub engine_events: u64,
+    /// Checkpoints routed to each fabric pool device (empty without a
+    /// [`CxlPorter::with_device_pool`] pool).
+    pub fabric_placements: BTreeMap<u32, u64>,
 }
 
 impl PorterReport {
@@ -375,6 +386,9 @@ pub struct CxlPorter<M: RemoteFork> {
     image_store: Option<Arc<cxl_store::Store>>,
     catalog: Catalog,
     machines: ClusterMachines,
+    device_pool: Option<Arc<DevicePool>>,
+    fn_checkpoint_seq: BTreeMap<String, u64>,
+    fn_fabric_home: BTreeMap<String, u32>,
 }
 
 /// Event alphabet of a porter trace run. Ordering within the engine's
@@ -471,6 +485,9 @@ impl<M: RemoteFork> CxlPorter<M> {
             image_store: None,
             catalog: Catalog::table1(),
             machines,
+            device_pool: None,
+            fn_checkpoint_seq: BTreeMap::new(),
+            fn_fabric_home: BTreeMap::new(),
         }
     }
 
@@ -510,6 +527,61 @@ impl<M: RemoteFork> CxlPorter<M> {
     /// The attached checkpoint image store, if any.
     pub fn image_store(&self) -> Option<&Arc<cxl_store::Store>> {
         self.image_store.as_ref()
+    }
+
+    /// Attaches a fabric device pool. Before every checkpoint the porter
+    /// picks a pool device under [`PorterConfig::placement`] and routes
+    /// the cluster device's fabric charges to that device's switch ports
+    /// (page *data* still lives on the single simulated cluster device —
+    /// the pool models where the traffic lands, not a second copy).
+    /// Restores of a function charge the device its image was placed on.
+    #[must_use]
+    pub fn with_device_pool(mut self, pool: Arc<DevicePool>) -> Self {
+        assert!(
+            !pool.is_empty(),
+            "device pool must have at least one device"
+        );
+        self.device_pool = Some(pool);
+        self
+    }
+
+    /// The attached fabric device pool, if any.
+    pub fn device_pool(&self) -> Option<&Arc<DevicePool>> {
+        self.device_pool.as_ref()
+    }
+
+    /// Routes the cluster device's fabric charges to the pool device the
+    /// placement policy picks for `function`'s next checkpoint, and
+    /// remembers that device as the function's fabric home for restores.
+    fn route_fabric_for_checkpoint(&mut self, function: &str) {
+        let Some(pool) = &self.device_pool else {
+            return;
+        };
+        let nth = self
+            .fn_checkpoint_seq
+            .entry(function.to_string())
+            .or_insert(0);
+        let idx = pool.place_with(self.config.placement, fnv64(function), *nth);
+        *nth += 1;
+        let device = u32::try_from(idx).unwrap_or(u32::MAX);
+        self.fn_fabric_home.insert(function.to_string(), device);
+        *self.report.fabric_placements.entry(device).or_insert(0) += 1;
+        cxl_telemetry::counter_add("cxlporter", "fabric.placement", Some(device), 1);
+        let link: Arc<dyn cxl_mem::FabricLink> = pool.topology().clone();
+        self.cluster.device.attach_fabric(Some((link, device)));
+    }
+
+    /// Routes fabric charges to the device `function`'s image landed on
+    /// (no-op if the function was never placed — e.g. restored from an
+    /// adopted store — in which case the last routing stays in effect).
+    fn route_fabric_for_restore(&mut self, function: &str) {
+        let Some(pool) = &self.device_pool else {
+            return;
+        };
+        if let Some(&device) = self.fn_fabric_home.get(function) {
+            let link: Arc<dyn cxl_mem::FabricLink> = pool.topology().clone();
+            self.cluster.device.attach_fabric(Some((link, device)));
+        }
     }
 
     /// Adopts a checkpoint store recovered from a dead coordinator's
@@ -1020,6 +1092,7 @@ impl<M: RemoteFork> CxlPorter<M> {
                     "",
                     now,
                 );
+                self.route_fabric_for_checkpoint(&spec.name);
                 let ckpt = match self.mech.checkpoint(&mut self.cluster.nodes[node], pid) {
                     Ok(c) => Some(c),
                     Err(_) => {
@@ -1133,6 +1206,7 @@ impl<M: RemoteFork> CxlPorter<M> {
             self.ensure_free(node, estimate + faas::BARE_CONTAINER_PAGES, now);
 
             let (container, container_cost) = self.claim_container(node, now)?;
+            self.route_fabric_for_restore(&spec.name);
             // Placement + restore span; the mechanism's own
             // `core.restore` phase spans nest underneath it.
             cxl_telemetry::span_open(
@@ -1488,4 +1562,16 @@ impl<M: RemoteFork> CxlPorter<M> {
         out.extend(cxl_check::check_lock_order());
         out
     }
+}
+
+/// FNV-1a over the function name: a stable, platform-independent seed
+/// for locality placement (`std` hashers are randomized per process,
+/// which would break run-to-run determinism).
+fn fnv64(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }

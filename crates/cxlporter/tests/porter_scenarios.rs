@@ -221,3 +221,68 @@ fn evicted_image_turns_the_next_restore_into_a_cold_redeploy() {
     assert_eq!(report.dropped, 0);
     assert_eq!(p.stored_checkpoints(), 0);
 }
+
+#[test]
+fn fabric_pool_routes_checkpoints_by_placement_policy() {
+    use std::sync::Arc;
+
+    use cxl_fabric::{DevicePool, FabricConfig, FabricTopology, PlacementPolicy};
+    use cxl_mem::CxlDevice;
+
+    let pool = |load_permille: u32| {
+        let topology = Arc::new(FabricTopology::new(FabricConfig {
+            devices: 2,
+            background_load_permille: load_permille,
+            ..FabricConfig::default()
+        }));
+        let devices = (0..2).map(|_| Arc::new(CxlDevice::new(64))).collect();
+        Arc::new(DevicePool::attach(topology, devices))
+    };
+    let config = |placement| PorterConfig {
+        checkpoint_after: 2,
+        placement,
+        ..PorterConfig::cxlfork_dynamic()
+    };
+    let two_fn_trace = || {
+        (0..3)
+            .flat_map(|i| [at(i * SEC, "Json"), at(i * SEC + 1, "Float")])
+            .collect::<Vec<_>>()
+    };
+
+    // Without a pool the placement machinery stays cold.
+    let mut bare = porter(config(PlacementPolicy::Locality), 4096);
+    let bare_report = bare.run_trace(&two_fn_trace());
+    assert_eq!(bare_report.checkpoints, 2);
+    assert!(bare_report.fabric_placements.is_empty());
+
+    // Stripe places every function's first image on device 0 (nth = 0).
+    let mut striped = porter(config(PlacementPolicy::Stripe), 4096).with_device_pool(pool(0));
+    let striped_report = striped.run_trace(&two_fn_trace());
+    assert_eq!(striped_report.checkpoints, 2);
+    assert_eq!(
+        striped_report.fabric_placements,
+        [(0, 2)].into_iter().collect()
+    );
+
+    // Locality hashes the function name; every checkpoint lands
+    // somewhere, and the routing is deterministic run to run.
+    let run_locality = || {
+        let mut p = porter(config(PlacementPolicy::Locality), 4096).with_device_pool(pool(0));
+        p.run_trace(&two_fn_trace())
+    };
+    let first = run_locality();
+    assert_eq!(first.fabric_placements.values().sum::<u64>(), 2);
+    assert_eq!(first, run_locality());
+
+    // Heavy background load on the switch shows up in checkpoint cost:
+    // the loaded run can only be slower than the idle-fabric run.
+    let mut loaded = porter(config(PlacementPolicy::Locality), 4096).with_device_pool(pool(900));
+    let loaded_report = loaded.run_trace(&two_fn_trace());
+    assert_eq!(loaded_report.checkpoints, 2);
+    assert!(
+        loaded_report.overall.mean() >= first.overall.mean(),
+        "background fabric load must not make runs faster: {:?} < {:?}",
+        loaded_report.overall.mean(),
+        first.overall.mean()
+    );
+}

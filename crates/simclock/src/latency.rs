@@ -327,7 +327,18 @@ impl LatencyModel {
         PipelineModel {
             model: self,
             parallelism,
+            queue_delay: SimDuration::ZERO,
         }
+    }
+
+    /// The queueing-delay curve of one fabric port at this model's
+    /// calibration point: streaming write bandwidth as the drain rate
+    /// over a `window_ns`-wide virtual-time window. At zero in-flight
+    /// bytes the delay is exactly zero, which is what keeps the flat
+    /// [`LatencyModel::cxl_read_round_trip`] model intact for an
+    /// uncontended fabric.
+    pub fn port_queueing_curve(&self, window_ns: u64) -> QueueingCurve {
+        QueueingCurve::new(self.cxl_write_bytes_per_ns, window_ns)
     }
 
     /// Serializing `bytes` into an image.
@@ -419,12 +430,35 @@ pub struct PipelineModel<'m> {
     model: &'m LatencyModel,
     /// Number of concurrent shard streams the transfer may use.
     parallelism: u32,
+    /// Fabric queueing delay added on top of every non-empty batch;
+    /// [`SimDuration::ZERO`] (the default) leaves the model untouched.
+    queue_delay: SimDuration,
 }
 
 impl<'m> PipelineModel<'m> {
     /// The configured stream count.
     pub fn parallelism(&self) -> u32 {
         self.parallelism
+    }
+
+    /// Returns the same model with a fabric queueing delay attached.
+    ///
+    /// The delay — typically produced by a `QueueingCurve` fed with the
+    /// fabric's in-flight bytes — is added to every non-empty
+    /// [`PipelineModel::batch_write`] / [`PipelineModel::batch_read`]
+    /// *after* the serial clamp: contention slows pipelined and serial
+    /// transfers alike, so it cannot resurrect a pipeline win the clamp
+    /// already took away. `with_queue_delay(SimDuration::ZERO)` is
+    /// bit-identical to not calling it.
+    #[must_use]
+    pub fn with_queue_delay(mut self, delay: SimDuration) -> Self {
+        self.queue_delay = delay;
+        self
+    }
+
+    /// The currently attached fabric queueing delay.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.queue_delay
     }
 
     /// How many streams actually run for a batch with the given
@@ -505,9 +539,10 @@ impl<'m> PipelineModel<'m> {
         }
         let serial = self.model.cxl_batch_write(total);
         if self.parallelism <= 1 {
-            return serial;
+            return serial + self.queue_delay;
         }
         serial.min(self.stream_write_cost(self.stream_pages(shard_counts), fingerprint))
+            + self.queue_delay
     }
 
     /// Cost of reading a batch whose pages land on shards with the
@@ -522,9 +557,91 @@ impl<'m> PipelineModel<'m> {
         }
         let serial = self.model.cxl_batch_read(total);
         if self.parallelism <= 1 {
-            return serial;
+            return serial + self.queue_delay;
         }
-        serial.min(self.stream_read_cost(self.stream_pages(shard_counts)))
+        serial.min(self.stream_read_cost(self.stream_pages(shard_counts))) + self.queue_delay
+    }
+}
+
+/// Maximum utilization the queueing denominator may see; past this the
+/// convex `1 / (1 - u)` term is frozen so delays stay finite while the
+/// linear service term keeps the curve strictly increasing.
+const MAX_QUEUE_UTILIZATION: f64 = 0.95;
+
+/// Deterministic queueing-delay curve for one fabric port or switch
+/// link.
+///
+/// The curve maps in-flight bytes (bytes recorded against the link
+/// inside the current sliding virtual-time window) to extra transfer
+/// latency:
+///
+/// ```text
+/// delay(b) = (b / bytes_per_ns) / (1 - min(b / capacity, 0.95))
+/// capacity = bytes_per_ns * window_ns
+/// ```
+///
+/// The first factor is the time the in-flight backlog needs to drain at
+/// link bandwidth; the second is the standard M/M/1-style convex
+/// blow-up as the window saturates, clamped at 95% utilization so the
+/// delay stays finite. Two properties the fabric relies on, both
+/// property-tested:
+///
+/// * `delay(0) == 0` **exactly** — an uncontended fabric reduces to the
+///   flat calibrated round-trip model bit-for-bit;
+/// * `delay` is strictly monotone in `b` — more in-flight bytes never
+///   make a transfer faster (past the clamp the linear drain term still
+///   grows).
+///
+/// All arithmetic is straight-line `f64` on explicit inputs (no
+/// wall-clock, no RNG), so same-seed runs are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueingCurve {
+    /// Link drain bandwidth in bytes per virtual nanosecond.
+    bytes_per_ns: f64,
+    /// Width of the sliding accounting window in virtual nanoseconds.
+    window_ns: u64,
+}
+
+impl QueueingCurve {
+    /// Builds a curve for a link draining `bytes_per_ns` over a
+    /// `window_ns`-wide accounting window.
+    ///
+    /// # Panics
+    /// If `bytes_per_ns` is not strictly positive and finite, or
+    /// `window_ns` is zero.
+    pub fn new(bytes_per_ns: f64, window_ns: u64) -> Self {
+        assert!(
+            bytes_per_ns.is_finite() && bytes_per_ns > 0.0,
+            "queueing curve needs positive finite bandwidth, got {bytes_per_ns}"
+        );
+        assert!(window_ns > 0, "queueing curve needs a non-empty window");
+        QueueingCurve {
+            bytes_per_ns,
+            window_ns,
+        }
+    }
+
+    /// The window capacity: bytes the link drains in one full window.
+    pub fn capacity_bytes(&self) -> u64 {
+        let cap = self.bytes_per_ns * self.window_ns as f64;
+        if cap >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            cap as u64
+        }
+    }
+
+    /// Queueing delay seen by a transfer that finds `inflight_bytes`
+    /// already recorded against the link in the current window. Zero
+    /// in-flight bytes cost exactly zero.
+    pub fn delay(&self, inflight_bytes: u64) -> SimDuration {
+        if inflight_bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        let capacity = self.bytes_per_ns * self.window_ns as f64;
+        let service_ns = inflight_bytes as f64 / self.bytes_per_ns;
+        let utilization = (inflight_bytes as f64 / capacity).min(MAX_QUEUE_UTILIZATION);
+        SimDuration::from_secs_f64(service_ns / (1.0 - utilization) / 1e9)
     }
 }
 
@@ -787,5 +904,107 @@ mod tests {
         assert!(m.cxl_pull_fault() < m.cxl_cow_fault());
         assert!(m.cache_hit() < m.local_read_round_trip());
         assert!(m.local_read_round_trip() < m.cxl_read_round_trip());
+    }
+
+    #[test]
+    fn queueing_zero_load_is_exactly_zero() {
+        // The calibration contract: an uncontended fabric adds nothing,
+        // so the flat 391 ns model survives bit-for-bit.
+        let m = LatencyModel::calibrated();
+        let curve = m.port_queueing_curve(1_000_000);
+        assert_eq!(curve.delay(0), SimDuration::ZERO);
+        // And threading a zero delay through the pipeline is identity.
+        for counts in PARTITIONS {
+            for p in [1, 2, 8, 16] {
+                let plain = m.pipeline(p);
+                let zeroed = plain.with_queue_delay(SimDuration::ZERO);
+                assert_eq!(
+                    plain.batch_write(counts, true),
+                    zeroed.batch_write(counts, true)
+                );
+                assert_eq!(plain.batch_read(counts), zeroed.batch_read(counts));
+            }
+        }
+    }
+
+    #[test]
+    fn queueing_delay_is_strictly_monotone_in_inflight_bytes() {
+        let m = LatencyModel::calibrated();
+        let curve = m.port_queueing_curve(1_000_000);
+        let capacity = curve.capacity_bytes();
+        // Sweep from far below to far beyond the utilization clamp:
+        // delay never decreases at any step (ties are allowed below the
+        // 1 ns resolution of `SimDuration`) ...
+        let mut prev = curve.delay(0);
+        let mut b = 1u64;
+        while b < capacity * 4 {
+            let d = curve.delay(b);
+            assert!(
+                d >= prev,
+                "delay({b}) = {d:?} below delay at previous point {prev:?}"
+            );
+            prev = d;
+            b = b * 3 + 1;
+        }
+        // ... and strictly increases across resolution-sized steps,
+        // including past the utilization clamp where only the linear
+        // drain term grows.
+        let coarse = [
+            capacity / 100,
+            capacity / 10,
+            capacity / 2,
+            capacity,
+            capacity * 2,
+            capacity * 8,
+        ];
+        for pair in coarse.windows(2) {
+            assert!(
+                curve.delay(pair[1]) > curve.delay(pair[0]),
+                "delay not strictly increasing from {} to {} bytes",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn queueing_delay_is_finite_at_and_past_saturation() {
+        let curve = QueueingCurve::new(8.0, 1_000_000);
+        let capacity = curve.capacity_bytes();
+        for b in [capacity, capacity * 2, capacity * 100] {
+            let d = curve.delay(b);
+            assert!(d > SimDuration::ZERO && d < SimDuration::MAX);
+        }
+        // At the clamp the convex factor is 1/(1-0.95) = 20x the drain.
+        let drain_ns = capacity as f64 / 8.0;
+        let at_cap = curve.delay(capacity).as_nanos() as f64;
+        assert!((at_cap - drain_ns * 20.0).abs() < drain_ns * 0.01);
+    }
+
+    #[test]
+    fn queueing_pipeline_delay_is_additive_after_the_serial_clamp() {
+        let m = LatencyModel::calibrated();
+        let delay = SimDuration::from_nanos(12_345);
+        for counts in PARTITIONS {
+            for p in [1, 2, 8] {
+                let plain = m.pipeline(p);
+                let delayed = plain.with_queue_delay(delay);
+                let total: u64 = counts.iter().sum();
+                for (base, with) in [
+                    (
+                        plain.batch_write(counts, false),
+                        delayed.batch_write(counts, false),
+                    ),
+                    (plain.batch_read(counts), delayed.batch_read(counts)),
+                ] {
+                    if total == 0 {
+                        // Empty batches stay free even under contention.
+                        assert_eq!(with, SimDuration::ZERO);
+                    } else {
+                        assert_eq!(with, base + delay);
+                    }
+                }
+            }
+        }
     }
 }

@@ -36,5 +36,5 @@ pub mod rng;
 pub mod stats;
 
 pub use clock::SimClock;
-pub use latency::{LatencyModel, LatencyModelBuilder, PipelineModel, PAGE_SIZE};
+pub use latency::{LatencyModel, LatencyModelBuilder, PipelineModel, QueueingCurve, PAGE_SIZE};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,135 @@
+//! Fabric-contention end-to-end properties (satellites of the
+//! `cxl-fabric` subsystem):
+//!
+//! * the zero-load cell of the contention surface reproduces the flat
+//!   latency model exactly — attaching an idle fabric is free;
+//! * background load erodes the pipelined copy's advantage: queueing
+//!   delay is additive and policy-blind, so the p = 8 vs serial speedup
+//!   shrinks monotonically as the switch fills up;
+//! * measuring a cell with telemetry armed does not move any virtual
+//!   cost (observation is free);
+//! * striping consecutive images across a device pool beats pinning
+//!   them to one device once traffic overlaps in the window.
+
+use cxlfork_bench::{
+    run_contention, run_pipeline, run_placement, CONTENTION_PARALLELISM, DEFAULT_STEADY_INVOCATIONS,
+};
+use simclock::LatencyModel;
+
+fn float_spec() -> faas::FunctionSpec {
+    faas::by_name("Float").expect("Float is in the suite")
+}
+
+#[test]
+fn idle_fabric_reproduces_the_flat_model_exactly() {
+    let spec = float_spec();
+    for rt in [100, 391] {
+        let model = LatencyModel::builder().cxl_round_trip_ns(rt).build();
+        let flat = run_pipeline(
+            &spec,
+            CONTENTION_PARALLELISM,
+            &model,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+        let idle = run_contention(
+            &spec,
+            CONTENTION_PARALLELISM,
+            rt,
+            0,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+        assert_eq!(
+            idle.checkpoint_cost, flat.checkpoint_cost,
+            "idle fabric moved the checkpoint cost at rt = {rt}"
+        );
+        assert_eq!(
+            idle.restore, flat.restore,
+            "idle fabric moved the restore latency at rt = {rt}"
+        );
+    }
+}
+
+#[test]
+fn contention_shrinks_the_pipelined_copy_win() {
+    // Queueing delay lands after the serial/pipelined clamp, identically
+    // on both sides, so (serial + w) / (p8 + w) falls toward 1 as the
+    // background load w grows: contention erodes the relative win
+    // without ever making p = 8 slower than serial.
+    let spec = float_spec();
+    let mut prev_speedup = f64::INFINITY;
+    for load in [0, 500, 900] {
+        let serial = run_contention(&spec, 1, 391, load, DEFAULT_STEADY_INVOCATIONS);
+        let piped = run_contention(
+            &spec,
+            CONTENTION_PARALLELISM,
+            391,
+            load,
+            DEFAULT_STEADY_INVOCATIONS,
+        );
+        assert!(
+            piped.checkpoint_cost <= serial.checkpoint_cost,
+            "pipelining must never lose to serial (load = {load})"
+        );
+        let speedup =
+            serial.checkpoint_cost.as_nanos() as f64 / piped.checkpoint_cost.as_nanos() as f64;
+        assert!(
+            speedup < prev_speedup,
+            "the p = {CONTENTION_PARALLELISM} win must shrink with load: \
+             {speedup} at {load} ‰ vs {prev_speedup} at the previous level"
+        );
+        prev_speedup = speedup;
+    }
+    assert!(
+        prev_speedup > 1.0,
+        "even a 90 % loaded switch leaves some pipelining win: {prev_speedup}"
+    );
+}
+
+#[test]
+fn armed_telemetry_does_not_move_contention_costs() {
+    let spec = float_spec();
+    let run = || {
+        run_contention(
+            &spec,
+            CONTENTION_PARALLELISM,
+            391,
+            750,
+            DEFAULT_STEADY_INVOCATIONS,
+        )
+    };
+    let unarmed = run();
+    let session = cxl_telemetry::TelemetrySession::start();
+    let armed = run();
+    let data = session.finish();
+    assert_eq!(unarmed.checkpoint_cost, armed.checkpoint_cost);
+    assert_eq!(unarmed.restore, armed.restore);
+    assert_eq!(unarmed.total, armed.total);
+    assert!(
+        data.registry.counter("cxl_fabric", "bytes", Some(0)) > 0,
+        "armed run records fabric traffic"
+    );
+}
+
+#[test]
+fn striping_beats_locality_under_overlapping_traffic() {
+    let spec = float_spec();
+    let model = LatencyModel::calibrated();
+    let locality = run_placement(
+        &spec,
+        cxl_fabric::PlacementPolicy::Locality,
+        4,
+        &model,
+        DEFAULT_STEADY_INVOCATIONS,
+    );
+    let stripe = run_placement(
+        &spec,
+        cxl_fabric::PlacementPolicy::Stripe,
+        4,
+        &model,
+        DEFAULT_STEADY_INVOCATIONS,
+    );
+    assert!(
+        stripe < locality,
+        "two devices must drain overlapping images faster: {stripe:?} vs {locality:?}"
+    );
+}
